@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints
+the corresponding rows/series (run pytest with ``-s`` to see them).
+Heavy experiments are wrapped in ``benchmark.pedantic(rounds=1)`` so
+the harness reports wall-clock without repeating multi-second runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device.dataset import MemristorDataset, generate_dataset
+
+
+@pytest.fixture(scope="session")
+def chip_dataset() -> MemristorDataset:
+    """The synthetic Nb:SrTiO3 measurement campaign used everywhere."""
+    return generate_dataset(n_states=48, n_voltages=97,
+                            include_sweeps=False,
+                            include_pulse_trains=False, seed=7)
+
+
+def print_series(title: str, columns: dict[str, np.ndarray],
+                 max_rows: int = 12) -> None:
+    """Render a few rows of a figure's series as an aligned table."""
+    print(f"\n=== {title} ===")
+    names = list(columns)
+    header = "".join(f"{name:>16}" for name in names)
+    print(header)
+    lengths = {len(np.atleast_1d(column)) for column in columns.values()}
+    n = max(lengths)
+    step = max(1, n // max_rows)
+    for index in range(0, n, step):
+        row = ""
+        for name in names:
+            column = np.atleast_1d(columns[name])
+            value = column[index] if index < len(column) else float("nan")
+            row += f"{value:>16.4g}"
+        print(row)

@@ -1,0 +1,93 @@
+"""Ablation: functional pCAM array vs its crossbar realisation.
+
+Compares the ideal policy array against the same policies programmed
+into the simulated crossbar (DAC quantization, IR drop, read noise),
+plus the self-learning neuromorphic AQM as the future-work endpoint.
+"""
+
+import numpy as np
+
+from repro.core.hardware_array import CrossbarPCAMArray
+from repro.core.pcam_array import PCAMArray
+from repro.core.pcam_cell import prog_pcam
+from repro.crossbar.losses import LineLossModel
+from repro.device.variability import VariabilityModel
+from repro.netfunc.aqm.base import TailDropAQM
+from repro.neuro.neuromorphic import NeuromorphicAQM
+from repro.simnet.topology import DumbbellExperiment, overload_profile
+
+FIELDS = ("port", "size")
+WORDS = [
+    {"port": prog_pcam(0.5, 1.0, 1.5, 2.0),
+     "size": prog_pcam(2.0, 2.5, 3.0, 3.5)},
+    {"port": prog_pcam(2.5, 3.0, 3.5, 3.9),
+     "size": prog_pcam(-1.0, -0.5, 0.0, 0.5)},
+    {"port": prog_pcam(-1.5, -1.0, -0.5, 0.0),
+     "size": prog_pcam(0.5, 1.0, 1.5, 2.0)},
+]
+
+
+def fidelity_sweep():
+    functional = PCAMArray(FIELDS)
+    hardware = CrossbarPCAMArray(
+        FIELDS, max_words=8,
+        losses=LineLossModel(wire_resistance_per_cell_ohm=1.0),
+        variability=VariabilityModel(read_sigma=0.03, device_sigma=0.0),
+        rng=np.random.default_rng(1))
+    for word in WORDS:
+        functional.add(word)
+        hardware.add(word)
+    rng = np.random.default_rng(2)
+    errors = []
+    energies = []
+    for _ in range(60):
+        query = {"port": float(rng.uniform(-1.8, 3.8)),
+                 "size": float(rng.uniform(-1.8, 3.8))}
+        ideal = functional.search(query).probabilities
+        measured = hardware.search(query)
+        errors.append(float(np.max(np.abs(measured.probabilities
+                                          - ideal))))
+        energies.append(measured.energy_j)
+    return np.array(errors), np.array(energies)
+
+
+def test_ablation_hardware_fidelity(benchmark):
+    errors, energies = benchmark.pedantic(fidelity_sweep, rounds=1,
+                                          iterations=1)
+
+    print("\n=== Crossbar-realised pCAM array vs functional model ===")
+    print(f"max |p_hw - p_ideal|: mean {errors.mean():.4f}, "
+          f"p95 {np.percentile(errors, 95):.4f}, "
+          f"worst {errors.max():.4f}")
+    print(f"per-search energy: mean {energies.mean():.3e} J "
+          f"(3 words x 2 fields, one analog cycle)")
+
+    # The realised array stays faithful within the compiler's LOW
+    # precision class on this substrate.
+    assert np.percentile(errors, 95) < 0.1
+    assert errors.mean() < 0.05
+
+
+def test_neuromorphic_aqm_endpoint(benchmark):
+    """The future-work endpoint: a *learned* analog AQM."""
+    experiment = DumbbellExperiment(
+        n_flows=6, load=0.9, service_rate_bps=40e6,
+        capacity_packets=1500, duration_s=8.0,
+        rate_fn=overload_profile(2.0, 7.0, 1.6), seed=3)
+
+    def run():
+        aqm = NeuromorphicAQM(rng=np.random.default_rng(2))
+        summary = experiment.run(aqm).recorder.summary()
+        return aqm, summary
+
+    aqm, summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    unmanaged = experiment.run(TailDropAQM()).recorder.summary()
+
+    print("\n=== Self-learning neuromorphic AQM (future work) ===")
+    print(f"learned mean delay {summary.mean_delay_s * 1e3:.1f} ms "
+          f"(tail-drop: {unmanaged.mean_delay_s * 1e3:.1f} ms), "
+          f"{aqm.updates} weight updates")
+    print(f"learned weights: {np.round(aqm.weights, 2)}")
+
+    assert summary.mean_delay_s < 0.1 * unmanaged.mean_delay_s
+    assert aqm.updates > 100

@@ -1,0 +1,70 @@
+"""Ablation A2: precision loss vs analog substrate quality (RQ2).
+
+Sweeps DAC resolution, device read noise and wire resistance, and
+reports the compiler's analog error budget plus which function
+classes remain mappable to the analog domain at each point.
+"""
+
+import numpy as np
+
+from repro.core.compiler import (
+    CognitiveCompiler,
+    CompilationError,
+    FunctionKind,
+    NetworkFunctionSpec,
+    PrecisionClass,
+)
+from repro.crossbar.converters import DAC
+from repro.crossbar.losses import LineLossModel
+from repro.device.variability import VariabilityModel
+
+SPECS = [
+    NetworkFunctionSpec("aqm", PrecisionClass.LOW,
+                        FunctionKind.COGNITIVE),
+    NetworkFunctionSpec("load_balancer", PrecisionClass.MEDIUM,
+                        FunctionKind.COGNITIVE),
+    NetworkFunctionSpec("coarse_filter", PrecisionClass.LOW,
+                        FunctionKind.DETERMINISTIC),
+]
+
+
+def sweep():
+    rows = []
+    for bits in (4, 6, 8, 10):
+        for sigma in (0.01, 0.03, 0.08, 0.15):
+            compiler = CognitiveCompiler(
+                dac=DAC(bits=bits),
+                variability=VariabilityModel(read_sigma=sigma),
+                losses=LineLossModel(wire_resistance_per_cell_ohm=1.0))
+            budget = compiler.error_budget()
+            try:
+                placement = compiler.place(SPECS)
+                analog = len(placement.analog)
+            except CompilationError:
+                analog = 0
+            rows.append((bits, sigma, budget.total,
+                         budget.dominant_term(), analog))
+    return rows
+
+
+def test_ablation_precision_budget(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n=== A2: analog error budget sweep ===")
+    print(f"{'DAC bits':>9}{'read sigma':>11}{'error':>9}"
+          f"{'dominant':>14}{'analog fns':>11}")
+    for bits, sigma, error, dominant, analog in rows:
+        print(f"{bits:>9}{sigma:>11.2f}{error:>9.4f}{dominant:>14}"
+              f"{analog:>11}")
+
+    by_key = {(bits, sigma): (error, analog)
+              for bits, sigma, error, _, analog in rows}
+    # Error monotone in device noise at fixed DAC resolution.
+    assert by_key[(8, 0.15)][0] > by_key[(8, 0.01)][0]
+    # A clean substrate maps all three functions to analog...
+    assert by_key[(8, 0.01)][1] == 3
+    # ...while a noisy one loses the MEDIUM-precision function first
+    # and eventually everything cognitive.
+    assert by_key[(8, 0.15)][1] < 3
+    # Very coarse DACs alone do not kill LOW-precision functions.
+    assert by_key[(4, 0.01)][1] >= 1

@@ -1,0 +1,75 @@
+"""Ablation: responsive (AIMD) traffic, with and without ECN.
+
+The Figure 8 workload is open-loop Poisson; real congestion control
+closes the loop.  This bench runs AIMD senders through the bottleneck
+under tail drop, the pCAM-AQM, and the pCAM-AQM with ECN marking, and
+reports the classic trade-off: the unmanaged buffer bloats to a
+standing queue, the AQM removes the bloat at a small drop cost, and
+ECN removes the bloat with *zero* loss.
+"""
+
+import numpy as np
+
+from repro.netfunc.aqm.base import TailDropAQM
+from repro.netfunc.aqm.pcam_aqm import PCAMAQM
+from repro.simnet.engine import Simulator
+from repro.simnet.queue_sim import BottleneckQueue
+from repro.simnet.responsive import AIMDFlowGenerator, FeedbackRouter
+
+DURATION_S = 8.0
+RATE_BPS = 20e6
+
+
+def run(aqm, ecn_capable):
+    sim = Simulator()
+    router = FeedbackRouter()
+    queue = BottleneckQueue(sim, service_rate_bps=RATE_BPS,
+                            capacity_packets=800, aqm=aqm,
+                            delivery_listener=router.on_delivery,
+                            drop_listener=router.on_drop)
+    for index in range(4):
+        AIMDFlowGenerator(router, rtt_s=0.04, flow_id=index,
+                          ecn_capable=ecn_capable,
+                          rng=np.random.default_rng(index)
+                          ).attach(sim, queue.enqueue)
+    sim.run_until(DURATION_S)
+    summary = queue.recorder.summary()
+    throughput = summary.delivered * 1000 * 8 / DURATION_S
+    return summary, throughput, queue
+
+
+def run_all():
+    results = {}
+    results["tail-drop"] = run(TailDropAQM(), False)
+    results["pCAM-AQM"] = run(
+        PCAMAQM(rng=np.random.default_rng(9)), False)
+    ecn_aqm = PCAMAQM(ecn_enabled=True, rng=np.random.default_rng(9))
+    results["pCAM+ECN"] = run(ecn_aqm, True)
+    return results, ecn_aqm
+
+
+def test_ablation_responsive_flows(benchmark):
+    results, ecn_aqm = benchmark.pedantic(run_all, rounds=1,
+                                          iterations=1)
+
+    print("\n=== Responsive (AIMD) traffic ablation ===")
+    print(f"{'policy':>10}{'mean [ms]':>11}{'p95 [ms]':>10}"
+          f"{'thr [Mb/s]':>12}{'losses':>8}")
+    for name, (summary, throughput, _) in results.items():
+        print(f"{name:>10}{summary.mean_delay_s * 1e3:>11.1f}"
+              f"{summary.p95_delay_s * 1e3:>10.1f}"
+              f"{throughput / 1e6:>12.1f}{summary.dropped:>8}")
+    print(f"ECN marks delivered in lieu of drops: {ecn_aqm.ecn_marks}")
+
+    bloated = results["tail-drop"][0]
+    managed = results["pCAM-AQM"][0]
+    ecn = results["pCAM+ECN"][0]
+    # Bufferbloat without AQM: a standing queue near the buffer limit.
+    assert bloated.mean_delay_s > 0.1
+    # The analog AQM removes the bloat while keeping throughput high.
+    assert managed.mean_delay_s < 0.2 * bloated.mean_delay_s
+    assert results["pCAM-AQM"][1] > 0.75 * RATE_BPS
+    # ECN: delay controlled with zero packet loss.
+    assert ecn.mean_delay_s < 0.2 * bloated.mean_delay_s
+    assert results["pCAM+ECN"][2].aqm_drops == 0
+    assert ecn_aqm.ecn_marks > 0

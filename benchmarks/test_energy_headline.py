@@ -1,0 +1,38 @@
+"""Sec. 6 headline energies: 0.01 fJ/bit minimum, 0.16 nJ/bit maximum.
+
+Regenerates the per-state read-energy distribution of the chip
+dataset and checks the two anchors plus the >= 50x claim.
+"""
+
+import numpy as np
+
+from repro.device.energy import (
+    energy_histogram,
+    energy_statistics,
+    energy_statistics_all_reads,
+)
+
+
+def test_energy_headline(benchmark, chip_dataset):
+    stats = benchmark.pedantic(
+        lambda: energy_statistics(chip_dataset), rounds=1, iterations=1)
+
+    counts, edges = energy_histogram(chip_dataset, bins_per_decade=1)
+    print("\n=== Per-state read energy distribution ===")
+    print(f"min {stats.min_fj:.4f} fJ/bit/cell   "
+          f"max {stats.max_nj:.4f} nJ/bit/cell   "
+          f"span {stats.decades:.1f} decades")
+    print(f"{'decade [J]':>24}{'reads':>10}")
+    for lo, hi, count in zip(edges[:-1], edges[1:], counts):
+        if count:
+            print(f"{lo:>11.1e}..{hi:<11.1e}{count:>10}")
+
+    # The paper's two anchors (within dataset-noise tolerance).
+    assert stats.min_fj == np.float64(stats.min_fj)
+    assert 0.008 <= stats.min_fj <= 0.013
+    assert 0.13 <= stats.max_nj <= 0.18
+    # "at least 50 times more energy efficient" than digital.
+    assert stats.improvement_over_digital() >= 50.0
+    # The state space is rich in low-energy states.
+    all_reads = energy_statistics_all_reads(chip_dataset)
+    assert all_reads.decades > stats.decades

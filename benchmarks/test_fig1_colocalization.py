@@ -1,0 +1,39 @@
+"""Figure 1: energy of separate vs colocalized compute/storage.
+
+Regenerates the motivating claim: a digital TCAM spends ~90% of its
+search energy shuttling data between storage and computation, while
+the memristor array computes *in* storage and moves nothing.
+"""
+
+from repro.analysis.figures import figure1_series
+
+
+def test_fig1_energy_split(benchmark):
+    series = benchmark.pedantic(
+        lambda: figure1_series(width_bits=64, n_entries=64,
+                               n_searches=256),
+        rounds=1, iterations=1)
+
+    print("\n=== Figure 1: energy split per technology ===")
+    print(f"{'technology':>22}{'total [J]':>14}{'movement':>10}"
+          f"{'compute':>10}")
+    for label, data in series.items():
+        print(f"{label:>22}{data['total_j']:>14.3e}"
+              f"{data['movement_fraction']:>10.1%}"
+              f"{1 - data['movement_fraction']:>10.1%}")
+
+    digital = series["digital_transistor"]
+    analog = series["analog_memristor"]
+    assert digital["movement_fraction"] >= 0.85     # "upto 90%"
+    assert analog["movement_fraction"] == 0.0       # colocalized
+    assert analog["total_j"] < digital["total_j"]
+
+
+def test_fig1_search_kernel(benchmark):
+    """Microbenchmark: a single 64-bit memristor TCAM search."""
+    from repro.tcam.mtcam import MemristorTCAM
+    cam = MemristorTCAM(64)
+    for _ in range(64):
+        cam.add("x" * 32 + "10" * 16)
+    result = benchmark(lambda: cam.search(0))
+    assert result.energy_j > 0.0

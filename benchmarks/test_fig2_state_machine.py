@@ -1,0 +1,38 @@
+"""Figure 2: the analog state machine of the memristor.
+
+Regenerates the property the figure illustrates: the same analog
+input produces a different output per programmed state, and the
+reachable state set can be reprogrammed at run time — on both the
+ideal algebraic model and the device-realised one.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.analysis.figures import figure2_series
+
+
+def test_fig2_ideal_state_machine(benchmark):
+    series = benchmark.pedantic(figure2_series, rounds=1, iterations=1)
+    print_series("Figure 2: output = S * input (ideal)", series)
+
+    inputs = series["inputs"]
+    # Distinct programmed states -> distinct transfer lines.
+    outputs = [series[key] for key in series if key != "inputs"]
+    for i, a in enumerate(outputs):
+        for b in outputs[i + 1:]:
+            assert not np.allclose(a, b)
+    # Each line is exactly S * input.
+    np.testing.assert_allclose(series["S_0_0"], 0.2 * inputs)
+
+
+def test_fig2_device_state_machine(benchmark):
+    series = benchmark.pedantic(
+        lambda: figure2_series(device_backed=True, seed=5),
+        rounds=1, iterations=1)
+    print_series("Figure 2: output = S * input (device)", series)
+
+    ideal = figure2_series()
+    for key in ("S_0_0", "S_0_2", "S_1_1"):
+        np.testing.assert_allclose(series[key], ideal[key],
+                                   rtol=0.15, atol=0.05)

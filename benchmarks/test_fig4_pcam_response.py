@@ -1,0 +1,39 @@
+"""Figure 4: the pCAM transfer function and series composition.
+
+Regenerates (a) the five-region cell response — pmin plateaus, two
+programmable ramps, pmax match window — and (b) the product of two
+cells in series.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.analysis.figures import figure4_series
+from repro.core.pcam_cell import PCAMCell, prog_pcam
+
+
+def test_fig4_response_and_series(benchmark):
+    series = benchmark.pedantic(figure4_series, rounds=1, iterations=1)
+    print_series("Figure 4: pCAM response", series)
+
+    single = series["single"]
+    product = series["series_product"]
+    inputs = series["inputs"]
+    # Five regions visible: flat pmin, up-ramp, pmax plateau,
+    # down-ramp, flat pmin.
+    assert single[0] == 0.0 and single[-1] == 0.0
+    assert single.max() == 1.0
+    plateau = single == 1.0
+    assert plateau.sum() >= 3
+    # Series product squares the ramps but keeps the plateau.
+    np.testing.assert_allclose(product[plateau], 1.0)
+    ramps = (single > 0.01) & (single < 0.99)
+    np.testing.assert_allclose(product[ramps], single[ramps] ** 2)
+
+
+def test_fig4_cell_evaluation_kernel(benchmark):
+    """Microbenchmark: one vectorised cell evaluation (201 points)."""
+    cell = PCAMCell(prog_pcam(1.5, 2.4, 2.6, 3.5))
+    inputs = np.linspace(1.0, 4.0, 201)
+    outputs = benchmark(lambda: cell.response_array(inputs))
+    assert outputs.shape == inputs.shape

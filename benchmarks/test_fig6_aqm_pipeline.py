@@ -1,0 +1,75 @@
+"""Figure 6: the analog AQM dataflow inside the cognitive traffic
+manager.
+
+Regenerates the stage structure: queue statistics -> analog
+derivative features -> series of pCAM stages -> PDP, and prints the
+per-stage trace for a congestion ramp.
+"""
+
+import numpy as np
+
+from repro.netfunc.aqm.pcam_aqm import PCAMAQM
+
+
+class RampQueue:
+    """A queue whose backlog follows a scripted congestion ramp."""
+
+    def __init__(self, rate=40e6):
+        self.backlog_bytes = 0
+        self.backlog_packets = 0
+        self.capacity_packets = 2000
+        self.service_rate_bps = rate
+        self.last_sojourn_s = 0.0
+
+    def set_backlog(self, backlog_bytes: int) -> None:
+        self.backlog_bytes = backlog_bytes
+        self.backlog_packets = backlog_bytes // 1000
+        self.last_sojourn_s = 8.0 * backlog_bytes / self.service_rate_bps
+
+
+def run_ramp(aqm: PCAMAQM) -> list[tuple[float, float]]:
+    """Drive a backlog ramp and capture (backlog delay, PDP)."""
+    queue = RampQueue()
+    trace = []
+    for step in range(120):
+        backlog = int(min(step, 80) * 4000)  # ramp then hold
+        queue.set_backlog(backlog)
+        now = step * 0.005
+        pdp = aqm.pdp(queue, now)
+        trace.append((8.0 * backlog / queue.service_rate_bps, pdp))
+    return trace
+
+
+def test_fig6_pipeline_dataflow(benchmark):
+    aqm = PCAMAQM(adaptation=False, rng=np.random.default_rng(1))
+    trace = benchmark.pedantic(lambda: run_ramp(aqm), rounds=1,
+                               iterations=1)
+
+    print("\n=== Figure 6: congestion ramp -> PDP ===")
+    print(f"{'backlog delay [ms]':>20}{'PDP':>10}")
+    for delay, pdp in trace[::12]:
+        print(f"{delay * 1e3:>20.2f}{pdp:>10.3f}")
+
+    delays = np.array([d for d, _ in trace])
+    pdps = np.array([p for _, p in trace])
+    # Below the band: no drops.  Deep congestion: PDP saturates.
+    assert pdps[delays < 0.008].max() == 0.0
+    assert pdps[-1] > 0.9
+    # The pipeline has the paper's eight stages.
+    assert len(aqm.pipeline) == 8
+    assert aqm.pipeline.stage_names[0] == "sojourn_time"
+    assert aqm.pipeline.stage_names[-1] == "d3_buffer"
+
+
+def test_fig6_pdp_evaluation_kernel(benchmark):
+    """Microbenchmark: one eight-stage PDP evaluation."""
+    aqm = PCAMAQM(adaptation=False, rng=np.random.default_rng(2))
+    queue = RampQueue()
+    queue.set_backlog(120_000)
+    counter = iter(range(10 ** 9))
+
+    def evaluate():
+        return aqm.pdp(queue, next(counter) * 1e-4)
+
+    pdp = benchmark(evaluate)
+    assert 0.0 <= pdp <= 1.0

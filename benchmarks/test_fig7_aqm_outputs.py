@@ -1,0 +1,40 @@
+"""Figure 7: analog AQM outputs (PDP) over the memristor dataset.
+
+Regenerates both panels — PDP vs analog input voltage for inputs in
+[1, 4] V (a) and [-2, 1] V (b) — measured on device-realised pCAM
+cells with the chip's noise, alongside the per-read energies.
+Expected shape: PDP spans the full [0, 1] range with deterministic
+plateaus and probabilistic ramps, exactly as in the paper's figure.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.analysis.figures import figure7_series
+
+
+@pytest.mark.parametrize("panel, v_lo, v_hi", [("a", 1.0, 4.0),
+                                               ("b", -2.0, 1.0)])
+def test_fig7_panel(benchmark, chip_dataset, panel, v_lo, v_hi):
+    series = benchmark.pedantic(
+        lambda: figure7_series(panel, dataset=chip_dataset,
+                               n_points=61, trials=12),
+        rounds=1, iterations=1)
+
+    print_series(
+        f"Figure 7({panel}): PDP vs input in [{v_lo}, {v_hi}] V",
+        {"input_V": series["inputs"],
+         "pdp_mean": series["pdp_mean"],
+         "pdp_std": series["pdp_std"],
+         "read_E_J": series["read_energy_j"]})
+
+    mean = series["pdp_mean"]
+    # Full dynamic range of the drop probability.
+    assert mean.min() <= 0.05
+    assert mean.max() >= 0.95
+    # The measured curve tracks the programmed response.
+    assert np.max(np.abs(mean - series["pdp_ideal"])) < 0.15
+    # Probabilistic ramps exist: intermediate values are produced.
+    intermediate = (mean > 0.2) & (mean < 0.8)
+    assert intermediate.sum() >= 4

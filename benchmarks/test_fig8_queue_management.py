@@ -1,0 +1,46 @@
+"""Figure 8: queue management by the analog AQM.
+
+Regenerates the delay-vs-time experiment: Poisson flows through a
+bottleneck with an overload episode; without AQM the delay climbs to
+the buffer limit, with the pCAM-based AQM it stays near the
+programmed 20 ms +- 10 ms band.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import figure8_series
+from repro.analysis.stats import banded_fraction
+
+
+def test_fig8_delay_series(benchmark):
+    series = benchmark.pedantic(
+        lambda: figure8_series(duration_s=8.0,
+                               overload=(2.0, 6.0, 1.6),
+                               service_rate_bps=40e6, seed=3),
+        rounds=1, iterations=1)
+
+    print("\n=== Figure 8: packet delay over time [ms] ===")
+    print(f"{'t [s]':>8}{'no AQM':>12}{'pCAM-AQM':>12}")
+    for t, no_aqm, pcam in zip(series.time_s[::8],
+                               series.no_aqm_delay_ms[::8],
+                               series.pcam_delay_ms[::8]):
+        print(f"{t:>8.2f}{no_aqm:>12.2f}{pcam:>12.2f}")
+    print(f"drops: no AQM {series.no_aqm_drops}, "
+          f"pCAM {series.pcam_drops}; programmed band "
+          f"{series.target_delay_ms:.0f} +- "
+          f"{series.max_deviation_ms:.0f} ms")
+
+    overload = (series.time_s >= 3.0) & (series.time_s < 6.0)
+    no_aqm = series.no_aqm_delay_ms[overload]
+    pcam = series.pcam_delay_ms[overload]
+    no_aqm = no_aqm[~np.isnan(no_aqm)]
+    pcam = pcam[~np.isnan(pcam)]
+
+    # Without AQM the delay keeps rising sharply (paper's wording).
+    assert no_aqm.max() > 100.0
+    assert no_aqm.mean() > 5 * pcam.mean()
+    # The analog AQM keeps delays within the programmed bounds.
+    band_lo = series.target_delay_ms - series.max_deviation_ms
+    band_hi = series.target_delay_ms + series.max_deviation_ms
+    assert banded_fraction(pcam, band_lo, band_hi) > 0.6
+    assert pcam.max() < 1.5 * band_hi

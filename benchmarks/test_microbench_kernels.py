@@ -1,0 +1,67 @@
+"""Engineering microbenchmarks of the hot kernels.
+
+Not a paper artifact — these keep the simulator honest: TCAM search,
+pCAM cell evaluation, the eight-stage PDP pipeline, device reads and
+the event loop, all timed by pytest-benchmark so regressions show up
+in the harness.
+"""
+
+import numpy as np
+
+from repro.core.pcam_cell import PCAMCell, prog_pcam
+from repro.core.pcam_pipeline import PCAMPipeline
+from repro.device.memristor import NbSTOMemristor
+from repro.device.variability import VariabilityModel
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import PoissonFlowGenerator
+from repro.simnet.queue_sim import BottleneckQueue
+from repro.tcam.tcam import TCAM
+
+
+def test_kernel_tcam_search_1k_entries(benchmark):
+    rng = np.random.default_rng(0)
+    tcam = TCAM(64)
+    for _ in range(1024):
+        tcam.add("".join(rng.choice(list("01x"), size=64)))
+    key = int(rng.integers(0, 2 ** 63))
+    result = benchmark(lambda: tcam.search(key))
+    assert result.energy_j > 0.0
+
+
+def test_kernel_pcam_cell_response(benchmark):
+    cell = PCAMCell(prog_pcam(1.5, 2.4, 2.6, 3.5))
+    value = benchmark(lambda: cell.response(2.1))
+    assert 0.0 < value < 1.0
+
+
+def test_kernel_pcam_pipeline_8_stages(benchmark):
+    params = {f"s{i}": prog_pcam(0.0, 1.0, 2.0, 3.0) for i in range(8)}
+    pipeline = PCAMPipeline.from_params(params)
+    features = [1.5] * 8
+    value = benchmark(lambda: pipeline.evaluate(features))
+    assert value == 1.0
+
+
+def test_kernel_device_read(benchmark):
+    device = NbSTOMemristor(state=0.5,
+                            variability=VariabilityModel(
+                                read_sigma=0.03, device_sigma=0.0),
+                            rng=np.random.default_rng(1))
+    result = benchmark(lambda: device.read(2.0, 1e-9))
+    assert result.energy_j > 0.0
+
+
+def test_kernel_event_loop_throughput(benchmark):
+    """Packets through an uncongested queue per simulated second."""
+
+    def run() -> int:
+        sim = Simulator()
+        queue = BottleneckQueue(sim, service_rate_bps=1e9)
+        PoissonFlowGenerator(rate_pps=10_000.0,
+                             rng=np.random.default_rng(2)
+                             ).attach(sim, queue.enqueue)
+        sim.run_until(1.0)
+        return queue.recorder.delivered
+
+    delivered = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert delivered > 9_000

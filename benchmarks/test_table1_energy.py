@@ -1,0 +1,37 @@
+"""Table 1: latency and energy per bit, eight digital designs vs pCAM.
+
+Regenerates the paper's performance-comparison table: the digital
+rows are published figures, the pCAM row is measured from the chip
+dataset.  Expected shape: pCAM matches digital latency (~1 ns) while
+undercutting the best digital energy by at least 50x.
+"""
+
+from repro.device.energy import energy_statistics
+from repro.energy.comparison import (
+    build_table1,
+    format_table1,
+    improvement_factor,
+)
+
+
+def test_table1(benchmark, chip_dataset):
+    rows = benchmark.pedantic(
+        lambda: build_table1(chip_dataset), rounds=1, iterations=1)
+
+    print()
+    for line in format_table1(rows):
+        print(line)
+
+    pcam = next(row for row in rows if row.measured)
+    assert pcam.latency_ns == 1.0
+    assert pcam.energy_fj_per_bit < 0.02
+    assert improvement_factor(rows) >= 50.0
+    for row in rows:
+        if not row.measured:
+            assert pcam.energy_fj_per_bit < row.energy_fj_per_bit
+
+
+def test_table1_search_kernel(benchmark, chip_dataset):
+    """Microbenchmark: the per-state energy extraction itself."""
+    stats = benchmark(lambda: energy_statistics(chip_dataset))
+    assert stats.min_fj < 0.02

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Programming an analog network function as text (paper Sec. 5).
+
+The analog AQM ships as program text in the paper's table syntax; the
+controller parses it, builds the pCAM pipeline, and installs it in a
+simulated queue.  A second variant is then pushed at run time via
+``update_pCAM`` — reprogramming the hardware without touching the
+data path.
+
+Run:  python examples/dsl_programming.py
+"""
+
+import numpy as np
+
+from repro.core import parse_table, prog_pcam, update_pcam
+from repro.netfunc.aqm.base import AQMAlgorithm
+from repro.packet import Packet
+from repro.simnet import BottleneckQueue, PoissonFlowGenerator, Simulator
+
+AQM_PROGRAM = """
+// Analog AQM, programmed for a 20 ms +- 10 ms latency objective.
+// Features are in seconds; the falling edge sits beyond reach.
+table analogAQM {
+    read { sojourn_time; d_sojourn; }
+    output {
+        pipeline {
+            pCAM(sojourn_time: 0.010, 0.030, 0.160, 0.190),  // Stage-1
+            pCAM(d_sojourn: -1.0, -0.05, 8.0, 9.5, // Stage-2 (veto)
+                 1.0526315789473684, -0.6, 1.0, 0.1),
+        }
+    }
+    action { update_pCAM(); }
+}
+"""
+
+
+class TextProgrammedAQM(AQMAlgorithm):
+    """An AQM whose drop policy is the parsed table."""
+
+    name = "text-AQM"
+
+    def __init__(self, table, rng) -> None:
+        self.table = table
+        self._rng = rng
+        self._last = (0.0, 0.0)
+
+    def on_enqueue(self, packet: Packet, queue, now: float) -> bool:
+        if queue.backlog_packets <= 2:
+            return False
+        backlog_delay = 8.0 * queue.backlog_bytes / queue.service_rate_bps
+        sojourn = max(queue.last_sojourn_s, backlog_delay)
+        last_time, last_value = self._last
+        derivative = ((sojourn - last_value) / (now - last_time)
+                      if now > last_time else 0.0)
+        self._last = (now, sojourn)
+        result = self.table.process({
+            "sojourn_time": min(sojourn, 0.16),
+            "d_sojourn": max(-1.0, min(derivative, 8.0))})
+        return bool(self._rng.random() < result.output)
+
+
+def run(aqm, label: str) -> None:
+    sim = Simulator()
+    queue = BottleneckQueue(sim, service_rate_bps=40e6,
+                            capacity_packets=1500, aqm=aqm)
+    for index in range(6):
+        PoissonFlowGenerator(
+            rate_pps=5500.0 / 6, packet_size_bytes=1000, flow_id=index,
+            rng=np.random.default_rng(index)).attach(sim, queue.enqueue)
+    sim.run_until(5.0)
+    summary = queue.recorder.summary()
+    print(f"  {label:<28} mean {summary.mean_delay_s*1e3:6.1f} ms, "
+          f"p95 {summary.p95_delay_s*1e3:6.1f} ms, "
+          f"{summary.dropped} drops")
+
+
+def main() -> None:
+    print("Parsing the analog AQM program text...")
+    actions = {"update_pCAM": lambda table, output, features: None}
+    table = parse_table(AQM_PROGRAM, actions=actions)
+    print(f"  table {table.name!r}, stages: {list(table.reads)}")
+
+    rng = np.random.default_rng(5)
+    print("\n1.1x overload through a 40 Mb/s bottleneck:")
+    run(TextProgrammedAQM(table, rng), "text-programmed AQM (20 ms)")
+
+    # Run-time reprogramming: tighten the objective to 5 ms +- 2.5 ms.
+    update_pcam(table, "sojourn_time",
+                prog_pcam(0.0025, 0.0075, 0.160, 0.190))
+    table2 = table  # same hardware, new program
+    run(TextProgrammedAQM(table2, np.random.default_rng(5)),
+        "after update_pCAM (5 ms)")
+    print("\nThe same table now enforces the tighter objective — "
+          "reprogrammed\nthrough update_pCAM() without rebuilding "
+          "anything.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's energy analysis: dataset, Table 1, Figure 7.
+
+Runs the synthetic Nb:SrTiO3 measurement campaign, extracts the
+per-state read energies (Sec. 6's 0.01 fJ .. 0.16 nJ range),
+rebuilds Table 1 with the measured pCAM row, and sweeps the two
+Figure 7 panels on device-realised cells.
+
+Run:  python examples/energy_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.figures import figure7_series
+from repro.device import generate_dataset
+from repro.device.energy import energy_histogram, energy_statistics
+from repro.energy.comparison import build_table1, format_table1
+from repro.energy.projections import TOFINO2_CLASS, power_comparison
+
+
+def main() -> None:
+    print("Running the synthetic measurement campaign "
+          "(48 states x 97 read voltages)...")
+    dataset = generate_dataset(n_states=48, n_voltages=97, seed=7)
+    print(f"  resistance window: "
+          f"{dataset.resistance_window:.2e} (r_off / r_on)")
+    print(f"  hysteresis sweeps: {len(dataset.sweeps)}, "
+          f"pulse staircases: {len(dataset.pulse_trains)}")
+
+    stats = energy_statistics(dataset)
+    print(f"\nPer-state read energy at the search condition:")
+    print(f"  min  {stats.min_fj:8.4f} fJ/bit/cell   (paper: ~0.01 fJ)")
+    print(f"  max  {stats.max_nj:8.4f} nJ/bit/cell   (paper: ~0.16 nJ)")
+    print(f"  span {stats.decades:8.1f} decades")
+    print(f"  improvement over best digital design: "
+          f"{stats.improvement_over_digital():.1f}x  (paper: >= 50x)")
+
+    counts, edges = energy_histogram(dataset, bins_per_decade=1)
+    print("\nRead-energy histogram (all states x voltages):")
+    peak = counts.max()
+    for lo, count in zip(edges[:-1], counts):
+        if count:
+            bar = "#" * max(1, int(40 * count / peak))
+            print(f"  1e{np.log10(lo):+04.0f} J |{bar}")
+
+    print("\n" + "\n".join(format_table1(build_table1(dataset))))
+
+    projection = power_comparison(analog_j_per_bit=stats.min_j,
+                                  digital_j_per_bit=0.58e-15,
+                                  profile=TOFINO2_CLASS)
+    print(f"\nProjected match-stage power of a {TOFINO2_CLASS.name} "
+          f"switch\n(4 x 18 Mb tables at 3.2 G searches/s):")
+    print(f"  digital TCAM : {projection['digital_w']:8.1f} W")
+    print(f"  analog pCAM  : {projection['analog_w']:8.2f} W")
+    print(f"  saving       : {projection['saving_w']:8.1f} W "
+          f"({projection['factor']:.0f}x)")
+
+    for panel in ("a", "b"):
+        series = figure7_series(panel, dataset=dataset, n_points=31,
+                                trials=8)
+        print(f"\nFigure 7({panel}): PDP vs input "
+              f"[{series['inputs'][0]:+.0f}, "
+              f"{series['inputs'][-1]:+.0f}] V")
+        for i in range(0, 31, 3):
+            v = series["inputs"][i]
+            mean = series["pdp_mean"][i]
+            std = series["pdp_std"][i]
+            bar = "=" * int(30 * mean)
+            print(f"  {v:+5.2f} V  {mean:5.3f} +-{std:5.3f} |{bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Reproduce the whole paper in one run.
+
+Runs every evaluation experiment (Table 1, Figures 1/2/4/6/7/8, the
+Sec. 6 energy extremes), prints the consolidated report with the
+paper-claim checklist, and writes each figure's data series as CSV
+into ``reproduction_output/`` for plotting.
+
+Run:  python examples/reproduce_paper.py [--full]
+
+``--full`` uses the publication-sized workloads (~2 minutes); the
+default quick mode finishes in a few seconds.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis.export import export_all
+from repro.analysis.report import run_report
+from repro.device import generate_dataset
+
+
+def main() -> int:
+    quick = "--full" not in sys.argv[1:]
+    mode = "quick" if quick else "full"
+    print(f"[{mode} mode] generating the chip dataset...",
+          file=sys.stderr)
+    dataset = generate_dataset(
+        n_states=24 if quick else 48,
+        n_voltages=49 if quick else 97,
+        include_sweeps=False, include_pulse_trains=False, seed=7)
+
+    report = run_report(dataset=dataset, quick=quick,
+                        progress=lambda text: print(f"[{text}]",
+                                                    file=sys.stderr))
+    print(report.render())
+
+    out_dir = Path("reproduction_output")
+    print(f"\n[writing CSV series to {out_dir}/ ...]", file=sys.stderr)
+    written = export_all(out_dir, quick=quick, dataset=dataset)
+    print(f"\nData series written for plotting:")
+    for path in written:
+        print(f"  {path}")
+    return 0 if report.all_passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Future work realised: self-learning cognitive network functions.
+
+The paper's conclusion points at "cognitive models deployment, e.g.,
+neuromorphic computations, for self-learning line-rate network
+functions".  This demo runs three of them:
+
+1. the **neuromorphic AQM** — an analog perceptron on a memristive
+   crossbar that *learns* its drop policy online from the delay error
+   (no hand-programmed thresholds);
+2. **AIMD senders with ECN** — the pCAM-AQM marks instead of drops,
+   and the responsive flows keep the delay in band with zero loss;
+3. a **spiking burst detector** — a LIF neuron with a memristive
+   synapse spiking on traffic anomalies.
+
+Run:  python examples/self_learning_aqm.py
+"""
+
+import numpy as np
+
+from repro.netfunc.aqm.base import TailDropAQM
+from repro.netfunc.aqm.pcam_aqm import PCAMAQM
+from repro.neuro import NeuromorphicAQM, SpikingBurstDetector
+from repro.simnet import (
+    AIMDFlowGenerator,
+    BottleneckQueue,
+    FeedbackRouter,
+    Simulator,
+)
+from repro.simnet.topology import DumbbellExperiment, overload_profile
+
+
+def neuromorphic_demo() -> None:
+    print("=== 1. Self-learning neuromorphic AQM ===")
+    experiment = DumbbellExperiment(
+        n_flows=6, load=0.9, service_rate_bps=40e6,
+        capacity_packets=1500, duration_s=8.0,
+        rate_fn=overload_profile(2.0, 7.0, 1.6), seed=3)
+    aqm = NeuromorphicAQM(rng=np.random.default_rng(2))
+    learned = experiment.run(aqm).recorder.summary()
+    unmanaged = experiment.run(TailDropAQM()).recorder.summary()
+    print(f"  tail-drop mean delay : {unmanaged.mean_delay_s*1e3:7.1f} ms")
+    print(f"  learned   mean delay : {learned.mean_delay_s*1e3:7.1f} ms "
+          f"(target band 10-30 ms)")
+    print(f"  weight updates       : {aqm.updates}")
+    print(f"  learned weights      : {np.round(aqm.weights, 2)}")
+    print(f"  analog inference energy: "
+          f"{aqm.ledger.account('neuro_aqm.inference'):.3e} J\n")
+
+
+def ecn_demo() -> None:
+    print("=== 2. Responsive flows + ECN (lossless congestion control) ===")
+
+    def run(aqm, ecn):
+        sim = Simulator()
+        router = FeedbackRouter()
+        queue = BottleneckQueue(sim, service_rate_bps=20e6,
+                                capacity_packets=800, aqm=aqm,
+                                delivery_listener=router.on_delivery,
+                                drop_listener=router.on_drop)
+        for index in range(4):
+            AIMDFlowGenerator(router, rtt_s=0.04, flow_id=index,
+                              ecn_capable=ecn,
+                              rng=np.random.default_rng(index)
+                              ).attach(sim, queue.enqueue)
+        sim.run_until(8.0)
+        return queue.recorder.summary()
+
+    bloated = run(TailDropAQM(), False)
+    aqm = PCAMAQM(ecn_enabled=True, rng=np.random.default_rng(9))
+    marked = run(aqm, True)
+    print(f"  tail-drop : mean {bloated.mean_delay_s*1e3:6.1f} ms, "
+          f"{bloated.dropped} losses (bufferbloat)")
+    print(f"  pCAM+ECN  : mean {marked.mean_delay_s*1e3:6.1f} ms, "
+          f"{marked.dropped} losses, {aqm.ecn_marks} CE marks\n")
+
+
+def spiking_demo() -> None:
+    print("=== 3. Spiking burst detector (LIF + memristive synapse) ===")
+    rng = np.random.default_rng(4)
+    detector = SpikingBurstDetector(nominal_rate_pps=1000.0,
+                                    rng=np.random.default_rng(1))
+    t = 0.0
+    timeline = []
+    for phase, (rate, n) in enumerate((
+            (1000.0, 2000), (8000.0, 600), (1000.0, 2000))):
+        start_spikes = detector.spike_count
+        for _ in range(n):
+            t += float(rng.exponential(1.0 / rate))
+            detector.on_arrival(t)
+        timeline.append((rate, detector.spike_count - start_spikes))
+    for rate, spikes in timeline:
+        label = "nominal" if rate <= 1000 else "BURST"
+        print(f"  {label:>8} at {rate:6.0f} pps -> {spikes:3d} spikes")
+    print(f"  synaptic weight after homeostasis: "
+          f"{detector.synaptic_weight:.3f}")
+
+
+def main() -> None:
+    neuromorphic_demo()
+    ecn_demo()
+    spiking_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Analysis helpers: figure-series builders and statistics."""
+
+from repro.analysis.figures import (
+    FIGURE7_PANELS,
+    FIGURE7_RANGES,
+    Figure8Series,
+    figure1_series,
+    figure2_series,
+    figure4_series,
+    figure7_series,
+    figure8_series,
+)
+from repro.analysis.export import (
+    export_all,
+    export_series_csv,
+    export_table1_csv,
+)
+from repro.analysis.report import ReproductionReport, run_report
+from repro.analysis.stats import banded_fraction, describe, monotone_fraction
+
+__all__ = [
+    "FIGURE7_PANELS",
+    "FIGURE7_RANGES",
+    "Figure8Series",
+    "ReproductionReport",
+    "banded_fraction",
+    "run_report",
+    "describe",
+    "export_all",
+    "export_series_csv",
+    "export_table1_csv",
+    "figure1_series",
+    "figure2_series",
+    "figure4_series",
+    "figure7_series",
+    "figure8_series",
+    "monotone_fraction",
+]

@@ -1,0 +1,121 @@
+"""CSV exporters for every figure's data series.
+
+The benchmarks print the series; this module writes them as plain CSV
+so they can be plotted with any tool (gnuplot, matplotlib, a
+spreadsheet) without rerunning the experiments::
+
+    from repro.analysis.export import export_all
+    export_all("out/")            # fig1.csv ... fig8.csv, table1.csv
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.analysis.figures import (
+    figure1_series,
+    figure2_series,
+    figure4_series,
+    figure7_series,
+    figure8_series,
+)
+from repro.device.dataset import MemristorDataset, generate_dataset
+from repro.energy.comparison import build_table1
+
+__all__ = ["export_all", "export_series_csv", "export_table1_csv"]
+
+
+def export_series_csv(columns: Mapping[str, np.ndarray],
+                      path: str | Path) -> Path:
+    """Write aligned column arrays as one CSV file.
+
+    Scalar-valued entries are broadcast; shorter columns are padded
+    with empty cells.
+    """
+    if not columns:
+        raise ValueError("nothing to export")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: np.atleast_1d(np.asarray(values))
+              for name, values in columns.items()}
+    length = max(array.shape[0] for array in arrays.values())
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(arrays.keys())
+        for row in range(length):
+            writer.writerow([
+                (f"{array[row]!r}" if isinstance(array[row], str)
+                 else array[row]) if row < array.shape[0] else ""
+                for array in arrays.values()])
+    return target
+
+
+def export_table1_csv(path: str | Path,
+                      dataset: MemristorDataset | None = None) -> Path:
+    """Write Table 1 (with the measured pCAM row) as CSV."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    rows = build_table1(dataset)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["design", "reference", "computation",
+                         "technology", "latency_ns",
+                         "energy_fj_per_bit", "measured"])
+        for row in rows:
+            writer.writerow([row.name, row.reference,
+                             row.computation.value,
+                             row.technology.value, row.latency_ns,
+                             row.energy_fj_per_bit, row.measured])
+    return target
+
+
+def export_all(directory: str | Path, *, quick: bool = True,
+               dataset: MemristorDataset | None = None) -> list[Path]:
+    """Regenerate every figure's series and write one CSV each."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    if dataset is None:
+        dataset = generate_dataset(
+            n_states=24 if quick else 48,
+            n_voltages=49 if quick else 97,
+            include_sweeps=False, include_pulse_trains=False, seed=7)
+    written: list[Path] = []
+
+    split = figure1_series(width_bits=32 if quick else 64,
+                           n_entries=32 if quick else 64,
+                           n_searches=64 if quick else 256)
+    written.append(export_series_csv(
+        {"technology": np.array(list(split)),
+         "total_j": np.array([split[k]["total_j"] for k in split]),
+         "movement_fraction": np.array(
+             [split[k]["movement_fraction"] for k in split])},
+        out / "fig1_colocalization.csv"))
+
+    written.append(export_series_csv(figure2_series(),
+                                     out / "fig2_state_machine.csv"))
+    written.append(export_series_csv(figure4_series(),
+                                     out / "fig4_pcam_response.csv"))
+    for panel in ("a", "b"):
+        series = figure7_series(panel, dataset=dataset,
+                                n_points=21 if quick else 61,
+                                trials=4 if quick else 12)
+        written.append(export_series_csv(
+            series, out / f"fig7{panel}_aqm_output.csv"))
+
+    fig8 = figure8_series(duration_s=4.0 if quick else 8.0,
+                          overload=((1.0, 3.0, 1.6) if quick
+                                    else (2.0, 6.0, 1.6)),
+                          service_rate_bps=40e6, seed=3)
+    written.append(export_series_csv(
+        {"time_s": fig8.time_s,
+         "no_aqm_delay_ms": fig8.no_aqm_delay_ms,
+         "pcam_delay_ms": fig8.pcam_delay_ms},
+        out / "fig8_queue_management.csv"))
+
+    written.append(export_table1_csv(out / "table1_comparison.csv",
+                                     dataset=dataset))
+    return written

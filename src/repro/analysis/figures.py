@@ -1,0 +1,216 @@
+"""Series builders for every figure of the paper.
+
+Each ``figureN_series`` function runs the corresponding experiment
+and returns plain arrays/dicts — the benchmarks print them, the tests
+assert their shape properties, and users can plot them with any tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.calibration import noise_band
+from repro.core.device_cell import DevicePCAMCell
+from repro.core.pcam_cell import PCAMCell, PCAMParams, prog_pcam
+from repro.core.pcam_pipeline import PCAMPipeline
+from repro.device.dataset import MemristorDataset, generate_dataset
+from repro.device.memristor import MemristorParams
+from repro.device.state_machine import AnalogStateMachine, DeviceStateMachine
+from repro.device.variability import VariabilityModel
+from repro.energy.ledger import ACCOUNT_COMPUTE, ACCOUNT_MOVEMENT, EnergyLedger
+from repro.netfunc.aqm.base import TailDropAQM
+from repro.netfunc.aqm.pcam_aqm import PCAMAQM
+from repro.simnet.metrics import time_binned_mean
+from repro.simnet.topology import DumbbellExperiment, overload_profile
+from repro.tcam.mtcam import MemristorTCAM
+from repro.tcam.tcam import TCAM
+
+__all__ = [
+    "figure1_series",
+    "figure2_series",
+    "figure4_series",
+    "figure7_series",
+    "figure8_series",
+]
+
+#: pCAM programs used for the two Figure 7 panels, expressed directly
+#: in the hardware voltage domain of the chip dataset.
+FIGURE7_PANELS: Mapping[str, PCAMParams] = {
+    "a": prog_pcam(m1=1.5, m2=2.2, m3=2.8, m4=3.5),      # input [1, 4] V
+    "b": prog_pcam(m1=-1.5, m2=-0.8, m3=0.0, m4=0.7),    # input [-2, 1] V
+}
+FIGURE7_RANGES: Mapping[str, tuple[float, float]] = {
+    "a": (1.0, 4.0),
+    "b": (-2.0, 1.0),
+}
+
+
+def figure1_series(width_bits: int = 64, n_entries: int = 64,
+                   n_searches: int = 256, seed: int = 11
+                   ) -> dict[str, dict[str, float]]:
+    """Energy split: digital TCAM vs colocalized memristor search.
+
+    Returns, per technology, the total energy and the fraction
+    attributed to data movement — the paper's Figure 1 argument that
+    separate storage/compute wastes up to 90% of the energy while
+    colocalized analog computation wastes none.
+    """
+    rng = np.random.default_rng(seed)
+    patterns = ["".join(rng.choice(list("01x"), size=width_bits))
+                for _ in range(n_entries)]
+    keys = [int(rng.integers(0, 2 ** 63)) % (2 ** width_bits)
+            for _ in range(n_searches)]
+
+    results: dict[str, dict[str, float]] = {}
+    for label, cam in (
+            ("digital_transistor", TCAM(width_bits, ledger=EnergyLedger())),
+            ("analog_memristor", MemristorTCAM(width_bits,
+                                               ledger=EnergyLedger()))):
+        for pattern in patterns:
+            cam.add(pattern)
+        for key in keys:
+            cam.search(key)
+        ledger = cam.ledger
+        total = ledger.total
+        results[label] = {
+            "total_j": total,
+            "movement_j": ledger.account(ACCOUNT_MOVEMENT),
+            "compute_j": ledger.account(ACCOUNT_COMPUTE),
+            "movement_fraction": (ledger.account(ACCOUNT_MOVEMENT) / total
+                                  if total else 0.0),
+        }
+    return results
+
+
+def figure2_series(inputs: np.ndarray | None = None,
+                   state_table: np.ndarray | None = None,
+                   device_backed: bool = False,
+                   seed: int = 5) -> dict[str, np.ndarray]:
+    """The analog state machine: output vs input per programmed state.
+
+    Returns ``inputs`` plus one output row per (machine, state) pair,
+    demonstrating distinct outputs for the same input and run-time
+    reprogrammability.
+    """
+    if inputs is None:
+        inputs = np.linspace(0.25, 4.0, 16)
+    if state_table is None:
+        state_table = np.array([[0.2, 0.4, 0.8],     # Computation-1
+                                [0.3, 0.5, 0.9]])    # Computation-n
+    outputs: dict[str, np.ndarray] = {"inputs": np.asarray(inputs)}
+    if device_backed:
+        machine = DeviceStateMachine(state_table,
+                                     rng=np.random.default_rng(seed))
+        for y in range(machine.n_machines):
+            for x in range(machine.n_states):
+                machine.select(y, x)
+                outputs[f"S_{y}_{x}"] = np.array(
+                    [machine.compute(float(v)).output for v in inputs])
+    else:
+        machine = AnalogStateMachine(state_table)
+        for y in range(machine.n_machines):
+            for x in range(machine.n_states):
+                machine.select(y, x)
+                outputs[f"S_{y}_{x}"] = machine.transfer(inputs)
+    return outputs
+
+
+def figure4_series(params: PCAMParams | None = None,
+                   n_points: int = 201) -> dict[str, np.ndarray]:
+    """The pCAM transfer function and its two-stage series product."""
+    cell_params = params or prog_pcam(m1=1.5, m2=2.4, m3=2.6, m4=3.5)
+    margin = 0.25 * (cell_params.m4 - cell_params.m1)
+    inputs = np.linspace(cell_params.m1 - margin,
+                         cell_params.m4 + margin, n_points)
+    cell = PCAMCell(cell_params)
+    single = cell.response_array(inputs)
+    pipeline = PCAMPipeline.from_params(
+        {"stage1": cell_params, "stage2": cell_params})
+    series = np.array([pipeline.evaluate([float(v), float(v)])
+                       for v in inputs])
+    return {"inputs": inputs, "single": single, "series_product": series}
+
+
+def figure7_series(panel: str = "a",
+                   dataset: MemristorDataset | None = None,
+                   n_points: int = 61, trials: int = 12,
+                   seed: int = 7) -> dict[str, np.ndarray]:
+    """Analog AQM output (PDP) vs input voltage over the chip dataset.
+
+    Panel "a" sweeps [1, 4] V, panel "b" sweeps [-2, 1] V — the two
+    input ranges of the paper's Figure 7.  The response is measured
+    on a device-realised cell with the dataset's device parameters and
+    realistic read noise, so the returned band reflects the chip.
+    """
+    if panel not in FIGURE7_PANELS:
+        raise ValueError(f"panel must be one of "
+                         f"{sorted(FIGURE7_PANELS)}: {panel!r}")
+    device_params = (dataset.params if dataset is not None
+                     else MemristorParams())
+    cell = DevicePCAMCell(
+        FIGURE7_PANELS[panel],
+        v_range=(-2.0, 4.0),
+        device_params=device_params,
+        variability=VariabilityModel(read_sigma=0.03, device_sigma=0.0),
+        rng=np.random.default_rng(seed))
+    lo, hi = FIGURE7_RANGES[panel]
+    inputs = np.linspace(lo, hi, n_points)
+    mean, std = noise_band(cell, inputs, trials=trials)
+    ideal = cell.ideal_response_array(inputs)
+    energies = np.array([cell.evaluate(float(v)).energy_j
+                         for v in inputs])
+    return {"inputs": inputs, "pdp_mean": mean, "pdp_std": std,
+            "pdp_ideal": ideal, "read_energy_j": energies}
+
+
+@dataclass(frozen=True)
+class Figure8Series:
+    """Delay-vs-time curves with and without the analog AQM."""
+
+    time_s: np.ndarray
+    no_aqm_delay_ms: np.ndarray
+    pcam_delay_ms: np.ndarray
+    no_aqm_drops: int
+    pcam_drops: int
+    target_delay_ms: float
+    max_deviation_ms: float
+
+
+def figure8_series(duration_s: float = 8.0,
+                   overload: tuple[float, float, float] = (2.0, 6.0, 1.6),
+                   service_rate_bps: float = 40e6,
+                   bin_width_s: float = 0.1,
+                   seed: int = 3) -> Figure8Series:
+    """Queue management by the analog AQM (paper Figure 8).
+
+    Runs the Poisson dumbbell twice — tail drop vs pCAM-AQM — through
+    an overload episode and returns the binned delay series.
+    """
+    start, end, factor = overload
+    experiment = DumbbellExperiment(
+        n_flows=6, load=0.9, service_rate_bps=service_rate_bps,
+        capacity_packets=1500, duration_s=duration_s,
+        rate_fn=overload_profile(start, end, factor), seed=seed)
+
+    def run(aqm) -> tuple[np.ndarray, np.ndarray, int]:
+        result = experiment.run(aqm)
+        recorder = result.recorder
+        times, delays = time_binned_mean(
+            recorder.departure_times, recorder.sojourn_times,
+            bin_width_s, end_time_s=duration_s)
+        return times, delays * 1e3, recorder.dropped
+
+    times, no_aqm_ms, no_aqm_drops = run(TailDropAQM())
+    aqm = PCAMAQM(rng=np.random.default_rng(seed + 1))
+    _, pcam_ms, pcam_drops = run(aqm)
+    return Figure8Series(
+        time_s=times,
+        no_aqm_delay_ms=no_aqm_ms,
+        pcam_delay_ms=pcam_ms,
+        no_aqm_drops=no_aqm_drops,
+        pcam_drops=pcam_drops,
+        target_delay_ms=aqm.target_delay_s * 1e3,
+        max_deviation_ms=aqm.max_deviation_s * 1e3)

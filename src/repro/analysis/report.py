@@ -1,0 +1,230 @@
+"""One-command reproduction report.
+
+``python -m repro.analysis.report`` runs every experiment of the
+paper's evaluation — Table 1, Figures 1/2/4/6/7/8 and the Sec. 6
+energy extremes — and prints a consolidated text report with the
+paper-vs-measured checklist.  The benchmarks under ``benchmarks/``
+assert the same shapes; this module is the human-readable front end.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.figures import (
+    figure1_series,
+    figure2_series,
+    figure4_series,
+    figure7_series,
+    figure8_series,
+)
+from repro.analysis.stats import banded_fraction
+from repro.device.dataset import MemristorDataset, generate_dataset
+from repro.device.energy import energy_statistics
+from repro.energy.comparison import (
+    build_table1,
+    format_table1,
+    improvement_factor,
+)
+
+__all__ = ["ReproductionReport", "run_report"]
+
+
+@dataclass
+class CheckResult:
+    """One paper-claim check."""
+
+    claim: str
+    measured: str
+    passed: bool
+
+
+@dataclass
+class ReproductionReport:
+    """Collects per-experiment lines and claim checks."""
+
+    lines: list[str] = field(default_factory=list)
+    checks: list[CheckResult] = field(default_factory=list)
+
+    def section(self, title: str) -> None:
+        """Start a new titled section of the report."""
+        self.lines.append("")
+        self.lines.append(f"== {title} ==")
+
+    def add(self, text: str) -> None:
+        """Append one free-form line to the current section."""
+        self.lines.append(text)
+
+    def check(self, claim: str, measured: str, passed: bool) -> None:
+        """Record one paper-claim check (claim, measured value, verdict)."""
+        self.checks.append(CheckResult(claim=claim, measured=measured,
+                                       passed=passed))
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every recorded check passed."""
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        """The full report as printable text, checklist included."""
+        body = list(self.lines)
+        body.append("")
+        body.append("== Paper-claim checklist ==")
+        for check in self.checks:
+            marker = "OK " if check.passed else "FAIL"
+            body.append(f"[{marker}] {check.claim}")
+            body.append(f"       measured: {check.measured}")
+        verdict = ("every checked claim reproduced"
+                   if self.all_passed else "SOME CLAIMS DID NOT HOLD")
+        body.append("")
+        body.append(f"=> {verdict}")
+        return "\n".join(body)
+
+
+def run_report(dataset: MemristorDataset | None = None,
+               quick: bool = False,
+               progress: Callable[[str], None] | None = None
+               ) -> ReproductionReport:
+    """Run every experiment and return the consolidated report.
+
+    ``quick`` shrinks the Figure 7/8 workloads for smoke runs.
+    """
+    notify = progress or (lambda text: None)
+    report = ReproductionReport()
+    if dataset is None:
+        notify("generating the chip dataset...")
+        dataset = generate_dataset(
+            n_states=24 if quick else 48,
+            n_voltages=49 if quick else 97,
+            include_sweeps=False, include_pulse_trains=False, seed=7)
+
+    # -- Sec. 6 energies + Table 1 -----------------------------------
+    notify("Table 1 / Sec. 6 energy analysis...")
+    stats = energy_statistics(dataset)
+    report.section("Sec. 6: read-energy extremes")
+    report.add(f"min {stats.min_fj:.4f} fJ/bit/cell, "
+               f"max {stats.max_nj:.4f} nJ/bit/cell, "
+               f"span {stats.decades:.1f} decades")
+    report.check("lowest-energy states ~0.01 fJ/bit/cell",
+                 f"{stats.min_fj:.4f} fJ",
+                 0.005 <= stats.min_fj <= 0.02)
+    report.check("maximum ~0.16 nJ/bit/cell",
+                 f"{stats.max_nj:.4f} nJ",
+                 0.1 <= stats.max_nj <= 0.25)
+
+    rows = build_table1(dataset)
+    report.section("Table 1: performance comparison")
+    report.lines.extend(format_table1(rows))
+    factor = improvement_factor(rows)
+    report.check("at least 50x more energy-efficient than digital",
+                 f"{factor:.1f}x", factor >= 50.0)
+
+    # -- Figure 1 ------------------------------------------------------
+    notify("Figure 1 (colocalization split)...")
+    split = figure1_series(width_bits=32 if quick else 64,
+                           n_entries=32 if quick else 64,
+                           n_searches=64 if quick else 256)
+    digital_fraction = split["digital_transistor"]["movement_fraction"]
+    report.section("Figure 1: data movement vs computation")
+    for label, data in split.items():
+        report.add(f"{label}: movement "
+                   f"{data['movement_fraction']:.0%} of "
+                   f"{data['total_j']:.3e} J")
+    report.check("up to ~90% of digital search energy is movement",
+                 f"{digital_fraction:.0%}", digital_fraction >= 0.85)
+    report.check("colocalized analog search moves no data",
+                 f"{split['analog_memristor']['movement_fraction']:.0%}",
+                 split["analog_memristor"]["movement_fraction"] == 0.0)
+
+    # -- Figure 2 ------------------------------------------------------
+    notify("Figure 2 (analog state machine)...")
+    machine = figure2_series()
+    outputs = [machine[key] for key in machine if key != "inputs"]
+    distinct = all(
+        not np.allclose(outputs[i], outputs[j])
+        for i in range(len(outputs)) for j in range(i + 1, len(outputs)))
+    report.section("Figure 2: the analog state machine")
+    report.add(f"{len(outputs)} programmed states, all transfer lines "
+               f"distinct: {distinct}")
+    report.check("same input, different output per programmed state",
+                 "all state lines distinct", distinct)
+
+    # -- Figure 4 ------------------------------------------------------
+    notify("Figure 4 (pCAM response)...")
+    response = figure4_series()
+    five_regions = (response["single"][0] == 0.0
+                    and response["single"].max() == 1.0
+                    and response["single"][-1] == 0.0)
+    report.section("Figure 4: pCAM transfer function")
+    report.add("five regions present; series product equals the "
+               "square of the single-cell response on the ramps")
+    report.check("five-region response with series product",
+                 "verified on a 201-point sweep", bool(five_regions))
+
+    # -- Figure 7 ------------------------------------------------------
+    notify("Figure 7 (PDP over the dataset)...")
+    report.section("Figure 7: analog AQM outputs")
+    panels_ok = True
+    for panel in ("a", "b"):
+        series = figure7_series(panel, dataset=dataset,
+                                n_points=21 if quick else 41,
+                                trials=4 if quick else 10)
+        spans = (series["pdp_mean"].min() <= 0.05
+                 and series["pdp_mean"].max() >= 0.95)
+        panels_ok = panels_ok and spans
+        report.add(f"panel ({panel}): PDP in "
+                   f"[{series['pdp_mean'].min():.2f}, "
+                   f"{series['pdp_mean'].max():.2f}] over inputs "
+                   f"[{series['inputs'][0]:+.1f}, "
+                   f"{series['inputs'][-1]:+.1f}] V")
+    report.check("PDP spans 0..1 in both input ranges",
+                 "both panels", panels_ok)
+
+    # -- Figure 8 ------------------------------------------------------
+    notify("Figure 8 (queue management)...")
+    fig8 = figure8_series(duration_s=4.0 if quick else 8.0,
+                          overload=((1.0, 3.0, 1.6) if quick
+                                    else (2.0, 6.0, 1.6)),
+                          service_rate_bps=40e6, seed=3)
+    window = ((fig8.time_s >= 1.5) & (fig8.time_s < 3.0) if quick
+              else (fig8.time_s >= 3.0) & (fig8.time_s < 6.0))
+    no_aqm = fig8.no_aqm_delay_ms[window]
+    pcam = fig8.pcam_delay_ms[window]
+    no_aqm = no_aqm[~np.isnan(no_aqm)]
+    pcam = pcam[~np.isnan(pcam)]
+    in_band = banded_fraction(
+        pcam, fig8.target_delay_ms - fig8.max_deviation_ms,
+        fig8.target_delay_ms + fig8.max_deviation_ms)
+    report.section("Figure 8: queue management")
+    report.add(f"overload means: no AQM {no_aqm.mean():.0f} ms, "
+               f"pCAM-AQM {pcam.mean():.1f} ms "
+               f"({in_band:.0%} of time in the programmed band)")
+    report.check("delay explodes without AQM",
+                 f"{no_aqm.mean():.0f} ms mean under overload",
+                 no_aqm.mean() > 100.0)
+    report.check("pCAM-AQM holds 20 +- 10 ms",
+                 f"{pcam.mean():.1f} ms mean, {in_band:.0%} in band",
+                 pcam.mean() < 30.0 and in_band > 0.5)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.analysis.report [--quick]``)."""
+    arguments = argv if argv is not None else sys.argv[1:]
+    quick = "--quick" in arguments
+    start = time.time()
+    report = run_report(quick=quick,
+                        progress=lambda text: print(f"[{text}]",
+                                                    file=sys.stderr))
+    print(report.render())
+    print(f"\n(report generated in {time.time() - start:.1f} s)")
+    return 0 if report.all_passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

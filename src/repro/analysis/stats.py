@@ -1,0 +1,53 @@
+"""Small statistical helpers shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["banded_fraction", "describe", "monotone_fraction"]
+
+
+def describe(values: np.ndarray | list[float]) -> dict[str, float]:
+    """Summary statistics of a sample as a plain dict."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot describe an empty sample")
+    return {
+        "count": float(array.size),
+        "mean": float(array.mean()),
+        "std": float(array.std()),
+        "min": float(array.min()),
+        "p50": float(np.percentile(array, 50)),
+        "p95": float(np.percentile(array, 95)),
+        "p99": float(np.percentile(array, 99)),
+        "max": float(array.max()),
+    }
+
+
+def banded_fraction(values: np.ndarray | list[float],
+                    lower: float, upper: float) -> float:
+    """Fraction of samples inside [lower, upper].
+
+    Used to check the Figure 8 objective: how much of the time the
+    delay stayed within the programmed 20 +- 10 ms band.
+    """
+    if lower > upper:
+        raise ValueError(f"empty band: [{lower}, {upper}]")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return 0.0
+    inside = np.count_nonzero((array >= lower) & (array <= upper))
+    return inside / array.size
+
+
+def monotone_fraction(values: np.ndarray | list[float]) -> float:
+    """Fraction of consecutive steps that are non-decreasing.
+
+    1.0 means the series never decreases — the signature of the
+    unmanaged (no-AQM) delay curve during overload.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size < 2:
+        return 1.0
+    steps = np.diff(array)
+    return float(np.count_nonzero(steps >= 0) / steps.size)

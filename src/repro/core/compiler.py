@@ -1,0 +1,249 @@
+"""Precision-aware placement of network functions (RQ2).
+
+"Network functions like IP lookup and IP firewall have high thresholds
+for precision than the network functions like AQM, traffic analysis,
+etc.  Hence, an understanding of the packet processing pipeline is
+required in order to integrate the digital and analog components
+(TCAMs and pCAMs) for various network functions."
+
+The :class:`CognitiveCompiler` performs that integration: given the
+analog substrate's error sources (DAC quantization, device read noise,
+line losses, crosstalk, sense gain error) it estimates the worst-case
+relative error of an analog placement and assigns each declared
+network function to the digital (TCAM) or analog (pCAM) domain.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.crossbar.converters import DAC
+from repro.crossbar.losses import LineLossModel
+from repro.crossbar.sensing import SenseAmplifier
+from repro.device.memristor import MemristorParams
+from repro.device.variability import VariabilityModel
+
+__all__ = [
+    "AnalogErrorBudget",
+    "CognitiveCompiler",
+    "CompilationError",
+    "Domain",
+    "FunctionKind",
+    "NetworkFunctionSpec",
+    "Placement",
+    "PrecisionClass",
+]
+
+
+class PrecisionClass(enum.Enum):
+    """How much relative match error a function tolerates."""
+
+    #: Exact-match semantics (IP lookup, firewall): effectively zero
+    #: tolerance, must stay digital.
+    HIGH = 1e-6
+    #: Statistical functions sensitive to bias (load balancing).
+    MEDIUM = 5e-2
+    #: Control-loop functions that average out noise (AQM, traffic
+    #: analysis).
+    LOW = 1e-1
+
+    @property
+    def tolerance(self) -> float:
+        """Maximum tolerable relative match error for this class."""
+        return self.value
+
+
+class FunctionKind(enum.Enum):
+    """Whether the function needs probabilistic (analog) outputs."""
+
+    DETERMINISTIC = "deterministic"
+    COGNITIVE = "cognitive"
+
+
+class Domain(enum.Enum):
+    """Placement target."""
+
+    DIGITAL_TCAM = "digital_tcam"
+    ANALOG_PCAM = "analog_pcam"
+
+
+@dataclass(frozen=True)
+class NetworkFunctionSpec:
+    """A network function declared to the controller for placement."""
+
+    name: str
+    precision: PrecisionClass
+    kind: FunctionKind
+    n_fields: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("function needs a name")
+        if self.n_fields < 1:
+            raise ValueError(f"n_fields must be >= 1: {self.n_fields!r}")
+
+
+class CompilationError(Exception):
+    """A function's requirements cannot be met by any domain."""
+
+
+@dataclass(frozen=True)
+class AnalogErrorBudget:
+    """Relative error contributions of the analog signal path.
+
+    Individual terms are relative (fraction of full scale); the total
+    combines them root-sum-square, the standard budget arithmetic for
+    independent error sources.
+    """
+
+    quantization: float
+    device_noise: float
+    line_loss: float
+    crosstalk: float
+    sense_gain: float
+
+    @property
+    def total(self) -> float:
+        """Root-sum-square of all error contributions."""
+        return math.sqrt(self.quantization ** 2
+                         + self.device_noise ** 2
+                         + self.line_loss ** 2
+                         + self.crosstalk ** 2
+                         + self.sense_gain ** 2)
+
+    def dominant_term(self) -> str:
+        """Name of the largest contribution (for diagnostics)."""
+        terms = {
+            "quantization": self.quantization,
+            "device_noise": self.device_noise,
+            "line_loss": self.line_loss,
+            "crosstalk": self.crosstalk,
+            "sense_gain": self.sense_gain,
+        }
+        return max(terms, key=terms.get)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Result of compiling a set of function specs onto the pipeline."""
+
+    analog: tuple[NetworkFunctionSpec, ...]
+    digital: tuple[NetworkFunctionSpec, ...]
+    budget: AnalogErrorBudget
+    rationale: dict[str, str] = field(default_factory=dict)
+
+    def domain_of(self, name: str) -> Domain:
+        """The domain a named function was placed in."""
+        if any(spec.name == name for spec in self.analog):
+            return Domain.ANALOG_PCAM
+        if any(spec.name == name for spec in self.digital):
+            return Domain.DIGITAL_TCAM
+        raise KeyError(f"function {name!r} not in placement")
+
+
+class CognitiveCompiler:
+    """Maps declared network functions onto TCAM/pCAM resources.
+
+    Parameters describe the analog substrate the placement would use;
+    the compiler never builds hardware itself, it only budgets error
+    and decides domains (the cognitive network controller then
+    programs the actual tables).
+    """
+
+    def __init__(self,
+                 dac: DAC | None = None,
+                 losses: LineLossModel | None = None,
+                 variability: VariabilityModel | None = None,
+                 sense: SenseAmplifier | None = None,
+                 device_params: MemristorParams | None = None,
+                 array_rows: int = 64,
+                 array_cols: int = 64) -> None:
+        if array_rows < 1 or array_cols < 1:
+            raise ValueError("array geometry must be positive")
+        self.dac = dac or DAC()
+        self.losses = losses or LineLossModel()
+        self.variability = variability or VariabilityModel()
+        self.sense = sense or SenseAmplifier.ideal()
+        self.device_params = device_params or MemristorParams()
+        self.array_rows = array_rows
+        self.array_cols = array_cols
+
+    # ------------------------------------------------------------------
+    # Error budgeting
+    # ------------------------------------------------------------------
+    def error_budget(self) -> AnalogErrorBudget:
+        """Worst-case relative error of one analog match evaluation."""
+        # Half an LSB of the input DAC, relative to full scale.
+        quantization = 0.5 / (self.dac.levels - 1)
+        # Log-normal read noise: relative sigma ~ exp(sigma) - 1.
+        device_noise = math.expm1(self.variability.read_sigma)
+        # IR drop at the farthest cell, using the representative
+        # mid-window resistance (geometric mean of the device window):
+        # analog weights are programmed around the middle of the
+        # window, not pinned at the extreme LRS.
+        r_mid = math.sqrt(self.device_params.r_on * self.device_params.r_off)
+        distance = self.array_rows + self.array_cols - 2
+        series = distance * self.losses.wire_resistance_per_cell_ohm
+        line_loss = series / (series + r_mid)
+        crosstalk = 2.0 * self.losses.crosstalk_fraction
+        sense_gain = abs(self.sense.gain_error)
+        return AnalogErrorBudget(quantization=quantization,
+                                 device_noise=device_noise,
+                                 line_loss=line_loss,
+                                 crosstalk=crosstalk,
+                                 sense_gain=sense_gain)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place(self, specs: list[NetworkFunctionSpec]) -> Placement:
+        """Assign every function to a domain, or raise.
+
+        Rules (in order):
+
+        1. A :attr:`FunctionKind.COGNITIVE` function *requires* analog
+           probabilistic outputs; if the analog error budget exceeds
+           its precision tolerance, compilation fails with a
+           diagnostic naming the dominant error source.
+        2. A deterministic function goes analog only when that saves
+           energy *and* meets its tolerance; otherwise it stays on the
+           digital TCAM.  HIGH-precision functions always stay digital.
+        """
+        if not specs:
+            raise ValueError("nothing to place")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate function names: {names}")
+        budget = self.error_budget()
+        analog: list[NetworkFunctionSpec] = []
+        digital: list[NetworkFunctionSpec] = []
+        rationale: dict[str, str] = {}
+        for spec in specs:
+            tolerance = spec.precision.tolerance
+            fits_analog = budget.total <= tolerance
+            if spec.kind is FunctionKind.COGNITIVE:
+                if not fits_analog:
+                    raise CompilationError(
+                        f"{spec.name!r} needs analog outputs but the "
+                        f"analog error ({budget.total:.4f}) exceeds its "
+                        f"tolerance ({tolerance:.4f}); dominant source: "
+                        f"{budget.dominant_term()}")
+                analog.append(spec)
+                rationale[spec.name] = (
+                    f"cognitive function; analog error {budget.total:.4f} "
+                    f"within tolerance {tolerance:.4f}")
+            elif spec.precision is PrecisionClass.HIGH or not fits_analog:
+                digital.append(spec)
+                rationale[spec.name] = (
+                    "deterministic function kept digital "
+                    f"(tolerance {tolerance:.2e}, "
+                    f"analog error {budget.total:.4f})")
+            else:
+                analog.append(spec)
+                rationale[spec.name] = (
+                    f"deterministic but tolerant; analog saves energy "
+                    f"(error {budget.total:.4f} <= {tolerance:.4f})")
+        return Placement(analog=tuple(analog), digital=tuple(digital),
+                         budget=budget, rationale=rationale)

@@ -1,0 +1,247 @@
+"""Device-realised pCAM cell: the transfer function on real memristors.
+
+The ideal :class:`~repro.core.pcam_cell.PCAMCell` evaluates the paper's
+piecewise-linear response exactly.  This module realises the same cell
+on the simulated Nb:SrTiO3 devices, following the analog-CAM circuit
+the paper builds on (Li et al., Nature Communications 2020 [30]): a
+cell stores its acceptance window in **two threshold memristors** — one
+encoding the lower edge of the match window, one the upper edge — and
+the match line's analog level degrades as the input leaves the window.
+
+Realisation model:
+
+* The thresholds M2 (window low) and M3 (window high) are encoded as
+  normalised conductances of the ``lo`` and ``hi`` devices over the
+  cell's input-voltage range.
+* An evaluation reads both devices *at the input voltage* (the search
+  line drives the cell), decodes the thresholds back from the read
+  currents, and produces the five-region response with the decoded —
+  hence noisy — thresholds.  Programming error and cycle-to-cycle read
+  noise therefore jitter the region boundaries, which is exactly how
+  precision is lost in the physical array (RQ2).
+* Each evaluation dissipates the Joule energy of the two device reads
+  plus the sense amplifier energy; this is the energy that Figure 7's
+  campaign integrates over the memristor dataset.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.pcam_cell import PCAMCell, PCAMParams
+from repro.crossbar.sensing import SenseAmplifier
+from repro.device.memristor import MemristorParams, NbSTOMemristor
+from repro.device.variability import VariabilityModel
+
+__all__ = ["DevicePCAMCell", "EvaluationResult"]
+
+#: Fallback read voltage when the input is too close to zero to carry
+#: usable signal [V].
+_MIN_READ_VOLTAGE = 0.05
+
+
+class EvaluationResult:
+    """Probability plus physical cost of one device-cell evaluation."""
+
+    __slots__ = ("probability", "energy_j", "latency_s")
+
+    def __init__(self, probability: float, energy_j: float,
+                 latency_s: float) -> None:
+        self.probability = probability
+        self.energy_j = energy_j
+        self.latency_s = latency_s
+
+    def __repr__(self) -> str:
+        return (f"EvaluationResult(p={self.probability:.4f}, "
+                f"E={self.energy_j:.3e} J)")
+
+
+class DevicePCAMCell:
+    """A pCAM cell realised on two simulated threshold memristors.
+
+    Parameters
+    ----------
+    params:
+        The programmed eight-parameter response.
+    v_range:
+        (min, max) input-voltage range the thresholds are encoded over;
+        must contain [M1, M4].
+    device_params:
+        Memristor technology parameters.
+    variability:
+        Device noise model (programming and read noise both derive
+        from it).
+    sense:
+        Sense amplifier non-idealities.
+    read_duration_s:
+        Read pulse width per evaluation (1 ns reference).
+    rng:
+        Random generator.
+    """
+
+    def __init__(self, params: PCAMParams,
+                 v_range: tuple[float, float] = (-2.0, 4.0),
+                 device_params: MemristorParams | None = None,
+                 variability: VariabilityModel | None = None,
+                 sense: SenseAmplifier | None = None,
+                 read_duration_s: float = 1e-9,
+                 rng: np.random.Generator | None = None) -> None:
+        v_lo, v_hi = v_range
+        if v_lo >= v_hi:
+            raise ValueError(f"invalid voltage range: {v_range!r}")
+        if params.m1 < v_lo or params.m4 > v_hi:
+            raise ValueError(
+                f"[M1, M4] = [{params.m1}, {params.m4}] outside the "
+                f"encodable range {v_range!r}")
+        self.v_range = (float(v_lo), float(v_hi))
+        self.device_params = device_params or MemristorParams()
+        self.variability = variability or VariabilityModel()
+        self.sense = sense or SenseAmplifier.ideal()
+        self.read_duration_s = read_duration_s
+        self._rng = rng or np.random.default_rng()
+        self._ideal = PCAMCell(params)
+        self._lo = NbSTOMemristor(params=self.device_params,
+                                  variability=self.variability,
+                                  rng=self._rng)
+        self._hi = NbSTOMemristor(params=self.device_params,
+                                  variability=self.variability,
+                                  rng=self._rng)
+        self._reference = NbSTOMemristor(
+            params=self.device_params, state=1.0,
+            variability=VariabilityModel.ideal())
+        self.programming_energy_j = 0.0
+        self.program(params)
+
+    # ------------------------------------------------------------------
+    # Threshold encoding
+    # ------------------------------------------------------------------
+    def _normalise(self, threshold_v: float) -> float:
+        v_lo, v_hi = self.v_range
+        return (threshold_v - v_lo) / (v_hi - v_lo)
+
+    def _denormalise(self, fraction: float) -> float:
+        v_lo, v_hi = self.v_range
+        return v_lo + fraction * (v_hi - v_lo)
+
+    def program(self, params: PCAMParams) -> float:
+        """Program both threshold devices; returns the write energy [J].
+
+        This is the hardware half of ``update_pCAM()``: M2 goes into
+        the ``lo`` device, M3 into the ``hi`` device, and the outer
+        thresholds M1/M4 ride along as fixed offsets from them.  The
+        threshold is encoded as the device's internal (log-conductance)
+        state over the cell's voltage range.
+        """
+        self._ideal.program(params)
+        energy = 0.0
+        for device, threshold in ((self._lo, params.m2),
+                                  (self._hi, params.m3)):
+            energy += device.program_state(self._normalise(threshold),
+                                           tolerance=0.002)
+        self.programming_energy_j += energy
+        return energy
+
+    @property
+    def params(self) -> PCAMParams:
+        """The currently programmed (intended) parameters."""
+        return self._ideal.params
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _decode_threshold(self, device: NbSTOMemristor,
+                          read_voltage: float) -> tuple[float, float]:
+        """Read one device and decode (threshold_hat, read_energy).
+
+        The threshold is encoded in the *log-conductance* domain (the
+        natural control variable of the device), so the decode inverts
+        ``G(s)/G_on`` logarithmically.  Multiplicative read noise then
+        perturbs the threshold additively and mildly — a 3% current
+        noise moves the decoded threshold by only ~0.2% of the range.
+        """
+        read = device.read(read_voltage, self.read_duration_s)
+        full_scale = self._reference.current(read_voltage, noisy=False)
+        sensed = self.sense.sense(read.current_a, self._rng)
+        # At reverse bias both currents are negative; the conductance
+        # ratio is their (positive) quotient either way.
+        ratio = sensed / full_scale if full_scale != 0.0 else 0.0
+        if ratio <= 0.0:
+            fraction = 0.0
+        else:
+            window = math.log(self.device_params.resistance_window)
+            fraction = min(1.0, max(
+                0.0, 1.0 + math.log(min(1.0, ratio)) / window))
+        return self._denormalise(fraction), read.energy_j
+
+    def evaluate(self, value: float) -> EvaluationResult:
+        """Match the input against the cell on the physical devices.
+
+        The input drives the cell's search line; both threshold
+        devices are read at that voltage, the thresholds are decoded
+        back (with noise), and the five-region response is produced
+        with the decoded boundaries.
+        """
+        read_voltage = value
+        if abs(read_voltage) < _MIN_READ_VOLTAGE:
+            # Near-zero inputs carry no signal; the cell falls back to
+            # its reference read rail to recover the thresholds.
+            read_voltage = self.device_params.v_reference
+        lo_hat, lo_energy = self._decode_threshold(self._lo, read_voltage)
+        hi_hat, hi_energy = self._decode_threshold(self._hi, read_voltage)
+
+        p = self._ideal.params
+        delta_lo = lo_hat - p.m2
+        delta_hi = hi_hat - p.m3
+        m1, m2 = p.m1 + delta_lo, p.m2 + delta_lo
+        m3, m4 = p.m3 + delta_hi, p.m4 + delta_hi
+        if not (m1 < m2 <= m3 < m4):
+            # Noise collapsed the window: the cell degenerates to a
+            # mismatch output, which is what the saturated circuit does.
+            probability = p.pmin
+        else:
+            jittered = PCAMCell(PCAMParams(
+                m1=m1, m2=m2, m3=m3, m4=m4,
+                sa=p.sa, sb=p.sb, pmax=p.pmax, pmin=p.pmin))
+            probability = jittered.response(value)
+        energy = lo_energy + hi_energy + self.sense.energy_per_sense_j
+        return EvaluationResult(probability=probability,
+                                energy_j=energy,
+                                latency_s=self.read_duration_s)
+
+    def response(self, value: float) -> float:
+        """Probability-only view (protocol-compatible with PCAMCell)."""
+        return self.evaluate(value).probability
+
+    def __call__(self, value: float) -> float:
+        return self.response(value)
+
+    def relax(self, elapsed_s: float) -> None:
+        """Apply retention drift to both threshold devices.
+
+        Over long idle periods the programmed thresholds creep toward
+        the devices' stable attractor; the controller counters this by
+        periodically re-running :meth:`program` (refresh), exactly as
+        a DRAM-style scrub.
+        """
+        self._lo.relax(elapsed_s)
+        self._hi.relax(elapsed_s)
+
+    def refresh(self) -> float:
+        """Reprogram the current parameters (drift scrub); returns the
+        programming energy spent [J]."""
+        return self.program(self._ideal.params)
+
+    def response_array(self, values: np.ndarray) -> np.ndarray:
+        """Evaluate each input with fresh device noise."""
+        x = np.asarray(values, dtype=float)
+        return np.array([self.evaluate(float(v)).probability
+                         for v in x.ravel()]).reshape(x.shape)
+
+    def ideal_response_array(self, values: np.ndarray) -> np.ndarray:
+        """The programmed (noise-free) response for error analysis."""
+        return self._ideal.response_array(values)
+
+    def __repr__(self) -> str:
+        return f"DevicePCAMCell({self._ideal!r})"

@@ -1,0 +1,287 @@
+"""A textual front-end for the paper's programming abstractions.
+
+Sec. 5 presents the analog AQM as program text — ``prog_pCAM()``,
+``pCAM()``, ``AQM() { pipeline { ... } }`` and
+``table analogAQM { read / output / action }``.  This module parses
+that surface syntax (lightly regularised) into the builder objects of
+:mod:`repro.core.programming`, so an analog network function can be
+shipped as a text artifact the controller compiles — the paper's
+"programmer specifies the hardware function from the application
+layer".
+
+Grammar (EBNF-ish)::
+
+    program   := table+
+    table     := "table" NAME "{" section+ "}"
+    section   := output | action
+    output    := "output" "{" "pipeline" "{" stage ("," stage)* ","? "}" "}"
+    stage     := "pCAM" "(" NAME ":" args ")"
+    args      := NUMBER ("," NUMBER){3,7}        # M1..M4 [, Sa, Sb [, pmax, pmin]]
+    action    := "action" "{" NAME "(" ")" ";"? "}"
+
+The ``read`` section is implied by the pipeline's stages (exactly as
+in the paper, where the table reads what ``AQM()`` consumes); if
+present it is validated against them.  Comments run from ``//`` to
+end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from repro.core.match_action import AnalogMatchActionTable
+from repro.core.pcam_cell import PCAMParams, prog_pcam
+from repro.core.programming import PipelineProgram, TableProgram
+
+__all__ = ["DSLError", "parse_program", "parse_table"]
+
+
+class DSLError(ValueError):
+    """Raised on any syntax or semantic error in program text."""
+
+
+_TOKEN_PATTERN = re.compile(r"""
+    (?P<number>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_./]*)
+  | (?P<punct>[{}();:,])
+  | (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<bad>.)
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    for match in _TOKEN_PATTERN.finditer(text):
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "bad":
+            raise DSLError(
+                f"unexpected character {match.group()!r} at offset "
+                f"{match.start()}")
+        tokens.append(_Token(kind=kind, text=match.group(),
+                             position=match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise DSLError("unexpected end of program text")
+        self._index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise DSLError(
+                f"expected {text!r} at offset {token.position}, got "
+                f"{token.text!r}")
+        return token
+
+    def _expect_name(self) -> str:
+        token = self._next()
+        if token.kind != "name":
+            raise DSLError(
+                f"expected a name at offset {token.position}, got "
+                f"{token.text!r}")
+        return token.text
+
+    def _expect_number(self) -> float:
+        token = self._next()
+        if token.kind != "number":
+            raise DSLError(
+                f"expected a number at offset {token.position}, got "
+                f"{token.text!r}")
+        return float(token.text)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every token has been consumed."""
+        return self._index >= len(self._tokens)
+
+    # -- grammar --------------------------------------------------------
+    def parse_program(self) -> list["_ParsedTable"]:
+        """Parse all tables in the program text."""
+        tables = []
+        while not self.exhausted:
+            tables.append(self.parse_table())
+        if not tables:
+            raise DSLError("program contains no tables")
+        return tables
+
+    def parse_table(self) -> "_ParsedTable":
+        """Parse exactly one table definition."""
+        self._expect("table")
+        name = self._expect_name()
+        self._expect("{")
+        reads: list[str] | None = None
+        stages: dict[str, PCAMParams] | None = None
+        action_name: str | None = None
+        while True:
+            token = self._peek()
+            if token is None:
+                raise DSLError(f"table {name!r} is not closed")
+            if token.text == "}":
+                self._next()
+                break
+            section = self._expect_name()
+            if section == "read":
+                reads = self._parse_read()
+            elif section == "output":
+                stages = self._parse_output()
+            elif section == "action":
+                action_name = self._parse_action()
+            else:
+                raise DSLError(
+                    f"unknown section {section!r} in table {name!r}")
+        if stages is None:
+            raise DSLError(f"table {name!r} has no output section")
+        if reads is not None and tuple(reads) != tuple(stages):
+            raise DSLError(
+                f"table {name!r}: read fields {reads} do not match the "
+                f"pipeline stages {list(stages)}")
+        return _ParsedTable(name=name, stages=stages,
+                            action_name=action_name)
+
+    def _parse_read(self) -> list[str]:
+        self._expect("{")
+        fields: list[str] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise DSLError("read section is not closed")
+            if token.text == "}":
+                self._next()
+                return fields
+            fields.append(self._expect_name())
+            if self._peek() is not None and self._peek().text == ";":
+                self._next()
+
+    def _parse_output(self) -> dict[str, PCAMParams]:
+        self._expect("{")
+        self._expect("pipeline")
+        self._expect("{")
+        stages: dict[str, PCAMParams] = {}
+        while True:
+            token = self._peek()
+            if token is None:
+                raise DSLError("pipeline is not closed")
+            if token.text == "}":
+                self._next()
+                break
+            name, params = self._parse_stage()
+            if name in stages:
+                raise DSLError(f"duplicate pipeline stage {name!r}")
+            stages[name] = params
+            if self._peek() is not None and self._peek().text == ",":
+                self._next()
+        self._expect("}")
+        if not stages:
+            raise DSLError("pipeline has no stages")
+        return stages
+
+    def _parse_stage(self) -> tuple[str, PCAMParams]:
+        keyword = self._expect_name()
+        if keyword != "pCAM":
+            raise DSLError(f"expected pCAM stage, got {keyword!r}")
+        self._expect("(")
+        feature = self._expect_name()
+        self._expect(":")
+        numbers = [self._expect_number()]
+        while self._peek() is not None and self._peek().text == ",":
+            self._next()
+            numbers.append(self._expect_number())
+        self._expect(")")
+        if len(numbers) not in (4, 6, 8):
+            raise DSLError(
+                f"stage {feature!r}: expected 4 (M1..M4), 6 (+Sa,Sb) or "
+                f"8 (+pmax,pmin) parameters, got {len(numbers)}")
+        m1, m2, m3, m4 = numbers[:4]
+        sa = sb = None
+        pmax, pmin = 1.0, 0.0
+        if len(numbers) >= 6:
+            sa, sb = numbers[4], numbers[5]
+        if len(numbers) == 8:
+            pmax, pmin = numbers[6], numbers[7]
+        try:
+            params = prog_pcam(m1, m2, m3, m4, sa=sa, sb=sb,
+                               pmax=pmax, pmin=pmin)
+        except ValueError as error:
+            raise DSLError(f"stage {feature!r}: {error}") from error
+        return feature, params
+
+    def _parse_action(self) -> str:
+        self._expect("{")
+        name = self._expect_name()
+        self._expect("(")
+        self._expect(")")
+        if self._peek() is not None and self._peek().text == ";":
+            self._next()
+        self._expect("}")
+        return name
+
+
+@dataclass(frozen=True)
+class _ParsedTable:
+    name: str
+    stages: Mapping[str, PCAMParams]
+    action_name: str | None
+
+
+def parse_table(text: str,
+                actions: Mapping[str, Callable] | None = None,
+                **build_kwargs: object) -> AnalogMatchActionTable:
+    """Parse one ``table`` definition into a match-action table.
+
+    ``actions`` maps action names used in the text (e.g.
+    ``update_pCAM``) to callables with the table-action signature.
+    """
+    tables = parse_program(text, actions=actions, **build_kwargs)
+    if len(tables) != 1:
+        raise DSLError(f"expected exactly one table, got {len(tables)}")
+    return tables[0]
+
+
+def parse_program(text: str,
+                  actions: Mapping[str, Callable] | None = None,
+                  **build_kwargs: object
+                  ) -> list[AnalogMatchActionTable]:
+    """Parse program text into built match-action tables."""
+    parsed = _Parser(_tokenize(text)).parse_program()
+    built: list[AnalogMatchActionTable] = []
+    for table in parsed:
+        program = PipelineProgram()
+        for stage_name, params in table.stages.items():
+            program.stage(stage_name, params)
+        builder = TableProgram(table.name).output(program)
+        if table.action_name is not None:
+            registry = actions or {}
+            if table.action_name not in registry:
+                raise DSLError(
+                    f"table {table.name!r} uses unknown action "
+                    f"{table.action_name!r}; provide it via actions=")
+            builder.action(registry[table.action_name])
+        built.append(builder.build(**build_kwargs))
+    return built

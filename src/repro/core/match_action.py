@@ -1,0 +1,155 @@
+"""The analog match-action table (paper Sec. 5, ``table analogAQM``).
+
+The paper's table abstraction has three sections::
+
+    table analogAQM {
+        read   { sojourn_time; d/dt(sojourn_time); ... }
+        output { AQM(); }
+        action { update_pCAM(); }
+    }
+
+* **read** — the packet/queue fields the parser feeds the table,
+* **output** — the analog pipeline producing the raw voltage, which
+  "can be used directly (like PDP for AQM) or indirectly by fetching
+  the stored actions related to the given output",
+* **action** — run against the output, typically ``update_pCAM()`` to
+  adapt the table's own parameters.
+
+:class:`AnalogMatchActionTable` implements that structure on a
+:class:`~repro.core.pcam_pipeline.PCAMPipeline`;
+:class:`StoredActionMemory` implements the indirect path (memristor-
+based storage of actions keyed by output level, the "Memristor-based
+Storage" boxes in Figure 5).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.core.pcam_pipeline import PCAMPipeline
+
+__all__ = [
+    "AnalogMatchActionTable",
+    "StoredActionMemory",
+    "TableResult",
+]
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """Outcome of one table lookup."""
+
+    output: float
+    features: Mapping[str, float]
+    action_taken: str | None = None
+    fetched_action: object | None = None
+    energy_j: float = 0.0
+
+
+class StoredActionMemory:
+    """Action storage addressed by analog output level.
+
+    Models the "Memristor-based Storage" block next to each pCAM in
+    Figure 5: the raw analog output selects a stored action by range.
+    Ranges are half-open ``[lower, upper)`` over the output domain and
+    must not overlap.
+    """
+
+    def __init__(self) -> None:
+        self._bounds: list[tuple[float, float]] = []
+        self._actions: list[object] = []
+
+    def store(self, lower: float, upper: float, action: object) -> None:
+        """Associate an action with the output range [lower, upper)."""
+        if lower >= upper:
+            raise ValueError(f"empty range: [{lower}, {upper})")
+        for existing_lower, existing_upper in self._bounds:
+            if lower < existing_upper and existing_lower < upper:
+                raise ValueError(
+                    f"range [{lower}, {upper}) overlaps "
+                    f"[{existing_lower}, {existing_upper})")
+        index = bisect.bisect(self._bounds, (lower, upper))
+        self._bounds.insert(index, (lower, upper))
+        self._actions.insert(index, action)
+
+    def fetch(self, output: float) -> object | None:
+        """The action stored for this output level, or None."""
+        index = bisect.bisect(self._bounds, (output, float("inf"))) - 1
+        if index < 0:
+            return None
+        lower, upper = self._bounds[index]
+        if lower <= output < upper:
+            return self._actions[index]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+
+class AnalogMatchActionTable:
+    """read / output / action, as in the paper's ``analogAQM`` table.
+
+    Parameters
+    ----------
+    name:
+        Table name (for ledger accounts and controller registry).
+    reads:
+        The field names the table consumes, in stage order; they must
+        match the pipeline's stage names.
+    pipeline:
+        The analog pipeline computing the output.
+    action:
+        Optional callable ``action(table, output, features)`` invoked
+        after every lookup; the paper's ``update_pCAM()`` adaptation
+        hooks in here.  Its return value (a short description string,
+        or None for "no action") is surfaced in the result.
+    action_memory:
+        Optional :class:`StoredActionMemory` for the indirect path.
+    """
+
+    def __init__(self, name: str, reads: Sequence[str],
+                 pipeline: PCAMPipeline,
+                 action: Callable[["AnalogMatchActionTable", float,
+                                   Mapping[str, float]], str | None]
+                 | None = None,
+                 action_memory: StoredActionMemory | None = None) -> None:
+        if not name:
+            raise ValueError("table needs a name")
+        if tuple(reads) != pipeline.stage_names:
+            raise ValueError(
+                f"read fields {tuple(reads)} must equal pipeline stages "
+                f"{pipeline.stage_names}")
+        self.name = name
+        self.reads = tuple(reads)
+        self.pipeline = pipeline
+        self.action = action
+        self.action_memory = action_memory
+        self._lookups = 0
+
+    @property
+    def lookups(self) -> int:
+        """Number of table lookups processed."""
+        return self._lookups
+
+    def process(self, fields: Mapping[str, float]) -> TableResult:
+        """One full read -> output -> action cycle."""
+        missing = [name for name in self.reads if name not in fields]
+        if missing:
+            raise KeyError(f"table {self.name!r} missing fields: {missing}")
+        features = {name: float(fields[name]) for name in self.reads}
+        output, energy = self.pipeline.evaluate_with_energy(features)
+        action_taken: str | None = None
+        if self.action is not None:
+            action_taken = self.action(self, output, features)
+        fetched = (self.action_memory.fetch(output)
+                   if self.action_memory is not None else None)
+        self._lookups += 1
+        return TableResult(output=output, features=features,
+                           action_taken=action_taken,
+                           fetched_action=fetched, energy_j=energy)
+
+    def __repr__(self) -> str:
+        return (f"AnalogMatchActionTable({self.name!r}, "
+                f"reads={list(self.reads)})")

@@ -1,0 +1,173 @@
+"""pCAM match-action memory: words of cells, rows of words.
+
+Where :mod:`repro.core.pcam_pipeline` chains *stages in series* on one
+feature vector (Figure 4b), the array is the *memory* view (Figure 4a
+left): each stored word holds one policy as a set of per-field cells,
+and a search evaluates the query against **every** stored word in one
+cycle — like a TCAM, but returning a match *probability* per word
+instead of a bit.
+
+This is what lets cognitive functions "identify the closely matching
+stored policies for an incoming query with zero [exact] matches"
+(RQ1): the best-effort answer is the word with the highest analog
+match probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.pcam_cell import PCAMCell, PCAMParams
+
+__all__ = ["PCAMWord", "PCAMArray", "ArraySearchResult"]
+
+
+class PCAMWord:
+    """One stored policy: a named tuple of pCAM cells, one per field."""
+
+    def __init__(self, cells: Mapping[str, PCAMCell]) -> None:
+        if not cells:
+            raise ValueError("a word needs at least one cell")
+        self._cells = dict(cells)
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, PCAMParams]) -> "PCAMWord":
+        """Build a word from per-field cell parameters."""
+        return cls({name: PCAMCell(p) for name, p in params.items()})
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """The word's field names."""
+        return tuple(self._cells)
+
+    def cell(self, field: str) -> PCAMCell:
+        """The cell storing one named field."""
+        try:
+            return self._cells[field]
+        except KeyError:
+            raise KeyError(
+                f"no field {field!r}; fields: {self.fields}") from None
+
+    def match(self, query: Mapping[str, float]) -> float:
+        """Word match probability: product over the per-field cells."""
+        probability = 1.0
+        for field, cell in self._cells.items():
+            if field not in query:
+                raise KeyError(f"query missing field {field!r}")
+            probability *= cell.response(float(query[field]))
+        return probability
+
+    def deterministic_match(self, query: Mapping[str, float]) -> bool:
+        """TCAM-compatible view: all fields inside their [M2, M3]."""
+        return all(cell.deterministic_match(float(query[field])) is True
+                   for field, cell in self._cells.items())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+
+@dataclass(frozen=True)
+class ArraySearchResult:
+    """Outcome of searching a query against all stored words."""
+
+    probabilities: np.ndarray
+    best_index: int | None
+    best_probability: float
+    deterministic_indices: tuple[int, ...]
+    energy_j: float
+    latency_s: float
+
+    @property
+    def hit(self) -> bool:
+        """True when at least one word matched deterministically."""
+        return bool(self.deterministic_indices)
+
+
+class PCAMArray:
+    """A bank of stored pCAM words searched in parallel.
+
+    Parameters
+    ----------
+    fields:
+        Ordered field names every stored word must provide.
+    match_threshold:
+        Probability at or above which a word counts as a deterministic
+        match for the digital-compatible output.
+    energy_per_cell_j:
+        Read energy charged per cell per search.  Defaults to the
+        dataset's low-energy analog read (0.01 fJ); swap in a value
+        measured from :func:`repro.device.energy.energy_statistics`
+        for a calibrated run.
+    """
+
+    def __init__(self, fields: Sequence[str], *,
+                 match_threshold: float = 0.99,
+                 energy_per_cell_j: float = 1e-17,
+                 search_latency_s: float = 1e-9) -> None:
+        if not fields:
+            raise ValueError("array needs at least one field")
+        if not 0.0 < match_threshold <= 1.0:
+            raise ValueError(
+                f"match threshold must be in (0, 1]: {match_threshold!r}")
+        self.fields = tuple(fields)
+        self.match_threshold = match_threshold
+        self.energy_per_cell_j = energy_per_cell_j
+        self.search_latency_s = search_latency_s
+        self._words: list[PCAMWord] = []
+        self._searches = 0
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    @property
+    def searches(self) -> int:
+        """Number of searches performed."""
+        return self._searches
+
+    def add(self, word: PCAMWord | Mapping[str, PCAMParams]) -> int:
+        """Store a policy word; returns its row index."""
+        if not isinstance(word, PCAMWord):
+            word = PCAMWord.from_params(word)
+        if set(word.fields) != set(self.fields):
+            raise ValueError(
+                f"word fields {word.fields} != array fields {self.fields}")
+        self._words.append(word)
+        return len(self._words) - 1
+
+    def word(self, index: int) -> PCAMWord:
+        """One stored word by row index."""
+        if not 0 <= index < len(self._words):
+            raise IndexError(f"word {index} out of range")
+        return self._words[index]
+
+    def remove(self, index: int) -> None:
+        """Delete a stored word by row index."""
+        if not 0 <= index < len(self._words):
+            raise IndexError(f"word {index} out of range")
+        del self._words[index]
+
+    def search(self, query: Mapping[str, float]) -> ArraySearchResult:
+        """Match the query against every stored word in one cycle."""
+        if not self._words:
+            return ArraySearchResult(
+                probabilities=np.zeros(0), best_index=None,
+                best_probability=0.0, deterministic_indices=(),
+                energy_j=0.0, latency_s=self.search_latency_s)
+        probabilities = np.array(
+            [word.match(query) for word in self._words])
+        best = int(np.argmax(probabilities))
+        deterministic = tuple(
+            int(i) for i in
+            np.flatnonzero(probabilities >= self.match_threshold))
+        cells = sum(len(word) for word in self._words)
+        self._searches += 1
+        return ArraySearchResult(
+            probabilities=probabilities,
+            best_index=best,
+            best_probability=float(probabilities[best]),
+            deterministic_indices=deterministic,
+            energy_j=cells * self.energy_per_cell_j,
+            latency_s=self.search_latency_s)

@@ -1,0 +1,294 @@
+"""The pCAM cell: a programmable five-region analog match function.
+
+This is the paper's central abstraction (Figure 4a and the ``pCAM()``
+pseudocode of Sec. 5).  A cell is programmed with eight parameters::
+
+    prog_pCAM(M1, M2, M3, M4, Sa, Sb, pmax, pmin)
+
+which carve the input axis into five regions:
+
+    input <= M1          -> pmin   (deterministic mismatch)
+    M1 < input < M2      -> Sa-sloped ramp (probabilistic match)
+    M2 <= input <= M3    -> pmax   (deterministic match)
+    M3 < input < M4      -> Sb-sloped ramp (probabilistic match)
+    input >= M4          -> pmin   (deterministic mismatch)
+
+The ramp intercepts follow the paper's ``pCAM()`` function verbatim:
+
+    output = Sb*input + (M4*pmax - M3*pmin) / (M4 - M3)   # M3 < x < M4
+    output = Sa*input + (M2*pmin - M1*pmax) / (M2 - M1)   # M1 < x < M2
+
+With the *canonical* slopes ``Sa = (pmax-pmin)/(M2-M1)`` and
+``Sb = (pmin-pmax)/(M4-M3)`` the response is continuous; programming
+other slopes is allowed (the parameters are independent in the paper's
+abstraction) and the physical output is clipped to the [pmin, pmax]
+rails of the sensing circuit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = [
+    "MatchRegion",
+    "PCAMParams",
+    "PCAMCell",
+    "prog_pcam",
+]
+
+
+class MatchRegion(enum.Enum):
+    """Which of the five programmed regions an input falls into."""
+
+    MISMATCH_LOW = "mismatch_low"
+    PROBABLE_RISING = "probable_rising"
+    MATCH = "match"
+    PROBABLE_FALLING = "probable_falling"
+    MISMATCH_HIGH = "mismatch_high"
+
+    @property
+    def deterministic(self) -> bool:
+        """True for the digital-compatible regions (logic 0 or 1)."""
+        return self in (MatchRegion.MISMATCH_LOW, MatchRegion.MATCH,
+                        MatchRegion.MISMATCH_HIGH)
+
+
+@dataclass(frozen=True)
+class PCAMParams:
+    """The eight programmable parameters of one pCAM cell.
+
+    Invariants: ``m1 < m2 <= m3 < m4`` and ``pmin < pmax``.  Outputs
+    are probabilities, so ``0 <= pmin`` and ``pmax <= 1``.
+    """
+
+    m1: float
+    m2: float
+    m3: float
+    m4: float
+    sa: float
+    sb: float
+    pmax: float = 1.0
+    pmin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (self.m1 < self.m2 <= self.m3 < self.m4):
+            raise ValueError(
+                f"thresholds must satisfy M1 < M2 <= M3 < M4: "
+                f"{self.m1}, {self.m2}, {self.m3}, {self.m4}")
+        if not self.pmin < self.pmax:
+            raise ValueError(
+                f"pmin must be below pmax: {self.pmin}, {self.pmax}")
+        if self.pmin < 0.0 or self.pmax > 1.0:
+            raise ValueError(
+                f"probabilities must lie in [0, 1]: "
+                f"{self.pmin}, {self.pmax}")
+
+    @classmethod
+    def canonical(cls, m1: float, m2: float, m3: float, m4: float,
+                  pmax: float = 1.0, pmin: float = 0.0) -> "PCAMParams":
+        """Parameters with the continuity-preserving slopes."""
+        sa = (pmax - pmin) / (m2 - m1)
+        sb = (pmin - pmax) / (m4 - m3)
+        return cls(m1=m1, m2=m2, m3=m3, m4=m4, sa=sa, sb=sb,
+                   pmax=pmax, pmin=pmin)
+
+    @property
+    def canonical_sa(self) -> float:
+        """The rising slope that makes the response continuous."""
+        return (self.pmax - self.pmin) / (self.m2 - self.m1)
+
+    @property
+    def canonical_sb(self) -> float:
+        """The falling slope that makes the response continuous."""
+        return (self.pmin - self.pmax) / (self.m4 - self.m3)
+
+    @property
+    def is_continuous(self) -> bool:
+        """True when the programmed slopes equal the canonical ones."""
+        return (np.isclose(self.sa, self.canonical_sa)
+                and np.isclose(self.sb, self.canonical_sb))
+
+    @property
+    def match_window(self) -> tuple[float, float]:
+        """The deterministic-match interval [M2, M3]."""
+        return self.m2, self.m3
+
+    @property
+    def support(self) -> tuple[float, float]:
+        """The interval outside which the output is pinned to pmin."""
+        return self.m1, self.m4
+
+    def shifted(self, delta: float) -> "PCAMParams":
+        """All four thresholds translated by ``delta`` (slopes kept)."""
+        return replace(self, m1=self.m1 + delta, m2=self.m2 + delta,
+                       m3=self.m3 + delta, m4=self.m4 + delta)
+
+    def widened(self, factor: float) -> "PCAMParams":
+        """Thresholds scaled about the window centre by ``factor``.
+
+        The AQM controller uses this to relax or tighten a stage's
+        acceptance window at run time (``update_pCAM``).
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive: {factor!r}")
+        centre = 0.5 * (self.m2 + self.m3)
+        new = {name: centre + (getattr(self, name) - centre) * factor
+               for name in ("m1", "m2", "m3", "m4")}
+        return PCAMParams.canonical(pmax=self.pmax, pmin=self.pmin, **new)
+
+
+def prog_pcam(m1: float, m2: float, m3: float, m4: float,
+              sa: float | None = None, sb: float | None = None,
+              pmax: float = 1.0, pmin: float = 0.0) -> PCAMParams:
+    """The paper's ``prog_pCAM()`` programming abstraction.
+
+    Omitted slopes default to the canonical (continuous) values, which
+    is what the controller derives when the programmer specifies only
+    an I/O response (Sec. 5, "It's possible to specify the I/O
+    response, and controller can map it to prog_pCAM()").
+    """
+    if sa is None or sb is None:
+        canonical = PCAMParams.canonical(m1, m2, m3, m4, pmax=pmax,
+                                         pmin=pmin)
+        sa = canonical.sa if sa is None else sa
+        sb = canonical.sb if sb is None else sb
+    return PCAMParams(m1=m1, m2=m2, m3=m3, m4=m4, sa=sa, sb=sb,
+                      pmax=pmax, pmin=pmin)
+
+
+class PCAMCell:
+    """An ideal (circuit-level) pCAM cell.
+
+    Evaluates the paper's five-region transfer function.  The
+    device-realised counterpart with memristor noise lives in
+    :mod:`repro.core.device_cell`; this class is the functional
+    reference the calibration measures against.
+
+    Parameters
+    ----------
+    params:
+        The eight programmable parameters.
+    clip_to_rails:
+        Clip outputs into [pmin, pmax].  The physical sensing circuit
+        cannot exceed its rails; disable only to inspect the raw
+        un-clipped pseudocode response.
+    nonlinearity:
+        ``"linear"`` evaluates the paper's piecewise-linear ramps.
+        ``"sigmoid"`` and ``"gaussian"`` realise the *future work*
+        extension (Sec. 8: "modeling of non-linear match functions")
+        by reshaping the probabilistic ramps; both keep the
+        deterministic regions intact and require canonical slopes.
+    """
+
+    _NONLINEARITIES = ("linear", "sigmoid", "gaussian")
+
+    def __init__(self, params: PCAMParams, *, clip_to_rails: bool = True,
+                 nonlinearity: str = "linear") -> None:
+        if nonlinearity not in self._NONLINEARITIES:
+            raise ValueError(
+                f"nonlinearity must be one of {self._NONLINEARITIES}: "
+                f"{nonlinearity!r}")
+        if nonlinearity != "linear" and not params.is_continuous:
+            raise ValueError(
+                "non-linear ramp shapes require canonical slopes")
+        self.params = params
+        self.clip_to_rails = clip_to_rails
+        self.nonlinearity = nonlinearity
+        self._evaluations = 0
+
+    @property
+    def evaluations(self) -> int:
+        """Number of match evaluations performed."""
+        return self._evaluations
+
+    def program(self, params: PCAMParams) -> None:
+        """Reprogram the cell — the ``update_pCAM()`` entry point."""
+        self.params = params
+
+    def region(self, value: float) -> MatchRegion:
+        """Classify an input into one of the five regions."""
+        p = self.params
+        if value <= p.m1:
+            return MatchRegion.MISMATCH_LOW
+        if value < p.m2:
+            return MatchRegion.PROBABLE_RISING
+        if value <= p.m3:
+            return MatchRegion.MATCH
+        if value < p.m4:
+            return MatchRegion.PROBABLE_FALLING
+        return MatchRegion.MISMATCH_HIGH
+
+    def response(self, value: float) -> float:
+        """The paper's ``pCAM(input)`` for a scalar input."""
+        return float(self.response_array(np.asarray([value]))[0])
+
+    def __call__(self, value: float) -> float:
+        return self.response(value)
+
+    def response_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised transfer function over an input array."""
+        x = np.asarray(values, dtype=float)
+        p = self.params
+        self._evaluations += x.size
+
+        if self.nonlinearity == "linear":
+            rising = p.sa * x + (p.m2 * p.pmin - p.m1 * p.pmax) / (p.m2 - p.m1)
+            falling = p.sb * x + (p.m4 * p.pmax - p.m3 * p.pmin) / (p.m4 - p.m3)
+        else:
+            rising = self._shaped_ramp(x, p.m1, p.m2, ascending=True)
+            falling = self._shaped_ramp(x, p.m3, p.m4, ascending=False)
+
+        output = np.select(
+            condlist=[
+                (x <= p.m1) | (x >= p.m4),
+                x > p.m3,
+                x < p.m2,
+            ],
+            choicelist=[np.full_like(x, p.pmin), falling, rising],
+            default=p.pmax,
+        )
+        if self.clip_to_rails:
+            output = np.clip(output, p.pmin, p.pmax)
+        return output
+
+    def _shaped_ramp(self, x: np.ndarray, lo: float, hi: float, *,
+                     ascending: bool) -> np.ndarray:
+        """Non-linear ramp between ``lo`` and ``hi`` (future-work mode)."""
+        p = self.params
+        t = np.clip((x - lo) / (hi - lo), 0.0, 1.0)
+        if not ascending:
+            t = 1.0 - t
+        if self.nonlinearity == "sigmoid":
+            # Logistic reshaping normalised to hit 0/1 at the ends.
+            steepness = 10.0
+            raw = 1.0 / (1.0 + np.exp(-steepness * (t - 0.5)))
+            lo_v = 1.0 / (1.0 + np.exp(steepness * 0.5))
+            hi_v = 1.0 / (1.0 + np.exp(-steepness * 0.5))
+            shape = (raw - lo_v) / (hi_v - lo_v)
+        else:  # gaussian
+            shape = np.exp(-4.0 * (1.0 - t) ** 2)
+            shape = (shape - np.exp(-4.0)) / (1.0 - np.exp(-4.0))
+        return p.pmin + (p.pmax - p.pmin) * shape
+
+    def deterministic_match(self, value: float) -> bool | None:
+        """Digital view of the output: True/False, or None if probabilistic.
+
+        This is the paper's point that pCAM *subsumes* TCAM: inside
+        [M2, M3] the cell behaves as logic-1, outside [M1, M4] as
+        logic-0, and in between it produces the analog levels a TCAM
+        cannot express.
+        """
+        region = self.region(value)
+        if region is MatchRegion.MATCH:
+            return True
+        if region.deterministic:
+            return False
+        return None
+
+    def __repr__(self) -> str:
+        p = self.params
+        return (f"PCAMCell(M=[{p.m1:g}, {p.m2:g}, {p.m3:g}, {p.m4:g}], "
+                f"p=[{p.pmin:g}, {p.pmax:g}], {self.nonlinearity})")

@@ -1,0 +1,213 @@
+"""Series composition of pCAM stages (paper Figure 4b).
+
+"For multistage match-action process, multiple pCAM cells can be
+combined in series to obtain the **product** of deterministic and
+probabilistic matches at the output."
+
+A :class:`PCAMPipeline` holds named stages — each an ideal
+:class:`~repro.core.pcam_cell.PCAMCell` or a device-realised
+:class:`~repro.core.device_cell.DevicePCAMCell` — and evaluates a
+feature vector to a single probability.  The paper's composition is
+the product; ``min``, geometric-mean and arithmetic-mean compositions
+are provided for the ablation benches (DESIGN.md section 5, item 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.device_cell import DevicePCAMCell
+from repro.core.pcam_cell import PCAMCell, PCAMParams
+
+__all__ = [
+    "COMPOSITIONS",
+    "MatchStage",
+    "PCAMPipeline",
+    "StageOutput",
+]
+
+
+class MatchStage(Protocol):
+    """Anything that maps a scalar feature to a match probability."""
+
+    def response(self, value: float) -> float:
+        """Match probability for a scalar feature."""
+        ...
+
+    def program(self, params: PCAMParams) -> object:
+        """Reprogram the stage with fresh parameters."""
+        ...
+
+    @property
+    def params(self) -> PCAMParams:
+        """The stage's current eight-parameter set."""
+        ...
+
+
+def _compose_product(probabilities: np.ndarray) -> float:
+    return float(np.prod(probabilities))
+
+
+def _compose_min(probabilities: np.ndarray) -> float:
+    return float(np.min(probabilities))
+
+
+def _compose_geometric(probabilities: np.ndarray) -> float:
+    return float(np.prod(probabilities) ** (1.0 / len(probabilities)))
+
+
+def _compose_mean(probabilities: np.ndarray) -> float:
+    return float(np.mean(probabilities))
+
+
+#: Available stage-composition rules.  ``"product"`` is the paper's.
+COMPOSITIONS: Mapping[str, Callable[[np.ndarray], float]] = {
+    "product": _compose_product,
+    "min": _compose_min,
+    "geometric": _compose_geometric,
+    "mean": _compose_mean,
+}
+
+
+@dataclass(frozen=True)
+class StageOutput:
+    """Per-stage diagnostics of one pipeline evaluation."""
+
+    name: str
+    feature: float
+    probability: float
+
+
+class PCAMPipeline:
+    """An ordered set of named pCAM stages evaluated in series.
+
+    Parameters
+    ----------
+    stages:
+        Mapping of stage name to match stage.  Iteration order is the
+        physical series order.
+    composition:
+        Key into :data:`COMPOSITIONS`; ``"product"`` reproduces the
+        paper's Figure 4b behaviour.
+    """
+
+    def __init__(self, stages: Mapping[str, MatchStage],
+                 composition: str = "product") -> None:
+        if not stages:
+            raise ValueError("pipeline needs at least one stage")
+        if composition not in COMPOSITIONS:
+            raise ValueError(
+                f"unknown composition {composition!r}; "
+                f"choose from {sorted(COMPOSITIONS)}")
+        self._stages = dict(stages)
+        self.composition = composition
+        self._compose = COMPOSITIONS[composition]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """Stage names in physical series order."""
+        return tuple(self._stages)
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def stage(self, name: str) -> MatchStage:
+        """Access one stage by name."""
+        try:
+            return self._stages[name]
+        except KeyError:
+            raise KeyError(
+                f"no stage {name!r}; stages: {self.stage_names}") from None
+
+    def program_stage(self, name: str, params: PCAMParams) -> None:
+        """Reprogram one stage — the per-stage half of update_pCAM()."""
+        self.stage(name).program(params)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _feature_vector(self, features: Mapping[str, float] |
+                        Sequence[float]) -> list[tuple[str, float]]:
+        if isinstance(features, Mapping):
+            missing = [name for name in self._stages if name not in features]
+            if missing:
+                raise KeyError(f"missing features for stages: {missing}")
+            return [(name, float(features[name])) for name in self._stages]
+        values = list(features)
+        if len(values) != len(self._stages):
+            raise ValueError(
+                f"expected {len(self._stages)} features, got {len(values)}")
+        return list(zip(self._stages, (float(v) for v in values)))
+
+    def evaluate(self, features: Mapping[str, float] |
+                 Sequence[float]) -> float:
+        """Composite match probability for a full feature vector."""
+        pairs = self._feature_vector(features)
+        probabilities = np.array(
+            [self._stages[name].response(value) for name, value in pairs])
+        return self._compose(probabilities)
+
+    def evaluate_trace(self, features: Mapping[str, float] |
+                       Sequence[float]) -> tuple[float, list[StageOutput]]:
+        """Composite probability plus the per-stage breakdown."""
+        pairs = self._feature_vector(features)
+        outputs = [StageOutput(name=name, feature=value,
+                               probability=self._stages[name].response(value))
+                   for name, value in pairs]
+        probabilities = np.array([o.probability for o in outputs])
+        return self._compose(probabilities), outputs
+
+    def programming_energy_j(self) -> float:
+        """Total programming energy of device-realised stages [J]."""
+        return sum(stage.programming_energy_j
+                   for stage in self._stages.values()
+                   if isinstance(stage, DevicePCAMCell))
+
+    def evaluate_with_energy(self, features: Mapping[str, float] |
+                             Sequence[float]) -> tuple[float, float]:
+        """(probability, evaluation energy in joules) for one vector.
+
+        Ideal stages contribute zero energy; device stages contribute
+        their two-read evaluation energy.
+        """
+        pairs = self._feature_vector(features)
+        probabilities = []
+        energy = 0.0
+        for name, value in pairs:
+            stage = self._stages[name]
+            if isinstance(stage, DevicePCAMCell):
+                result = stage.evaluate(value)
+                probabilities.append(result.probability)
+                energy += result.energy_j
+            else:
+                probabilities.append(stage.response(value))
+        return self._compose(np.array(probabilities)), energy
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, PCAMParams],
+                    composition: str = "product", *,
+                    device_backed: bool = False,
+                    **device_kwargs: object) -> "PCAMPipeline":
+        """Build a pipeline from per-stage parameters.
+
+        With ``device_backed`` every stage is realised on simulated
+        memristors (extra keyword arguments are forwarded to
+        :class:`DevicePCAMCell`).
+        """
+        stages: dict[str, MatchStage] = {}
+        for name, stage_params in params.items():
+            if device_backed:
+                stages[name] = DevicePCAMCell(stage_params, **device_kwargs)
+            else:
+                stages[name] = PCAMCell(stage_params)
+        return cls(stages, composition=composition)
+
+    def __repr__(self) -> str:
+        return (f"PCAMPipeline(stages={list(self._stages)}, "
+                f"composition={self.composition!r})")

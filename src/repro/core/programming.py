@@ -1,0 +1,130 @@
+"""Programming abstractions for analog network functions (paper Sec. 5).
+
+The paper argues analog hardware needs a different programming model:
+the programmer specifies the hardware transfer function *from the
+application layer* rather than leaving resource mapping entirely to a
+compiler.  The abstractions here mirror the paper's pseudocode
+one-to-one:
+
+=====================  =================================================
+Paper                  This module
+=====================  =================================================
+``prog_pCAM(...)``     :func:`repro.core.pcam_cell.prog_pcam`
+``pCAM(input)``        :class:`repro.core.pcam_cell.PCAMCell`
+``AQM() { pipeline }`` :class:`PipelineProgram` -> ``PCAMPipeline``
+``table analogAQM``    :class:`TableProgram` -> ``AnalogMatchActionTable``
+``update_pCAM(...)``   :func:`update_pcam`
+=====================  =================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.match_action import AnalogMatchActionTable, StoredActionMemory
+from repro.core.pcam_cell import PCAMParams, prog_pcam
+from repro.core.pcam_pipeline import PCAMPipeline
+
+__all__ = [
+    "PipelineProgram",
+    "TableProgram",
+    "prog_pcam",
+    "update_pcam",
+]
+
+
+def update_pcam(target: PCAMPipeline | AnalogMatchActionTable,
+                stage: str, params: PCAMParams) -> None:
+    """The paper's ``update_pCAM(id, parameter[1:8])`` action.
+
+    Reprograms one named stage of a pipeline (or of a table's
+    pipeline) with a fresh eight-parameter set.
+    """
+    pipeline = (target.pipeline
+                if isinstance(target, AnalogMatchActionTable) else target)
+    pipeline.program_stage(stage, params)
+
+
+class PipelineProgram:
+    """Fluent builder for the paper's ``AQM() { pipeline { ... } }``.
+
+    >>> program = (PipelineProgram()
+    ...            .stage("sojourn_time", prog_pcam(0.0, 0.5, 1.5, 2.0))
+    ...            .stage("d_dt_sojourn", prog_pcam(-1.0, -0.5, 0.5, 1.0)))
+    >>> pipeline = program.build()
+    """
+
+    def __init__(self, composition: str = "product") -> None:
+        self._stages: dict[str, PCAMParams] = {}
+        self._composition = composition
+
+    def stage(self, name: str, params: PCAMParams) -> "PipelineProgram":
+        """Append a named pCAM stage; order of calls is series order."""
+        if not name:
+            raise ValueError("stage needs a name")
+        if name in self._stages:
+            raise ValueError(f"duplicate stage {name!r}")
+        self._stages[name] = params
+        return self
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """Declared stage names, in series order."""
+        return tuple(self._stages)
+
+    def build(self, *, device_backed: bool = False,
+              **device_kwargs: object) -> PCAMPipeline:
+        """Materialise the pipeline (ideal or device-realised)."""
+        if not self._stages:
+            raise ValueError("program has no stages")
+        return PCAMPipeline.from_params(
+            self._stages, composition=self._composition,
+            device_backed=device_backed, **device_kwargs)
+
+
+class TableProgram:
+    """Fluent builder for ``table <name> { read / output / action }``.
+
+    The ``read`` section is implied by the output program's stages —
+    exactly as in the paper, where the table reads the same features
+    the ``AQM()`` pipeline consumes.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("table needs a name")
+        self._name = name
+        self._output: PipelineProgram | None = None
+        self._action: Callable | None = None
+        self._memory: StoredActionMemory | None = None
+
+    def output(self, program: PipelineProgram) -> "TableProgram":
+        """Set the ``output { ... }`` section."""
+        self._output = program
+        return self
+
+    def action(self, action: Callable[[AnalogMatchActionTable, float,
+                                       Mapping[str, float]], str | None]
+               ) -> "TableProgram":
+        """Set the ``action { ... }`` section."""
+        self._action = action
+        return self
+
+    def stored_actions(self, memory: StoredActionMemory) -> "TableProgram":
+        """Attach memristor-based action storage (indirect output use)."""
+        self._memory = memory
+        return self
+
+    def build(self, *, device_backed: bool = False,
+              **device_kwargs: object) -> AnalogMatchActionTable:
+        """Materialise the match-action table."""
+        if self._output is None:
+            raise ValueError(f"table {self._name!r} has no output program")
+        pipeline = self._output.build(device_backed=device_backed,
+                                      **device_kwargs)
+        return AnalogMatchActionTable(
+            name=self._name,
+            reads=self._output.stage_names,
+            pipeline=pipeline,
+            action=self._action,
+            action_memory=self._memory)

@@ -1,0 +1,15 @@
+"""Analog circuit substrate: crossbar arrays, converters, sensing, losses."""
+
+from repro.crossbar.array import Crossbar, MatVecResult
+from repro.crossbar.converters import ADC, DAC
+from repro.crossbar.losses import LineLossModel
+from repro.crossbar.sensing import SenseAmplifier
+
+__all__ = [
+    "ADC",
+    "Crossbar",
+    "DAC",
+    "LineLossModel",
+    "MatVecResult",
+    "SenseAmplifier",
+]

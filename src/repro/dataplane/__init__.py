@@ -1,0 +1,71 @@
+"""The memristor-based cognitive packet-processing architecture (Figure 5)."""
+
+from repro.dataplane.buffer_sharing import (
+    ABMPolicy,
+    BufferPool,
+    DynamicThresholdPolicy,
+)
+from repro.dataplane.control_loop import Intent, IntentController
+from repro.dataplane.controller import (
+    CognitiveNetworkController,
+    RegisteredFunction,
+)
+from repro.dataplane.packet import FIVE_TUPLE_FIELDS, Packet
+from repro.dataplane.parser import (
+    HeaderParser,
+    ParseError,
+    build_ethernet_frame,
+    build_ipv4_packet,
+)
+from repro.dataplane.pipeline import (
+    AnalogPacketProcessor,
+    ProcessResult,
+    Verdict,
+)
+from repro.dataplane.queues import PacketQueue
+from repro.dataplane.telemetry import (
+    TableStats,
+    TelemetryCollector,
+    int_metadata,
+    stamp_packet,
+)
+from repro.dataplane.tables import (
+    DigitalMatchActionTable,
+    FieldKeySpec,
+    TableLookup,
+)
+from repro.dataplane.traffic_manager import (
+    CognitiveTrafficManager,
+    PortStats,
+    TrafficManager,
+)
+
+__all__ = [
+    "ABMPolicy",
+    "AnalogPacketProcessor",
+    "BufferPool",
+    "DynamicThresholdPolicy",
+    "Intent",
+    "IntentController",
+    "TableStats",
+    "TelemetryCollector",
+    "int_metadata",
+    "stamp_packet",
+    "CognitiveNetworkController",
+    "CognitiveTrafficManager",
+    "DigitalMatchActionTable",
+    "FIVE_TUPLE_FIELDS",
+    "FieldKeySpec",
+    "HeaderParser",
+    "Packet",
+    "PacketQueue",
+    "ParseError",
+    "PortStats",
+    "ProcessResult",
+    "RegisteredFunction",
+    "TableLookup",
+    "TrafficManager",
+    "Verdict",
+    "build_ethernet_frame",
+    "build_ipv4_packet",
+]

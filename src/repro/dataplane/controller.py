@@ -1,0 +1,146 @@
+"""The cognitive network controller (Figure 5, top).
+
+"The splitting of network functions into the digital and analog
+domains requires a cognitive network controller.  The controller
+programs the memristor-based pCAMs and TCAMs based upon the
+requirements of the network functions."
+
+:class:`CognitiveNetworkController` owns a
+:class:`~repro.core.compiler.CognitiveCompiler`, registers declared
+network functions, compiles the digital/analog split, and exposes the
+run-time reprogramming path (``update_pCAM``) to the functions it
+placed in the analog domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.compiler import (
+    CognitiveCompiler,
+    Domain,
+    NetworkFunctionSpec,
+    Placement,
+)
+from repro.core.pcam_cell import PCAMParams
+from repro.core.pcam_pipeline import PCAMPipeline
+from repro.core.programming import update_pcam
+
+__all__ = ["CognitiveNetworkController", "RegisteredFunction"]
+
+
+@dataclass
+class RegisteredFunction:
+    """A network function known to the controller."""
+
+    spec: NetworkFunctionSpec
+    #: Called with the assigned domain when the split is compiled;
+    #: the function installs itself on the corresponding hardware.
+    install: Callable[[Domain], None] | None = None
+    domain: Domain | None = None
+    #: Analog pipelines the controller may reprogram at run time.
+    pipelines: dict[str, PCAMPipeline] = field(default_factory=dict)
+
+
+class CognitiveNetworkController:
+    """Compiles and programs the digital/analog function split."""
+
+    def __init__(self, compiler: CognitiveCompiler | None = None) -> None:
+        self.compiler = compiler or CognitiveCompiler()
+        self._functions: dict[str, RegisteredFunction] = {}
+        self._placement: Placement | None = None
+        self.reprogram_events = 0
+
+    # ------------------------------------------------------------------
+    # Registration & compilation
+    # ------------------------------------------------------------------
+    def register(self, spec: NetworkFunctionSpec,
+                 install: Callable[[Domain], None] | None = None
+                 ) -> RegisteredFunction:
+        """Declare a network function to be placed."""
+        if spec.name in self._functions:
+            raise ValueError(f"function {spec.name!r} already registered")
+        registration = RegisteredFunction(spec=spec, install=install)
+        self._functions[spec.name] = registration
+        return registration
+
+    @property
+    def functions(self) -> tuple[str, ...]:
+        """Names of every registered network function."""
+        return tuple(self._functions)
+
+    @property
+    def placement(self) -> Placement | None:
+        """The compiled placement, or None before compile()."""
+        return self._placement
+
+    def compile(self) -> Placement:
+        """Run the precision-aware split and install every function."""
+        if not self._functions:
+            raise ValueError("no functions registered")
+        specs = [registration.spec
+                 for registration in self._functions.values()]
+        placement = self.compiler.place(specs)
+        self._placement = placement
+        for registration in self._functions.values():
+            domain = placement.domain_of(registration.spec.name)
+            registration.domain = domain
+            if registration.install is not None:
+                registration.install(domain)
+        return placement
+
+    def domain_of(self, name: str) -> Domain:
+        """Placement domain of a named function (after compile())."""
+        if self._placement is None:
+            raise RuntimeError("compile() has not been run")
+        return self._placement.domain_of(name)
+
+    # ------------------------------------------------------------------
+    # Run-time reprogramming (update_pCAM path)
+    # ------------------------------------------------------------------
+    def attach_pipeline(self, function_name: str, pipeline_name: str,
+                        pipeline: PCAMPipeline) -> None:
+        """Expose an analog pipeline for run-time reprogramming."""
+        registration = self._require(function_name)
+        registration.pipelines[pipeline_name] = pipeline
+
+    def reprogram(self, function_name: str, pipeline_name: str,
+                  stage: str, params: PCAMParams) -> None:
+        """update_pCAM: push fresh parameters into a placed pipeline."""
+        registration = self._require(function_name)
+        if registration.domain is not Domain.ANALOG_PCAM:
+            raise ValueError(
+                f"{function_name!r} is not placed in the analog domain")
+        try:
+            pipeline = registration.pipelines[pipeline_name]
+        except KeyError:
+            raise KeyError(
+                f"{function_name!r} has no pipeline {pipeline_name!r}; "
+                f"attached: {list(registration.pipelines)}") from None
+        update_pcam(pipeline, stage, params)
+        self.reprogram_events += 1
+
+    def _require(self, name: str) -> RegisteredFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown function {name!r}; registered: "
+                f"{list(self._functions)}") from None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> list[str]:
+        """Human-readable placement report."""
+        if self._placement is None:
+            return ["<not compiled>"]
+        lines = [f"analog error budget: {self._placement.budget.total:.4f} "
+                 f"(dominant: {self._placement.budget.dominant_term()})"]
+        for registration in self._functions.values():
+            name = registration.spec.name
+            lines.append(
+                f"  {name:<20} -> {registration.domain.value:<12} "
+                f"({self._placement.rationale[name]})")
+        return lines

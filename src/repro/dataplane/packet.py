@@ -1,0 +1,11 @@
+"""Compatibility re-export: the Packet class lives in :mod:`repro.packet`.
+
+Kept so that ``repro.dataplane.packet`` remains a valid import path for
+the data-plane-centric view of the class; the implementation moved to
+the package root to keep the dependency graph acyclic (network
+functions consume packets without depending on the switch model).
+"""
+
+from repro.packet import FIVE_TUPLE_FIELDS, Packet
+
+__all__ = ["FIVE_TUPLE_FIELDS", "Packet"]

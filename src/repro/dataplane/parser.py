@@ -1,0 +1,140 @@
+"""Packet parser: raw bytes -> header fields (Figure 5's "Parser").
+
+Parses Ethernet / IPv4 / {TCP, UDP} far enough to extract the fields
+the match-action tables consume (the 5-tuple plus TTL and DSCP), and
+provides builders so tests and examples can fabricate wire-format
+packets without external dependencies.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+
+from repro.packet import Packet
+
+__all__ = [
+    "HeaderParser",
+    "ParseError",
+    "build_ethernet_frame",
+    "build_ipv4_packet",
+]
+
+ETHERTYPE_IPV4 = 0x0800
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_ETH_HEADER = struct.Struct("!6s6sH")
+_IPV4_FIXED = struct.Struct("!BBHHHBBH4s4s")
+_PORTS = struct.Struct("!HH")
+
+
+class ParseError(ValueError):
+    """Raised when a frame cannot be parsed into header fields."""
+
+
+def build_ethernet_frame(payload: bytes,
+                         eth_dst: str = "ff:ff:ff:ff:ff:ff",
+                         eth_src: str = "00:00:00:00:00:01",
+                         ethertype: int = ETHERTYPE_IPV4) -> bytes:
+    """Wrap a payload in an Ethernet II header."""
+    def mac(text: str) -> bytes:
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"bad MAC address: {text!r}")
+        return bytes(int(part, 16) for part in parts)
+
+    return _ETH_HEADER.pack(mac(eth_dst), mac(eth_src), ethertype) + payload
+
+
+def build_ipv4_packet(src_ip: str, dst_ip: str, protocol: int = PROTO_UDP,
+                      src_port: int = 1234, dst_port: int = 80,
+                      payload: bytes = b"", ttl: int = 64,
+                      dscp: int = 0) -> bytes:
+    """An IPv4 packet with a minimal TCP/UDP transport header."""
+    if protocol in (PROTO_TCP, PROTO_UDP):
+        transport = _PORTS.pack(src_port, dst_port)
+        if protocol == PROTO_UDP:
+            transport += struct.pack("!HH", 8 + len(payload), 0)
+        else:
+            # Remaining 16 bytes of a minimal TCP header.
+            transport += struct.pack("!IIBBHHH", 0, 0, 5 << 4, 0, 0, 0, 0)
+    else:
+        transport = b""
+    body = transport + payload
+    total_length = 20 + len(body)
+    header = _IPV4_FIXED.pack(
+        (4 << 4) | 5,            # version + IHL
+        dscp << 2,               # DSCP in the TOS byte
+        total_length,
+        0, 0,                    # identification, flags/fragment
+        ttl,
+        protocol,
+        0,                       # checksum (not validated by parser)
+        ipaddress.ip_address(src_ip).packed,
+        ipaddress.ip_address(dst_ip).packed)
+    return header + body
+
+
+class HeaderParser:
+    """Extracts match fields from wire-format frames.
+
+    ``parse_frame`` accepts an Ethernet frame; ``parse_ipv4`` accepts a
+    bare IPv4 packet.  Both return a :class:`Packet` whose ``fields``
+    dict carries everything the tables read.
+    """
+
+    def __init__(self) -> None:
+        self.parsed = 0
+        self.errors = 0
+
+    def parse_frame(self, frame: bytes, created_at: float = 0.0) -> Packet:
+        """Parse Ethernet + IPv4 (+ transport)."""
+        if len(frame) < _ETH_HEADER.size:
+            self.errors += 1
+            raise ParseError(f"frame too short: {len(frame)} bytes")
+        dst, src, ethertype = _ETH_HEADER.unpack_from(frame)
+        if ethertype != ETHERTYPE_IPV4:
+            self.errors += 1
+            raise ParseError(f"unsupported ethertype 0x{ethertype:04x}")
+        packet = self.parse_ipv4(frame[_ETH_HEADER.size:],
+                                 created_at=created_at,
+                                 frame_overhead=_ETH_HEADER.size)
+        packet.fields["eth_dst"] = dst.hex(":")
+        packet.fields["eth_src"] = src.hex(":")
+        return packet
+
+    def parse_ipv4(self, data: bytes, created_at: float = 0.0,
+                   frame_overhead: int = 0) -> Packet:
+        """Parse a bare IPv4 packet into match fields."""
+        if len(data) < _IPV4_FIXED.size:
+            self.errors += 1
+            raise ParseError(f"IPv4 packet too short: {len(data)} bytes")
+        (version_ihl, tos, total_length, _ident, _frag, ttl, protocol,
+         _checksum, src, dst) = _IPV4_FIXED.unpack_from(data)
+        version = version_ihl >> 4
+        if version != 4:
+            self.errors += 1
+            raise ParseError(f"not IPv4 (version {version})")
+        ihl_bytes = (version_ihl & 0x0F) * 4
+        if ihl_bytes < 20 or len(data) < ihl_bytes:
+            self.errors += 1
+            raise ParseError(f"bad IHL: {ihl_bytes} bytes")
+        fields: dict[str, object] = {
+            "src_ip": str(ipaddress.ip_address(src)),
+            "dst_ip": str(ipaddress.ip_address(dst)),
+            "protocol": protocol,
+            "ttl": ttl,
+            "dscp": tos >> 2,
+        }
+        if protocol in (PROTO_TCP, PROTO_UDP) \
+                and len(data) >= ihl_bytes + _PORTS.size:
+            src_port, dst_port = _PORTS.unpack_from(data, ihl_bytes)
+            fields["src_port"] = src_port
+            fields["dst_port"] = dst_port
+        self.parsed += 1
+        size = max(total_length + frame_overhead, len(data))
+        # DSCP class selector -> scheduling priority (CS6/CS7 highest).
+        priority = 0 if tos >> 5 >= 6 else 1
+        return Packet(size_bytes=size, priority=priority, fields=fields,
+                      created_at=created_at)

@@ -1,0 +1,196 @@
+"""The full memristor-based cognitive packet processor (Figure 5).
+
+Wires together every block of the proposed architecture:
+
+    ingress -> Parser -> digital MATs (firewall, IP lookup on
+    memristor TCAMs) -> analog MATs (pCAM) -> Cognitive Traffic
+    Manager (pCAM-based AQM at egress) -> egress queues
+
+and keeps a per-component energy ledger so experiments can attribute
+the cost of each packet to the digital and analog domains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dataplane.controller import CognitiveNetworkController
+from repro.packet import Packet
+from repro.dataplane.parser import HeaderParser, ParseError
+from repro.dataplane.telemetry import TelemetryCollector, stamp_packet
+from repro.dataplane.traffic_manager import CognitiveTrafficManager
+from repro.energy.ledger import EnergyLedger
+from repro.netfunc.aqm.pcam_aqm import PCAMAQM
+from repro.netfunc.firewall import Action, Firewall, FirewallRule
+from repro.netfunc.lookup import IPLookup
+from repro.tcam.mtcam import MemristorTCAM
+
+__all__ = ["AnalogPacketProcessor", "ProcessResult", "Verdict"]
+
+
+class Verdict(enum.Enum):
+    """Fate of a processed packet."""
+
+    QUEUED = "queued"
+    DROPPED_PARSE = "dropped_parse"
+    DROPPED_ACL = "dropped_acl"
+    DROPPED_NO_ROUTE = "dropped_no_route"
+    DROPPED_AQM = "dropped_aqm"
+    DROPPED_OVERFLOW = "dropped_overflow"
+
+
+@dataclass(frozen=True)
+class ProcessResult:
+    """Outcome of one packet's trip through the pipeline."""
+
+    verdict: Verdict
+    port: int | None = None
+    packet: Packet | None = None
+
+    @property
+    def delivered(self) -> bool:
+        """True when the packet reached an egress queue."""
+        return self.verdict is Verdict.QUEUED
+
+
+class AnalogPacketProcessor:
+    """The Figure 5 switch: digital + analog match-action pipeline.
+
+    Parameters
+    ----------
+    n_ports:
+        Number of egress ports.
+    use_memristor_tcam:
+        Back the digital tables with memristor TCAMs (the paper's
+        architecture) instead of transistor TCAMs (the baseline).
+    aqm_factory:
+        Builds the per-port AQM; defaults to the pCAM-based AQM.
+    port_rate_bps:
+        Egress line rate used by the AQM's delay estimator.
+    """
+
+    def __init__(self, n_ports: int = 4, *,
+                 use_memristor_tcam: bool = True,
+                 aqm_factory=None,
+                 port_rate_bps: float = 10e9,
+                 queue_capacity: int = 4096,
+                 controller: CognitiveNetworkController | None = None
+                 ) -> None:
+        if n_ports < 1:
+            raise ValueError(f"need at least one port: {n_ports!r}")
+        self.ledger = EnergyLedger()
+        self.parser = HeaderParser()
+        if use_memristor_tcam:
+            firewall_tcam = MemristorTCAM(Firewall.WIDTH,
+                                          ledger=self.ledger)
+            lookup_tcam = MemristorTCAM(IPLookup.WIDTH, ledger=self.ledger)
+        else:
+            firewall_tcam = None
+            lookup_tcam = None
+        self.firewall = Firewall(default_action=Action.PERMIT,
+                                 tcam=firewall_tcam, ledger=self.ledger)
+        self.lookup = IPLookup(tcam=lookup_tcam, ledger=self.ledger)
+        factory = aqm_factory or (lambda: PCAMAQM(ledger=self.ledger))
+        self.traffic_manager = CognitiveTrafficManager(
+            n_ports, aqm_factory=factory,
+            queue_capacity=queue_capacity,
+            port_rate_bps=port_rate_bps)
+        self.controller = controller or CognitiveNetworkController()
+        self.telemetry = TelemetryCollector()
+        self._ports_by_hop: dict[str, int] = {}
+        self.processed = 0
+        self.verdict_counts: dict[Verdict, int] = {
+            verdict: 0 for verdict in Verdict}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_route(self, prefix: str, port: int) -> None:
+        """Route a prefix to an egress port."""
+        if not 0 <= port < self.traffic_manager.n_ports:
+            raise IndexError(f"port {port} out of range")
+        next_hop = f"port{port}"
+        self._ports_by_hop[next_hop] = port
+        self.lookup.add_route(prefix, next_hop)
+
+    def add_firewall_rule(self, rule: FirewallRule) -> None:
+        """Append an ACL rule to the ingress firewall."""
+        self.firewall.add_rule(rule)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def process_frame(self, frame: bytes, now: float = 0.0
+                      ) -> ProcessResult:
+        """Parse a wire-format Ethernet frame and process it."""
+        try:
+            packet = self.parser.parse_frame(frame, created_at=now)
+        except ParseError:
+            return self._finish(Verdict.DROPPED_PARSE)
+        return self.process(packet, now)
+
+    def process(self, packet: Packet, now: float = 0.0) -> ProcessResult:
+        """Run one parsed packet through the match-action pipeline."""
+        acl = self.firewall.check(packet)
+        self.telemetry.record_lookup(
+            "firewall",
+            hit=acl is not self.firewall.default_action,
+            verdict=acl.value)
+        if acl is Action.DENY:
+            packet.dropped = True
+            self.telemetry.record_event("acl_drop")
+            return self._finish(Verdict.DROPPED_ACL, packet=packet)
+        dst = packet.field("dst_ip")
+        next_hop = self.lookup.lookup(dst) if dst else None
+        self.telemetry.record_lookup("ip_lookup",
+                                     hit=next_hop is not None,
+                                     verdict=next_hop)
+        if next_hop is None:
+            packet.dropped = True
+            self.telemetry.record_event("no_route_drop")
+            return self._finish(Verdict.DROPPED_NO_ROUTE, packet=packet)
+        port = self._ports_by_hop[next_hop]
+        stamp_packet(packet, f"egress{port}",
+                     self.traffic_manager.backlog(port), now)
+        before = self.traffic_manager.stats[port].aqm_drops
+        admitted = self.traffic_manager.enqueue(port, packet, now)
+        self.telemetry.set_gauge(f"port{port}.backlog",
+                                 self.traffic_manager.backlog(port))
+        if admitted:
+            return self._finish(Verdict.QUEUED, port=port, packet=packet)
+        if self.traffic_manager.stats[port].aqm_drops > before:
+            self.telemetry.record_event("aqm_drop")
+            return self._finish(Verdict.DROPPED_AQM, port=port,
+                                packet=packet)
+        self.telemetry.record_event("overflow_drop")
+        return self._finish(Verdict.DROPPED_OVERFLOW, port=port,
+                            packet=packet)
+
+    def drain(self, port: int, now: float = 0.0,
+              limit: int | None = None) -> list[Packet]:
+        """Serve pending packets from one egress port."""
+        served: list[Packet] = []
+        while limit is None or len(served) < limit:
+            packet = self.traffic_manager.dequeue(port, now)
+            if packet is None:
+                break
+            served.append(packet)
+        return served
+
+    def _finish(self, verdict: Verdict, port: int | None = None,
+                packet: Packet | None = None) -> ProcessResult:
+        self.processed += 1
+        self.verdict_counts[verdict] += 1
+        return ProcessResult(verdict=verdict, port=port, packet=packet)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def energy_total_j(self) -> float:
+        """Total energy across all pipeline components [J]."""
+        return self.ledger.total
+
+    def energy_breakdown(self) -> dict[str, float]:
+        """Per-account energy totals of the whole pipeline [J]."""
+        return self.ledger.breakdown()

@@ -1,0 +1,180 @@
+"""Traffic managers: scheduling and the cognitive AQM hook (Figure 5/6).
+
+The plain :class:`TrafficManager` schedules egress queues with strict
+priority; the :class:`CognitiveTrafficManager` additionally runs an
+AQM policy at every egress enqueue — the "Cognitive Traffic Manager"
+block of Figure 6, where the pCAM-based AQM lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.packet import Packet
+from repro.dataplane.queues import PacketQueue
+from repro.netfunc.aqm.base import AQMAlgorithm
+
+__all__ = ["CognitiveTrafficManager", "PortStats", "TrafficManager"]
+
+
+@dataclass
+class PortStats:
+    """Counters per egress port."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    aqm_drops: int = 0
+    overflow_drops: int = 0
+
+
+class TrafficManager:
+    """Per-port egress queues with strict-priority scheduling.
+
+    Each port owns one queue per priority class; :meth:`dequeue`
+    always serves the lowest-numbered non-empty class.
+    """
+
+    def __init__(self, n_ports: int, n_priorities: int = 2,
+                 queue_capacity: int = 1024) -> None:
+        if n_ports < 1:
+            raise ValueError(f"need at least one port: {n_ports!r}")
+        if n_priorities < 1:
+            raise ValueError(
+                f"need at least one priority class: {n_priorities!r}")
+        self.n_ports = n_ports
+        self.n_priorities = n_priorities
+        self._queues = [
+            [PacketQueue(name=f"port{port}.prio{prio}",
+                         capacity_packets=queue_capacity)
+             for prio in range(n_priorities)]
+            for port in range(n_ports)]
+        self.stats = [PortStats() for _ in range(n_ports)]
+
+    def _classify(self, packet: Packet) -> int:
+        return min(packet.priority, self.n_priorities - 1)
+
+    def queue(self, port: int, priority: int) -> PacketQueue:
+        """The underlying buffer of one (port, priority) pair."""
+        if not 0 <= port < self.n_ports:
+            raise IndexError(f"port {port} out of range")
+        if not 0 <= priority < self.n_priorities:
+            raise IndexError(f"priority {priority} out of range")
+        return self._queues[port][priority]
+
+    def enqueue(self, port: int, packet: Packet, now: float = 0.0) -> bool:
+        """Admit a packet to its port/class queue."""
+        if not 0 <= port < self.n_ports:
+            raise IndexError(f"port {port} out of range")
+        queue = self._queues[port][self._classify(packet)]
+        admitted = queue.push(packet, now)
+        if admitted:
+            self.stats[port].enqueued += 1
+        else:
+            self.stats[port].overflow_drops += 1
+        return admitted
+
+    def dequeue(self, port: int, now: float = 0.0) -> Packet | None:
+        """Serve the highest-priority pending packet of a port."""
+        if not 0 <= port < self.n_ports:
+            raise IndexError(f"port {port} out of range")
+        for queue in self._queues[port]:
+            packet = queue.pop(now)
+            if packet is not None:
+                self.stats[port].dequeued += 1
+                return packet
+        return None
+
+    def backlog(self, port: int) -> int:
+        """Pending packets on a port across all classes."""
+        return sum(len(queue) for queue in self._queues[port])
+
+
+class _PortQueueView:
+    """Adapts a port's queue set to the AQM QueueView protocol."""
+
+    def __init__(self, manager: "CognitiveTrafficManager",
+                 port: int) -> None:
+        self._manager = manager
+        self._port = port
+
+    @property
+    def backlog_packets(self) -> int:
+        """Pending packets across the port's classes."""
+        return self._manager.backlog(self._port)
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Pending bytes across the port's classes."""
+        return sum(queue.backlog_bytes
+                   for queue in self._manager._queues[self._port])
+
+    @property
+    def capacity_packets(self) -> int:
+        """Aggregate packet capacity of the port's queues."""
+        return sum(queue.capacity_packets
+                   for queue in self._manager._queues[self._port])
+
+    @property
+    def service_rate_bps(self) -> float:
+        """The port's drain rate [bits/s]."""
+        return self._manager.port_rate_bps
+
+    @property
+    def last_sojourn_s(self) -> float:
+        """Sojourn time of the port's most recently served packet [s]."""
+        return self._manager.last_sojourn_s(self._port)
+
+
+class CognitiveTrafficManager(TrafficManager):
+    """A traffic manager with an AQM policy at every egress port."""
+
+    def __init__(self, n_ports: int, aqm_factory, n_priorities: int = 2,
+                 queue_capacity: int = 1024,
+                 port_rate_bps: float = 10e9) -> None:
+        super().__init__(n_ports, n_priorities, queue_capacity)
+        if port_rate_bps <= 0:
+            raise ValueError(
+                f"port rate must be positive: {port_rate_bps!r}")
+        self.port_rate_bps = port_rate_bps
+        self._aqms: list[AQMAlgorithm] = [aqm_factory()
+                                          for _ in range(n_ports)]
+        self._views = [_PortQueueView(self, port)
+                       for port in range(n_ports)]
+        self._last_sojourns = [0.0] * n_ports
+
+    def aqm(self, port: int) -> AQMAlgorithm:
+        """The AQM instance managing one port."""
+        if not 0 <= port < self.n_ports:
+            raise IndexError(f"port {port} out of range")
+        return self._aqms[port]
+
+    def last_sojourn_s(self, port: int) -> float:
+        """Sojourn time of the port's most recently served packet [s]."""
+        return self._last_sojourns[port]
+
+    def enqueue(self, port: int, packet: Packet, now: float = 0.0) -> bool:
+        """Admit a packet after consulting the port's AQM."""
+        if not 0 <= port < self.n_ports:
+            raise IndexError(f"port {port} out of range")
+        if self._aqms[port].on_enqueue(packet, self._views[port], now):
+            packet.dropped = True
+            self.stats[port].aqm_drops += 1
+            return False
+        return super().enqueue(port, packet, now)
+
+    def dequeue(self, port: int, now: float = 0.0) -> Packet | None:
+        """Serve the next packet, honouring AQM head drops."""
+        while True:
+            packet = super().dequeue(port, now)
+            if packet is None:
+                return None
+            sojourn = (now - packet.enqueued_at
+                       if packet.enqueued_at is not None else 0.0)
+            self._last_sojourns[port] = sojourn
+            if self._aqms[port].on_dequeue(packet, self._views[port],
+                                           now, sojourn):
+                packet.dropped = True
+                self.stats[port].aqm_drops += 1
+                self.stats[port].dequeued -= 1
+                continue
+            return packet

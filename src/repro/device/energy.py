@@ -1,0 +1,132 @@
+"""Read-energy extraction from the memristor dataset (paper Sec. 6).
+
+The paper's headline energy claim is extracted from the chip dataset:
+
+    "pCAM has maximum power consumption of 0.16 nJ/bit/cell.  However,
+    pCAM also provides a range of states which show very low energy
+    consumption.  The lowest energy consumption states require only
+    about 0.01 fJ/bit/cell."
+
+This module computes exactly those statistics over a
+:class:`~repro.device.dataset.MemristorDataset` and the >= 50x
+comparison against the best digital design of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.dataset import REFERENCE_READ_DURATION_S, MemristorDataset
+from repro.energy.units import joules_to_femtojoules, joules_to_nanojoules
+
+#: Best published digital figure in Table 1 (Arsovski et al. [2]),
+#: in joules per bit per search: 0.58 fJ/bit.
+BEST_DIGITAL_ENERGY_J_PER_BIT = 0.58e-15
+
+
+@dataclass(frozen=True)
+class EnergyStatistics:
+    """Summary of per-read energies over the dataset's state space."""
+
+    min_j: float
+    max_j: float
+    mean_j: float
+    median_j: float
+    decades: float
+
+    @property
+    def min_fj(self) -> float:
+        """Minimum read energy in fJ/bit/cell (paper: ~0.01 fJ)."""
+        return joules_to_femtojoules(self.min_j)
+
+    @property
+    def max_nj(self) -> float:
+        """Maximum read energy in nJ/bit/cell (paper: ~0.16 nJ)."""
+        return joules_to_nanojoules(self.max_j)
+
+    def improvement_over_digital(
+            self,
+            digital_j_per_bit: float = BEST_DIGITAL_ENERGY_J_PER_BIT
+    ) -> float:
+        """Energy improvement factor of the *lowest-energy* analog
+        states over a digital reference (paper: at least 50x)."""
+        if self.min_j <= 0:
+            raise ValueError("dataset contains non-positive read energy")
+        return digital_j_per_bit / self.min_j
+
+
+def energy_statistics(dataset: MemristorDataset,
+                      search_voltage_v: float | None = None
+                      ) -> EnergyStatistics:
+    """Per-state read energies at the chip's search condition.
+
+    The paper's 0.16 nJ / 0.01 fJ extremes are the energies of the
+    *states* under the standard search read — i.e. the range of the
+    per-state energy as the programmed state varies, at a fixed read
+    voltage.  ``search_voltage_v`` defaults to the device's reference
+    read voltage.
+    """
+    voltage = (dataset.params.v_reference if search_voltage_v is None
+               else search_voltage_v)
+    if voltage == 0.0:
+        raise ValueError("search voltage must be non-zero")
+    currents = dataset.currents_at_voltage(voltage)
+    energies = np.abs(voltage * currents) * REFERENCE_READ_DURATION_S
+    energies = energies[energies > 0.0]
+    if energies.size == 0:
+        raise ValueError("dataset contains no dissipating reads")
+    return _stats_from(energies)
+
+
+def energy_statistics_all_reads(dataset: MemristorDataset,
+                                positive_reads_only: bool = False
+                                ) -> EnergyStatistics:
+    """Read-energy statistics over the full (state, voltage) grid.
+
+    Zero-voltage reads dissipate nothing and are excluded (they would
+    make the minimum trivially zero).  With ``positive_reads_only`` the
+    reverse-bias reads are excluded too, matching a campaign that only
+    searches with positive queries.
+    """
+    voltages = dataset.read_voltages
+    mask = voltages != 0.0
+    if positive_reads_only:
+        mask &= voltages > 0.0
+    energies = dataset.energies_j[:, mask]
+    energies = energies[energies > 0.0]
+    if energies.size == 0:
+        raise ValueError("dataset contains no dissipating reads")
+    return _stats_from(energies)
+
+
+def _stats_from(energies: np.ndarray) -> EnergyStatistics:
+    min_j = float(energies.min())
+    max_j = float(energies.max())
+    return EnergyStatistics(
+        min_j=min_j,
+        max_j=max_j,
+        mean_j=float(energies.mean()),
+        median_j=float(np.median(energies)),
+        decades=float(np.log10(max_j / min_j)),
+    )
+
+
+def energy_histogram(dataset: MemristorDataset,
+                     bins_per_decade: int = 2
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Log-spaced histogram of read energies (counts, bin edges in J).
+
+    Useful for showing that the state space is rich in low-energy
+    states, which is the basis of the paper's efficiency argument.
+    """
+    if bins_per_decade < 1:
+        raise ValueError(f"bins_per_decade must be >= 1: {bins_per_decade!r}")
+    energies = dataset.energies_j[dataset.energies_j > 0.0]
+    lo = np.floor(np.log10(energies.min()))
+    hi = np.ceil(np.log10(energies.max()))
+    n_bins = int((hi - lo) * bins_per_decade)
+    edges = np.logspace(lo, hi, n_bins + 1)
+    counts, _ = np.histogram(energies, bins=edges)
+    return counts, edges

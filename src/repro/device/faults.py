@@ -1,0 +1,120 @@
+"""Device fault injection.
+
+Real memristor arrays ship with defects: cells stuck in the HRS or
+LRS (forming failures), and cells whose state drifts or programs
+imprecisely.  This module wraps the device and crossbar models with
+injectable faults so the robustness of the analog match process can
+be quantified — the reliability face of RQ2.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.device.memristor import NbSTOMemristor
+
+if TYPE_CHECKING:  # avoid a device <-> crossbar import cycle
+    from repro.crossbar.array import Crossbar
+
+__all__ = ["FaultType", "FaultyMemristor", "inject_crossbar_faults"]
+
+
+class FaultType(enum.Enum):
+    """Defect classes observed in memristive arrays."""
+
+    #: Cell permanently in the high-resistance state.
+    STUCK_OFF = "stuck_off"
+    #: Cell permanently in the low-resistance state.
+    STUCK_ON = "stuck_on"
+    #: Cell programs, but lands far from the target (loose forming).
+    IMPRECISE = "imprecise"
+
+
+class FaultyMemristor(NbSTOMemristor):
+    """A memristor with an injected defect.
+
+    ``STUCK_OFF`` / ``STUCK_ON`` pin the state regardless of
+    programming; ``IMPRECISE`` multiplies every programming target's
+    error tolerance by ``imprecision_factor``.
+    """
+
+    def __init__(self, fault: FaultType, *args,
+                 imprecision_factor: float = 20.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.fault = fault
+        if imprecision_factor < 1.0:
+            raise ValueError(
+                f"imprecision factor must be >= 1: {imprecision_factor!r}")
+        self.imprecision_factor = imprecision_factor
+        if fault is FaultType.STUCK_OFF:
+            self._state = 0.0
+        elif fault is FaultType.STUCK_ON:
+            self._state = 1.0
+
+    def apply_pulse(self, voltage_v: float, width_s: float,
+                    substeps: int = 32) -> float:
+        """Pulse the device; stuck cells dissipate but do not move."""
+        if self.fault in (FaultType.STUCK_OFF, FaultType.STUCK_ON):
+            # The pulse dissipates energy but moves nothing.
+            current = abs(self.current(voltage_v))
+            self._pulses += 1
+            return abs(voltage_v) * current * width_s
+        return super().apply_pulse(voltage_v, width_s, substeps)
+
+    def program_state(self, target: float, *, tolerance: float = 0.01,
+                      max_pulses: int = 200,
+                      pulse_width_s: float = 10e-9) -> float:
+        """Program-and-verify, honouring the injected defect."""
+        if self.fault in (FaultType.STUCK_OFF, FaultType.STUCK_ON):
+            # Program-and-verify gives up after max_pulses on a stuck
+            # cell; model the bounded energy of that attempt.
+            if abs(target - self._state) <= tolerance:
+                return 0.0
+            current = abs(self.current(self.params.v_threshold + 0.5))
+            return (max_pulses * abs(self.params.v_threshold + 0.5)
+                    * current * pulse_width_s)
+        if self.fault is FaultType.IMPRECISE:
+            tolerance = tolerance * self.imprecision_factor
+        return super().program_state(target, tolerance=min(0.49, tolerance),
+                                     max_pulses=max_pulses,
+                                     pulse_width_s=pulse_width_s)
+
+
+def inject_crossbar_faults(crossbar: "Crossbar", fault_rate: float,
+                           rng: np.random.Generator,
+                           stuck_on_fraction: float = 0.5
+                           ) -> np.ndarray:
+    """Pin a random fraction of a crossbar's cells at the rails.
+
+    Returns a boolean mask of the faulted cells.  The conductance
+    matrix is modified in place (through the programming interface),
+    and subsequent :meth:`Crossbar.program` calls should re-apply the
+    mask — use the returned mask with :func:`apply_fault_mask`.
+    """
+    if not 0.0 <= fault_rate <= 1.0:
+        raise ValueError(f"fault rate must be in [0, 1]: {fault_rate!r}")
+    if not 0.0 <= stuck_on_fraction <= 1.0:
+        raise ValueError("stuck-on fraction must be in [0, 1]")
+    shape = (crossbar.n_rows, crossbar.n_cols)
+    mask = rng.random(shape) < fault_rate
+    g_min, g_max = crossbar.conductance_bounds
+    conductances = crossbar.conductances
+    stuck_on = mask & (rng.random(shape) < stuck_on_fraction)
+    stuck_off = mask & ~stuck_on
+    conductances[stuck_on] = g_max
+    conductances[stuck_off] = g_min
+    crossbar.program(conductances, write_energy_per_cell_j=0.0)
+    return mask
+
+
+def apply_fault_mask(crossbar: "Crossbar", mask: np.ndarray,
+                     stuck_values: np.ndarray) -> None:
+    """Re-pin faulted cells after a reprogramming pass."""
+    if mask.shape != (crossbar.n_rows, crossbar.n_cols):
+        raise ValueError("mask shape mismatch")
+    conductances = crossbar.conductances
+    conductances[mask] = stuck_values[mask]
+    crossbar.program(conductances, write_energy_per_cell_j=0.0)

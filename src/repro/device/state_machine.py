@@ -1,0 +1,224 @@
+"""The analog state machine of the memristor (paper Figure 2).
+
+Figure 2 shows the property that makes memristors unique among circuit
+elements: the *same* analog input yields *different* outputs depending
+on the programmed initial state, and the set of reachable states can be
+re-programmed at run time — effectively ``n`` selectable state machines
+of ``m`` states each.
+
+The paper formalises this as ``AnalogCompute()``::
+
+    Output_Analog = S[y][x] * Input_Analog
+        for y in 1..n   (n state machines)
+        for x in 1..m   (m states inside a state machine)
+
+This module provides that abstraction both in its ideal algebraic form
+(:class:`AnalogStateMachine`) and realised on simulated devices
+(:class:`DeviceStateMachine`), where each state is a programmed
+memristor conductance and the multiply is performed by Ohm's law in the
+analog domain — computation colocalized with storage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.memristor import MemristorParams, NbSTOMemristor
+from repro.device.variability import VariabilityModel
+
+
+@dataclass(frozen=True)
+class ComputeResult:
+    """Output of one analog compute step."""
+
+    output: float
+    machine: int
+    state_index: int
+    energy_j: float = 0.0
+
+
+class AnalogStateMachine:
+    """Ideal n x m analog state machine (paper Figure 2, AnalogCompute).
+
+    Parameters
+    ----------
+    state_table:
+        Array of shape (n, m): ``state_table[y][x]`` is the analog
+        state value S of state ``x`` in machine ``y``.
+    """
+
+    def __init__(self, state_table: np.ndarray) -> None:
+        table = np.asarray(state_table, dtype=float)
+        if table.ndim != 2 or table.size == 0:
+            raise ValueError(
+                f"state_table must be a non-empty 2-D array, got shape "
+                f"{table.shape}")
+        self._table = table
+        self._machine = 0
+        self._state_index = 0
+
+    @property
+    def n_machines(self) -> int:
+        """Number of selectable state machines (n)."""
+        return self._table.shape[0]
+
+    @property
+    def n_states(self) -> int:
+        """Number of states inside each machine (m)."""
+        return self._table.shape[1]
+
+    @property
+    def machine(self) -> int:
+        """Index of the currently selected state machine."""
+        return self._machine
+
+    @property
+    def state_index(self) -> int:
+        """Index of the current state within the selected machine."""
+        return self._state_index
+
+    @property
+    def state_value(self) -> float:
+        """The analog state value S currently in effect."""
+        return float(self._table[self._machine, self._state_index])
+
+    def select(self, machine: int, state_index: int = 0) -> None:
+        """Switch to another state machine — Figure 2's reprogramming."""
+        if not 0 <= machine < self.n_machines:
+            raise IndexError(f"machine {machine} out of range "
+                             f"[0, {self.n_machines})")
+        if not 0 <= state_index < self.n_states:
+            raise IndexError(f"state {state_index} out of range "
+                             f"[0, {self.n_states})")
+        self._machine = machine
+        self._state_index = state_index
+
+    def set_state(self, state_index: int) -> None:
+        """Move to another state within the current machine."""
+        self.select(self._machine, state_index)
+
+    def reprogram(self, machine: int, new_states: np.ndarray) -> None:
+        """Overwrite one machine's state set with new analog values.
+
+        This models the run-time reprogrammability that Figure 2 calls
+        ``Computation-n``: the same hardware realises a new state
+        machine after reprogramming.
+        """
+        values = np.asarray(new_states, dtype=float)
+        if values.shape != (self.n_states,):
+            raise ValueError(
+                f"expected {self.n_states} states, got shape {values.shape}")
+        if not 0 <= machine < self.n_machines:
+            raise IndexError(f"machine {machine} out of range")
+        self._table[machine] = values
+
+    def compute(self, analog_input: float) -> ComputeResult:
+        """AnalogCompute(): Output = S[y][x] * Input."""
+        return ComputeResult(output=self.state_value * analog_input,
+                             machine=self._machine,
+                             state_index=self._state_index)
+
+    def transfer(self, inputs: np.ndarray) -> np.ndarray:
+        """Vectorised compute over an input array (for sweeps)."""
+        return self.state_value * np.asarray(inputs, dtype=float)
+
+
+class DeviceStateMachine:
+    """The Figure 2 state machine realised on simulated memristors.
+
+    Each (machine, state) pair maps to a target device state; selecting
+    a state programs the physical device, and :meth:`compute` performs
+    the analog multiply as a read — Ohm's law ``I = G(S) * V`` — so the
+    output current *is* the computation, with no data movement.
+
+    Outputs are normalised to the LRS conductance so that a fully-on
+    device computes ``1.0 * input``.
+    """
+
+    def __init__(self, state_table: np.ndarray,
+                 params: MemristorParams | None = None,
+                 variability: VariabilityModel | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        self._ideal = AnalogStateMachine(state_table)
+        table = np.asarray(state_table, dtype=float)
+        if table.min() < 0.0 or table.max() > 1.0:
+            raise ValueError("device state table values must lie in [0, 1]")
+        self._params = params or MemristorParams()
+        self._device = NbSTOMemristor(
+            params=self._params,
+            variability=variability or VariabilityModel.ideal(),
+            rng=rng)
+        self._programming_energy = 0.0
+        self.select(0, 0)
+
+    def _internal_state_for(self, s_value: float) -> float:
+        """Map a Figure 2 state value to the internal device state.
+
+        The paper's state value S is the *normalised conductance*
+        (S = G / G_on, so that Output = S * Input via Ohm's law), while
+        the device model interpolates resistance log-linearly in its
+        internal state.  Inverting ``G(s)/G_on = S`` gives
+        ``s = 1 + ln(S) / ln(r_off / r_on)``, clamped to the HRS when S
+        is below the device's conductance window.
+        """
+        if s_value <= 0.0:
+            return 0.0
+        window = math.log(self._params.resistance_window)
+        internal = 1.0 + math.log(s_value) / window
+        return min(1.0, max(0.0, internal))
+
+    @property
+    def n_machines(self) -> int:
+        """Number of selectable state machines (n)."""
+        return self._ideal.n_machines
+
+    @property
+    def n_states(self) -> int:
+        """Number of states inside each machine (m)."""
+        return self._ideal.n_states
+
+    @property
+    def device(self) -> NbSTOMemristor:
+        """The underlying simulated device."""
+        return self._device
+
+    @property
+    def programming_energy_j(self) -> float:
+        """Cumulative energy spent programming state transitions."""
+        return self._programming_energy
+
+    def select(self, machine: int, state_index: int = 0) -> None:
+        """Select a machine/state and program the device accordingly."""
+        self._ideal.select(machine, state_index)
+        target = self._internal_state_for(self._ideal.state_value)
+        self._programming_energy += self._device.program_state(
+            target, tolerance=0.002)
+
+    def set_state(self, state_index: int) -> None:
+        """Move to another state within the current machine."""
+        self.select(self._ideal.machine, state_index)
+
+    def compute(self, analog_input: float,
+                duration_s: float = 1e-9) -> ComputeResult:
+        """Analog multiply by reading the device at the input voltage.
+
+        The output is the read current normalised by the LRS conductance
+        at the input voltage, so the ideal result equals
+        ``state_value * input`` and deviations reflect device physics
+        (nonlinearity, rectification, noise).
+        """
+        read = self._device.read(analog_input, duration_s)
+        reference = NbSTOMemristor(params=self._params, state=1.0,
+                                   variability=VariabilityModel.ideal())
+        full_scale = reference.current(analog_input, noisy=False)
+        if full_scale == 0.0:
+            output = 0.0
+        else:
+            output = read.current_a / full_scale * analog_input
+        return ComputeResult(output=output,
+                             machine=self._ideal.machine,
+                             state_index=self._ideal.state_index,
+                             energy_j=read.energy_j)

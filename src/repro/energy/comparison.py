@@ -1,0 +1,104 @@
+"""The Table 1 harness: digital designs vs the measured pCAM.
+
+Reproduces the paper's performance-comparison table.  The eight
+digital rows are published figures (encoded in
+:mod:`repro.tcam.baselines`); the pCAM row is **measured** from the
+synthetic chip dataset at run time — latency is the 1 ns reference
+read, energy is the minimum per-state read energy (the paper's
+"lowest energy consumption states require only about 0.01 fJ/bit").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.dataset import MemristorDataset, generate_dataset
+from repro.device.energy import energy_statistics
+from repro.energy.units import joules_to_femtojoules
+from repro.tcam.baselines import (
+    Computation,
+    PublishedDesign,
+    TABLE1_DIGITAL_DESIGNS,
+    Technology,
+    best_digital_design,
+)
+
+__all__ = ["Table1Row", "build_table1", "format_table1",
+           "improvement_factor"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of the paper's Table 1 (designs are columns there)."""
+
+    name: str
+    reference: str
+    computation: Computation
+    technology: Technology
+    latency_ns: float
+    energy_fj_per_bit: float
+    measured: bool = False
+
+    @classmethod
+    def from_published(cls, design: PublishedDesign) -> "Table1Row":
+        """A table row from a published design's figures."""
+        return cls(name=design.name, reference=design.reference,
+                   computation=design.computation,
+                   technology=design.technology,
+                   latency_ns=design.latency_ns,
+                   energy_fj_per_bit=design.energy_fj_per_bit,
+                   measured=False)
+
+
+def measured_pcam_row(dataset: MemristorDataset | None = None
+                      ) -> Table1Row:
+    """Measure the pCAM row from the chip dataset."""
+    if dataset is None:
+        dataset = generate_dataset(include_sweeps=False,
+                                   include_pulse_trains=False)
+    stats = energy_statistics(dataset)
+    return Table1Row(name="pCAM", reference="this work",
+                     computation=Computation.ANALOG,
+                     technology=Technology.MEMRISTOR,
+                     latency_ns=1.0,
+                     energy_fj_per_bit=joules_to_femtojoules(stats.min_j),
+                     measured=True)
+
+
+def build_table1(dataset: MemristorDataset | None = None
+                 ) -> list[Table1Row]:
+    """All nine rows: the eight published designs plus measured pCAM."""
+    rows = [Table1Row.from_published(design)
+            for design in TABLE1_DIGITAL_DESIGNS]
+    rows.append(measured_pcam_row(dataset))
+    return rows
+
+
+def improvement_factor(rows: list[Table1Row]) -> float:
+    """Measured pCAM energy improvement over the best digital row.
+
+    The paper's headline: "the analog computations proved to be at
+    least 50 times more energy efficient".
+    """
+    pcam = next((row for row in rows if row.measured), None)
+    if pcam is None:
+        raise ValueError("rows contain no measured pCAM entry")
+    best = best_digital_design()
+    return best.energy_fj_per_bit / pcam.energy_fj_per_bit
+
+
+def format_table1(rows: list[Table1Row]) -> list[str]:
+    """Render the table as aligned text lines (paper layout)."""
+    header = (f"{'Design':<24}{'Ref':>10}{'Comp':>6}{'Tech':>6}"
+              f"{'Latency (ns)':>14}{'Energy (fJ/bit)':>18}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        marker = "*" if row.measured else " "
+        lines.append(
+            f"{row.name:<24}{row.reference:>10}"
+            f"{row.computation.value:>6}{row.technology.value:>6}"
+            f"{row.latency_ns:>14g}{row.energy_fj_per_bit:>17.4g}{marker}")
+    lines.append(f"(* measured from the synthetic chip dataset; "
+                 f"improvement over best digital: "
+                 f"{improvement_factor(rows):.1f}x)")
+    return lines

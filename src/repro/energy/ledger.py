@@ -1,0 +1,127 @@
+"""Per-component energy accounting.
+
+The paper's Figure 1 motivates analog processing by attributing up to
+~90% of digital TCAM energy to data movement between separate storage
+and computation units, against near-zero movement cost for memristors
+with colocalized compute and storage.  The :class:`EnergyLedger` lets
+every simulated component charge energy to named accounts so that the
+breakdown (movement vs computation vs storage) can be reported for any
+experiment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.energy.units import format_energy
+
+#: Conventional account names used across the code base.
+ACCOUNT_COMPUTE = "compute"
+ACCOUNT_STORAGE = "storage"
+ACCOUNT_MOVEMENT = "data_movement"
+ACCOUNT_CONVERSION = "conversion"  # DAC/ADC boundary crossings
+
+
+class EnergyLedger:
+    """Accumulates energy (joules) charged to named accounts.
+
+    Accounts are free-form strings; dotted names (``"tcam.search"``)
+    group naturally when summarised by prefix.
+    """
+
+    def __init__(self) -> None:
+        self._accounts: Counter[str] = Counter()
+        self._events = 0
+
+    def charge(self, account: str, energy_j: float) -> None:
+        """Charge ``energy_j`` joules to ``account``.
+
+        Raises :class:`ValueError` for negative energies: components
+        never *recover* energy in this model.
+        """
+        if energy_j < 0:
+            raise ValueError(f"negative energy charge: {energy_j!r}")
+        self._accounts[account] += energy_j
+        self._events += 1
+
+    def merge(self, other: "EnergyLedger") -> None:
+        """Fold another ledger's accounts into this one."""
+        self._accounts.update(other._accounts)
+        self._events += other._events
+
+    @property
+    def total(self) -> float:
+        """Total energy across all accounts, in joules."""
+        return float(sum(self._accounts.values()))
+
+    @property
+    def events(self) -> int:
+        """Number of charge events recorded."""
+        return self._events
+
+    def account(self, name: str) -> float:
+        """Energy charged to one account (0.0 if never charged)."""
+        return float(self._accounts.get(name, 0.0))
+
+    def by_prefix(self, prefix: str) -> float:
+        """Sum energy over all accounts starting with ``prefix``."""
+        return float(sum(v for k, v in self._accounts.items()
+                         if k.startswith(prefix)))
+
+    def breakdown(self) -> dict[str, float]:
+        """Mapping of account name to joules, sorted by descending energy."""
+        return dict(sorted(self._accounts.items(),
+                           key=lambda item: item[1], reverse=True))
+
+    def fractions(self) -> dict[str, float]:
+        """Mapping of account name to its fraction of the total energy."""
+        total = self.total
+        if total == 0:
+            return {name: 0.0 for name in self._accounts}
+        return {name: value / total
+                for name, value in self.breakdown().items()}
+
+    def reset(self) -> None:
+        """Zero all accounts."""
+        self._accounts.clear()
+        self._events = 0
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(self._accounts.items())
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def __repr__(self) -> str:
+        return (f"EnergyLedger(total={format_energy(self.total)}, "
+                f"accounts={len(self._accounts)}, events={self._events})")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """A summarised view of a ledger for one experiment run."""
+
+    label: str
+    total_j: float
+    accounts: Mapping[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_ledger(cls, label: str, ledger: EnergyLedger) -> "EnergyReport":
+        """Snapshot a ledger into an immutable report."""
+        return cls(label=label, total_j=ledger.total,
+                   accounts=ledger.breakdown())
+
+    def fraction(self, account: str) -> float:
+        """Fraction of total attributed to ``account`` (0 when total is 0)."""
+        if self.total_j == 0:
+            return 0.0
+        return self.accounts.get(account, 0.0) / self.total_j
+
+    def lines(self) -> Iterable[str]:
+        """Human-readable report lines, one per account."""
+        yield f"{self.label}: total {format_energy(self.total_j)}"
+        for name, value in self.accounts.items():
+            yield (f"  {name:<24} {format_energy(value):>14}  "
+                   f"({self.fraction(name):6.1%})")

@@ -1,0 +1,78 @@
+"""Switch-scale energy projections.
+
+The paper motivates analog processing with datacenter-scale energy
+(IEA figures, [20]).  This module scales the per-search energies
+measured from the device model up to line-rate packet processing, so
+the fJ-level numbers become comparable watts:
+
+    power = searches/s * tables * bits/search * energy/bit
+
+A Tofino-2-class reference point (12.8 Tb/s, ~500 B average packets,
+~3.2 G packets/s) is provided for the examples and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SwitchProfile", "TOFINO2_CLASS", "projected_power_w",
+           "power_comparison"]
+
+
+@dataclass(frozen=True)
+class SwitchProfile:
+    """Aggregate lookup workload of a packet processor.
+
+    Table 1's fJ/bit figures are per *array bit* per search (the CAM
+    convention: every stored cell participates in every search), so
+    the projection scales with the CAM capacity, not the key width.
+    """
+
+    name: str
+    packets_per_second: float
+    cam_bits: int
+    tables_per_packet: int = 4
+
+    def __post_init__(self) -> None:
+        if self.packets_per_second <= 0:
+            raise ValueError("packet rate must be positive")
+        if self.cam_bits < 1 or self.tables_per_packet < 1:
+            raise ValueError("bits and tables must be >= 1")
+
+    @property
+    def bits_per_second(self) -> float:
+        """Total (array bits x searches) per second."""
+        return (self.packets_per_second * self.cam_bits
+                * self.tables_per_packet)
+
+
+#: A 12.8 Tb/s, 4-pipeline switch at ~500 B average packet size
+#: (~3.2 G packets/s), searching an 18 Mb CAM in each of 4 tables.
+TOFINO2_CLASS = SwitchProfile(name="tofino2-class",
+                              packets_per_second=3.2e9,
+                              cam_bits=18 * 1024 * 1024,
+                              tables_per_packet=4)
+
+
+def projected_power_w(energy_j_per_bit: float,
+                      profile: SwitchProfile = TOFINO2_CLASS) -> float:
+    """Match-stage power of a switch at the given per-bit energy [W]."""
+    if energy_j_per_bit < 0:
+        raise ValueError("energy per bit must be non-negative")
+    return energy_j_per_bit * profile.bits_per_second
+
+
+def power_comparison(analog_j_per_bit: float,
+                     digital_j_per_bit: float,
+                     profile: SwitchProfile = TOFINO2_CLASS
+                     ) -> dict[str, float]:
+    """Projected match-stage power, digital vs analog, plus savings."""
+    digital_w = projected_power_w(digital_j_per_bit, profile)
+    analog_w = projected_power_w(analog_j_per_bit, profile)
+    return {
+        "digital_w": digital_w,
+        "analog_w": analog_w,
+        "saving_w": digital_w - analog_w,
+        "factor": (digital_w / analog_w if analog_w > 0
+                   else float("inf")),
+    }

@@ -1,0 +1,35 @@
+"""Network functions: digital (lookup, firewall) and cognitive
+(AQM, load balancing, traffic analysis)."""
+
+from repro.netfunc.decision_tree import (
+    AnalogDecisionTree,
+    CARTTree,
+    tree_to_boxes,
+)
+from repro.netfunc.firewall import Action, Firewall, FirewallRule
+from repro.netfunc.load_balancer import Backend, PCAMLoadBalancer
+from repro.netfunc.lookup import IPLookup, Route
+from repro.netfunc.pattern_match import Match, PatternMatcher
+from repro.netfunc.traffic_analysis import (
+    FlowFeatures,
+    TrafficClassProfile,
+    TrafficClassifier,
+)
+
+__all__ = [
+    "Action",
+    "AnalogDecisionTree",
+    "Backend",
+    "CARTTree",
+    "Match",
+    "PatternMatcher",
+    "tree_to_boxes",
+    "Firewall",
+    "FirewallRule",
+    "FlowFeatures",
+    "IPLookup",
+    "PCAMLoadBalancer",
+    "Route",
+    "TrafficClassProfile",
+    "TrafficClassifier",
+]

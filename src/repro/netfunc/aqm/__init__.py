@@ -1,0 +1,35 @@
+"""Active queue management: digital baselines and the analog pCAM AQM."""
+
+from repro.netfunc.aqm.base import AQMAlgorithm, QueueView, TailDropAQM
+from repro.netfunc.aqm.codel import CoDelAqm
+from repro.netfunc.aqm.derivatives import (
+    DerivativeChain,
+    ExponentialSmoother,
+    FeatureExtractor,
+)
+from repro.netfunc.aqm.pcam_aqm import (
+    DEFAULT_MAX_DEVIATION_S,
+    DEFAULT_TARGET_DELAY_S,
+    PCAMAQM,
+    StageSpec,
+    default_stage_programs,
+)
+from repro.netfunc.aqm.pie import PIEAqm
+from repro.netfunc.aqm.red import REDAqm
+
+__all__ = [
+    "AQMAlgorithm",
+    "CoDelAqm",
+    "DEFAULT_MAX_DEVIATION_S",
+    "DEFAULT_TARGET_DELAY_S",
+    "DerivativeChain",
+    "ExponentialSmoother",
+    "FeatureExtractor",
+    "PCAMAQM",
+    "PIEAqm",
+    "QueueView",
+    "REDAqm",
+    "StageSpec",
+    "TailDropAQM",
+    "default_stage_programs",
+]

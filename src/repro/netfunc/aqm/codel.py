@@ -1,0 +1,87 @@
+"""Controlled Delay AQM (CoDel, RFC 8289) — digital baseline.
+
+CoDel works on *sojourn time* at dequeue: when the minimum sojourn
+stays above ``target`` for a full ``interval``, it enters a dropping
+state and drops at increasing frequency (next drop after
+``interval / sqrt(count)``) until the delay recovers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.packet import Packet
+from repro.netfunc.aqm.base import AQMAlgorithm, QueueView
+
+__all__ = ["CoDelAqm"]
+
+
+class CoDelAqm(AQMAlgorithm):
+    """CoDel per RFC 8289 (target 5 ms, interval 100 ms by default)."""
+
+    name = "CoDel"
+
+    def __init__(self, target_s: float = 0.005,
+                 interval_s: float = 0.100,
+                 mtu_bytes: int = 1500) -> None:
+        if target_s <= 0 or interval_s <= 0:
+            raise ValueError("target and interval must be positive")
+        self.target_s = target_s
+        self.interval_s = interval_s
+        self.mtu_bytes = mtu_bytes
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to the initial (non-dropping) controller state."""
+        self._first_above_time = 0.0
+        self._drop_next = 0.0
+        self._count = 0
+        self._last_count = 0
+        self._dropping = False
+
+    @property
+    def dropping(self) -> bool:
+        """True while in the dropping state."""
+        return self._dropping
+
+    def _control_law(self, time_s: float, count: int) -> float:
+        return time_s + self.interval_s / math.sqrt(max(count, 1))
+
+    def _should_drop(self, queue: QueueView, now: float,
+                     sojourn_s: float) -> bool:
+        """RFC 8289's ok_to_drop: sustained delay above target?"""
+        if sojourn_s < self.target_s or queue.backlog_bytes <= self.mtu_bytes:
+            self._first_above_time = 0.0
+            return False
+        if self._first_above_time == 0.0:
+            self._first_above_time = now + self.interval_s
+            return False
+        return now >= self._first_above_time
+
+    def on_dequeue(self, packet: Packet, queue: QueueView,
+                   now: float, sojourn_s: float) -> bool:
+        """RFC 8289 dequeue logic: True discards the head packet."""
+        ok_to_drop = self._should_drop(queue, now, sojourn_s)
+        if self._dropping:
+            if not ok_to_drop:
+                self._dropping = False
+                return False
+            if now >= self._drop_next:
+                self._count += 1
+                self._drop_next = self._control_law(self._drop_next,
+                                                    self._count)
+                return True
+            return False
+        if ok_to_drop:
+            self._dropping = True
+            # Resume the drop frequency reached last time if the bad
+            # episode is recent (RFC 8289's count reuse heuristic).
+            if (self._count > 2
+                    and now - self._drop_next < 8.0 * self.interval_s):
+                self._count = self._count - 2
+            else:
+                self._count = 1
+            self._last_count = self._count
+            self._drop_next = self._control_law(now, self._count)
+            return True
+        return False

@@ -1,0 +1,165 @@
+"""Analog derivative features for the cognitive AQM (paper Sec. 5).
+
+The pCAM-based AQM "computes additional features, like first, second
+and third-order derivatives of sojourn time and buffer size, in-order
+to estimate the network congestion", computed "by the analog
+components" (memristor-based differentiators, [52, 63]).
+
+An analog differentiator is a leaky (band-limited) d/dt: it cannot
+produce the unbounded gain of an ideal differentiator, so each stage
+here is a smoothed finite difference — an exponential low-pass
+followed by differencing — cascaded once per derivative order.  The
+smoothing time constant models the RC of the analog stage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["DerivativeChain", "ExponentialSmoother", "FeatureExtractor"]
+
+
+class ExponentialSmoother:
+    """First-order low-pass with time constant ``tau_s`` (irregular
+    sampling supported)."""
+
+    def __init__(self, tau_s: float) -> None:
+        if tau_s <= 0:
+            raise ValueError(f"tau must be positive: {tau_s!r}")
+        self.tau_s = tau_s
+        self._value: float | None = None
+        self._last_time: float | None = None
+
+    @property
+    def value(self) -> float:
+        """Current smoothed value (0 before the first sample)."""
+        return 0.0 if self._value is None else self._value
+
+    def update(self, time_s: float, sample: float) -> float:
+        """Feed one (time, value) sample; returns the smoothed value."""
+        if self._value is None or self._last_time is None:
+            self._value = sample
+            self._last_time = time_s
+            return self._value
+        dt = time_s - self._last_time
+        if dt < 0:
+            raise ValueError(
+                f"samples must be time-ordered: {time_s} < "
+                f"{self._last_time}")
+        if dt > 0:
+            alpha = 1.0 - math.exp(-dt / self.tau_s)
+            self._value += alpha * (sample - self._value)
+            self._last_time = time_s
+        return self._value
+
+    def reset(self) -> None:
+        """Forget all history (fresh smoothing state)."""
+        self._value = None
+        self._last_time = None
+
+
+class DerivativeChain:
+    """Cascaded smoothed differentiators up to a given order.
+
+    ``update(t, x)`` returns ``[x_s, dx/dt, d2x/dt2, d3x/dt3]`` (up to
+    the configured order), each stage smoothed with its own low-pass —
+    exactly the structure of a chain of analog RC differentiators.
+    """
+
+    def __init__(self, order: int = 3, tau_s: float = 0.05) -> None:
+        if not 1 <= order <= 3:
+            raise ValueError(f"order must be 1..3: {order!r}")
+        self.order = order
+        self._smoothers = [ExponentialSmoother(tau_s)
+                           for _ in range(order + 1)]
+        self._previous: list[float | None] = [None] * (order + 1)
+        self._last_time: float | None = None
+
+    def update(self, time_s: float, sample: float) -> list[float]:
+        """Feed one sample; returns [value, d1, ..., d_order]."""
+        outputs: list[float] = []
+        value = self._smoothers[0].update(time_s, sample)
+        outputs.append(value)
+        if self._last_time is None:
+            self._last_time = time_s
+            self._previous[0] = value
+            for index in range(1, self.order + 1):
+                self._previous[index] = 0.0
+                outputs.append(0.0)
+            return outputs
+        dt = time_s - self._last_time
+        if dt <= 0:
+            # Coincident sample: derivatives unchanged.
+            return [value] + [self._smoothers[i].value
+                              for i in range(1, self.order + 1)]
+        previous_value = value
+        for index in range(1, self.order + 1):
+            previous = self._previous[index - 1]
+            assert previous is not None
+            raw = (previous_value - previous) / dt
+            smooth = self._smoothers[index].update(time_s, raw)
+            self._previous[index - 1] = previous_value
+            previous_value = smooth
+            outputs.append(smooth)
+        self._previous[self.order] = previous_value
+        self._last_time = time_s
+        return outputs
+
+    def reset(self) -> None:
+        """Forget all history (fresh smoothing state)."""
+        for smoother in self._smoothers:
+            smoother.reset()
+        self._previous = [None] * (self.order + 1)
+        self._last_time = None
+
+
+@dataclass(frozen=True)
+class _FeatureNames:
+    """The eight feature names of the analog AQM, in pipeline order."""
+
+    sojourn: tuple[str, ...] = ("sojourn_time", "d_sojourn",
+                                "d2_sojourn", "d3_sojourn")
+    buffer: tuple[str, ...] = ("buffer_size", "d_buffer",
+                               "d2_buffer", "d3_buffer")
+
+
+class FeatureExtractor:
+    """Produces the analog AQM's feature vector from queue samples.
+
+    Feeds two derivative chains (sojourn time and buffer size) and
+    returns the named eight-feature mapping the pCAM pipeline reads::
+
+        sojourn_time, d_sojourn, d2_sojourn, d3_sojourn,
+        buffer_size,  d_buffer,  d2_buffer,  d3_buffer
+    """
+
+    NAMES = _FeatureNames()
+
+    def __init__(self, order: int = 3, tau_s: float = 0.05) -> None:
+        self.order = order
+        self._sojourn_chain = DerivativeChain(order=order, tau_s=tau_s)
+        self._buffer_chain = DerivativeChain(order=order, tau_s=tau_s)
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """The feature names produced, in pipeline order."""
+        return (self.NAMES.sojourn[:self.order + 1]
+                + self.NAMES.buffer[:self.order + 1])
+
+    def update(self, time_s: float, sojourn_s: float,
+               buffer_packets: float) -> dict[str, float]:
+        """Feed one queue observation; returns the feature mapping."""
+        sojourn_values = self._sojourn_chain.update(time_s, sojourn_s)
+        buffer_values = self._buffer_chain.update(time_s, buffer_packets)
+        features: dict[str, float] = {}
+        for name, value in zip(self.NAMES.sojourn, sojourn_values):
+            features[name] = value
+        for name, value in zip(self.NAMES.buffer, buffer_values):
+            features[name] = value
+        return features
+
+    def reset(self) -> None:
+        """Forget all history (fresh smoothing state)."""
+        self._sojourn_chain.reset()
+        self._buffer_chain.reset()

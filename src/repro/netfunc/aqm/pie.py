@@ -1,0 +1,104 @@
+"""Proportional Integral controller Enhanced (PIE, RFC 8033) — baseline.
+
+PIE estimates queueing delay from the backlog and drain rate, updates
+a drop probability with a PI controller every ``t_update``, and drops
+arriving packets with that probability.  Includes RFC 8033's
+auto-scaling of the controller gains at small probabilities, the
+exponential decay when the queue empties, and the burst allowance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.packet import Packet
+from repro.netfunc.aqm.base import AQMAlgorithm, QueueView
+
+__all__ = ["PIEAqm"]
+
+
+class PIEAqm(AQMAlgorithm):
+    """PIE per RFC 8033 (target 15 ms, update period 15 ms defaults)."""
+
+    name = "PIE"
+
+    def __init__(self, target_delay_s: float = 0.015,
+                 t_update_s: float = 0.015,
+                 alpha: float = 0.125, beta: float = 1.25,
+                 max_burst_s: float = 0.150,
+                 rng: np.random.Generator | None = None) -> None:
+        if target_delay_s <= 0 or t_update_s <= 0:
+            raise ValueError("target delay and update period "
+                             "must be positive")
+        self.target_delay_s = target_delay_s
+        self.t_update_s = t_update_s
+        self.alpha = alpha
+        self.beta = beta
+        self.max_burst_s = max_burst_s
+        self._rng = rng or np.random.default_rng()
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to the initial controller state (burst allowance refilled)."""
+        self._p = 0.0
+        self._qdelay_old = 0.0
+        self._burst_allowance = self.max_burst_s
+        self._last_update: float | None = None
+
+    @property
+    def drop_probability(self) -> float:
+        """The PI controller's current drop probability."""
+        return self._p
+
+    def _queue_delay(self, queue: QueueView) -> float:
+        return 8.0 * queue.backlog_bytes / queue.service_rate_bps
+
+    def _scaled_gains(self) -> tuple[float, float]:
+        """RFC 8033 4.2: shrink the gains while p is small."""
+        if self._p < 0.000001:
+            factor = 1.0 / 2048
+        elif self._p < 0.00001:
+            factor = 1.0 / 512
+        elif self._p < 0.0001:
+            factor = 1.0 / 128
+        elif self._p < 0.001:
+            factor = 1.0 / 32
+        elif self._p < 0.01:
+            factor = 1.0 / 8
+        elif self._p < 0.1:
+            factor = 1.0 / 2
+        else:
+            factor = 1.0
+        return self.alpha * factor, self.beta * factor
+
+    def _update(self, queue: QueueView, now: float) -> None:
+        if self._last_update is not None \
+                and now - self._last_update < self.t_update_s:
+            return
+        qdelay = self._queue_delay(queue)
+        alpha, beta = self._scaled_gains()
+        self._p += (alpha * (qdelay - self.target_delay_s)
+                    + beta * (qdelay - self._qdelay_old))
+        # Exponential decay when the queue has fully drained.
+        if qdelay == 0.0 and self._qdelay_old == 0.0:
+            self._p *= 0.98
+        self._p = min(1.0, max(0.0, self._p))
+        self._qdelay_old = qdelay
+        if self._burst_allowance > 0.0:
+            self._burst_allowance = max(
+                0.0, self._burst_allowance - self.t_update_s)
+        self._last_update = now
+
+    def on_enqueue(self, packet: Packet, queue: QueueView,
+                   now: float) -> bool:
+        """RFC 8033 enqueue logic: True drops the arriving packet."""
+        self._update(queue, now)
+        if self._burst_allowance > 0.0:
+            return False
+        # RFC 8033 safeguards: never drop tiny queues.
+        if (self._queue_delay(queue) < 0.5 * self.target_delay_s
+                and self._p < 0.2):
+            return False
+        if queue.backlog_packets <= 2:
+            return False
+        return bool(self._rng.random() < self._p)

@@ -1,0 +1,90 @@
+"""Random Early Detection (Floyd & Jacobson 1993) — digital baseline.
+
+The classic probabilistic AQM the paper cites [10]: an EWMA of the
+queue length is compared against two thresholds; between them the
+drop probability ramps linearly, with the count-based correction that
+spreads drops uniformly in time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.packet import Packet
+from repro.netfunc.aqm.base import AQMAlgorithm, QueueView
+
+__all__ = ["REDAqm"]
+
+
+class REDAqm(AQMAlgorithm):
+    """RED with the gentle linear ramp and idle-time decay.
+
+    Parameters follow the original paper's recommendations:
+    ``weight`` = 0.002, ``max_p`` = 0.1, thresholds in packets.
+    """
+
+    name = "RED"
+
+    def __init__(self, min_threshold_packets: float = 50.0,
+                 max_threshold_packets: float = 150.0,
+                 max_p: float = 0.1, weight: float = 0.002,
+                 rng: np.random.Generator | None = None) -> None:
+        if min_threshold_packets >= max_threshold_packets:
+            raise ValueError("min threshold must be below max threshold")
+        if not 0.0 < max_p <= 1.0:
+            raise ValueError(f"max_p must be in (0, 1]: {max_p!r}")
+        if not 0.0 < weight <= 1.0:
+            raise ValueError(f"weight must be in (0, 1]: {weight!r}")
+        self.min_threshold = min_threshold_packets
+        self.max_threshold = max_threshold_packets
+        self.max_p = max_p
+        self.weight = weight
+        self._rng = rng or np.random.default_rng()
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the EWMA and drop-spacing state."""
+        self._avg = 0.0
+        self._count = -1
+        self._idle_since: float | None = 0.0
+
+    @property
+    def average_queue(self) -> float:
+        """Current EWMA of the queue length [packets]."""
+        return self._avg
+
+    def _update_average(self, queue: QueueView, now: float) -> None:
+        backlog = queue.backlog_packets
+        if backlog == 0:
+            if self._idle_since is None:
+                self._idle_since = now
+            return
+        if self._idle_since is not None:
+            # Decay the average across the idle period as if m small
+            # packets had been transmitted (RED's idle handling).
+            transmission_s = 8.0 * 500.0 / queue.service_rate_bps
+            m = (now - self._idle_since) / transmission_s
+            self._avg *= (1.0 - self.weight) ** m
+            self._idle_since = None
+        self._avg += self.weight * (backlog - self._avg)
+
+    def on_enqueue(self, packet: Packet, queue: QueueView,
+                   now: float) -> bool:
+        """RED admission: True drops the arriving packet."""
+        self._update_average(queue, now)
+        if self._avg < self.min_threshold:
+            self._count = -1
+            return False
+        if self._avg >= self.max_threshold:
+            self._count = 0
+            return True
+        self._count += 1
+        fraction = ((self._avg - self.min_threshold)
+                    / (self.max_threshold - self.min_threshold))
+        p_b = self.max_p * fraction
+        denominator = 1.0 - self._count * p_b
+        p_a = p_b / denominator if denominator > 0 else 1.0
+        if self._rng.random() < p_a:
+            self._count = 0
+            return True
+        return False

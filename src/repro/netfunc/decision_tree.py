@@ -1,0 +1,253 @@
+"""Decision-tree inference on the analog CAM (paper Sec. 7).
+
+The related work the pCAM builds on used analog CAMs as "hardware
+accelerator(s) ... for decision tree computation" (Graves et al. [14],
+Pedretti et al. [40]): every root-to-leaf path of a tree is a box of
+per-feature intervals, so the whole tree becomes one CAM search —
+each stored word encodes one leaf's box and the matching word's class
+is the prediction, in a single analog cycle.
+
+This module provides the full path:
+
+* :class:`CARTTree` — a small, dependency-free CART learner (Gini
+  impurity, axis-aligned splits),
+* :func:`tree_to_boxes` — root-to-leaf path extraction,
+* :class:`AnalogDecisionTree` — the boxes compiled into a
+  :class:`~repro.core.pcam_array.PCAMArray`, with graded fall-off at
+  the box edges so out-of-distribution inputs still classify to the
+  nearest leaf (RQ1's partial match).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.pcam_array import PCAMArray, PCAMWord
+from repro.core.pcam_cell import PCAMParams
+from repro.energy.ledger import EnergyLedger
+
+__all__ = ["AnalogDecisionTree", "CARTTree", "TreeNode",
+           "tree_to_boxes"]
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted CART tree."""
+
+    #: Index of the feature this node splits on (None at a leaf).
+    feature: int | None = None
+    #: Split threshold: left subtree takes ``x[feature] <= threshold``.
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    #: Majority class at a leaf.
+    prediction: int | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node carries a class prediction."""
+        return self.prediction is not None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    fractions = counts / labels.size
+    return float(1.0 - np.sum(fractions ** 2))
+
+
+class CARTTree:
+    """A minimal CART classifier (Gini impurity, binary splits)."""
+
+    def __init__(self, max_depth: int = 4,
+                 min_samples_leaf: int = 4) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1: {max_depth!r}")
+        if min_samples_leaf < 1:
+            raise ValueError(
+                f"min_samples_leaf must be >= 1: {min_samples_leaf!r}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._root: TreeNode | None = None
+        self.n_features = 0
+
+    @property
+    def root(self) -> TreeNode:
+        """The fitted root node (RuntimeError before fit())."""
+        if self._root is None:
+            raise RuntimeError("tree has not been fitted")
+        return self._root
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "CARTTree":
+        """Grow the tree on (n_samples, n_features) data."""
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(labels)
+        if x.ndim != 2 or x.shape[0] != y.shape[0] or x.size == 0:
+            raise ValueError(
+                f"bad training shapes: {x.shape}, {y.shape}")
+        self.n_features = x.shape[1]
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray,
+              depth: int) -> TreeNode:
+        majority = int(np.bincount(y.astype(int)).argmax())
+        if (depth >= self.max_depth
+                or y.size < 2 * self.min_samples_leaf
+                or _gini(y) == 0.0):
+            return TreeNode(prediction=majority)
+        best = self._best_split(x, y)
+        if best is None:
+            return TreeNode(prediction=majority)
+        feature, threshold = best
+        mask = x[:, feature] <= threshold
+        return TreeNode(
+            feature=feature, threshold=threshold,
+            left=self._grow(x[mask], y[mask], depth + 1),
+            right=self._grow(x[~mask], y[~mask], depth + 1))
+
+    def _best_split(self, x: np.ndarray,
+                    y: np.ndarray) -> tuple[int, float] | None:
+        parent = _gini(y)
+        best_gain = 1e-9
+        best: tuple[int, float] | None = None
+        for feature in range(x.shape[1]):
+            values = np.unique(x[:, feature])
+            if values.size < 2:
+                continue
+            midpoints = 0.5 * (values[:-1] + values[1:])
+            for threshold in midpoints:
+                mask = x[:, feature] <= threshold
+                n_left = int(mask.sum())
+                n_right = y.size - n_left
+                if (n_left < self.min_samples_leaf
+                        or n_right < self.min_samples_leaf):
+                    continue
+                gain = parent - (n_left * _gini(y[mask])
+                                 + n_right * _gini(y[~mask])) / y.size
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+        return best
+
+    def predict_one(self, sample: Sequence[float]) -> int:
+        """Class of a single sample by tree traversal."""
+        node = self.root
+        while not node.is_leaf:
+            assert node.feature is not None
+            if sample[node.feature] <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+            assert node is not None
+        assert node.prediction is not None
+        return node.prediction
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Classes for an (n_samples, n_features) array."""
+        x = np.asarray(features, dtype=float)
+        return np.array([self.predict_one(row) for row in x])
+
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+        def count(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+        return count(self.root)
+
+
+def tree_to_boxes(tree: CARTTree,
+                  feature_ranges: Sequence[tuple[float, float]]
+                  ) -> list[tuple[int, list[tuple[float, float]]]]:
+    """Extract (class, per-feature interval box) per leaf."""
+    if len(feature_ranges) != tree.n_features:
+        raise ValueError(
+            f"need one range per feature: {len(feature_ranges)} != "
+            f"{tree.n_features}")
+    boxes: list[tuple[int, list[tuple[float, float]]]] = []
+
+    def walk(node: TreeNode,
+             bounds: list[tuple[float, float]]) -> None:
+        if node.is_leaf:
+            boxes.append((node.prediction, [tuple(b) for b in bounds]))
+            return
+        assert node.feature is not None
+        lo, hi = bounds[node.feature]
+        left_bounds = list(bounds)
+        left_bounds[node.feature] = (lo, min(hi, node.threshold))
+        walk(node.left, left_bounds)
+        right_bounds = list(bounds)
+        right_bounds[node.feature] = (max(lo, node.threshold), hi)
+        walk(node.right, right_bounds)
+
+    walk(tree.root, [tuple(r) for r in feature_ranges])
+    return boxes
+
+
+class AnalogDecisionTree:
+    """A fitted CART tree compiled into a pCAM policy array.
+
+    Every leaf box becomes one stored word; classification is one
+    parallel analog search.  ``fade_fraction`` controls how far the
+    probabilistic ramps extend beyond each box edge (as a fraction of
+    the feature range), which is what lets out-of-range inputs fall
+    to the *nearest* leaf instead of nothing.
+    """
+
+    def __init__(self, tree: CARTTree,
+                 feature_names: Sequence[str],
+                 feature_ranges: Sequence[tuple[float, float]],
+                 fade_fraction: float = 0.05,
+                 ledger: EnergyLedger | None = None) -> None:
+        if len(feature_names) != tree.n_features:
+            raise ValueError("need one name per feature")
+        if not 0.0 < fade_fraction < 1.0:
+            raise ValueError(
+                f"fade fraction must be in (0, 1): {fade_fraction!r}")
+        self.feature_names = tuple(feature_names)
+        self.ledger = ledger if ledger is not None else EnergyLedger()
+        self._array = PCAMArray(self.feature_names)
+        self._classes: list[int] = []
+        for prediction, box in tree_to_boxes(tree, feature_ranges):
+            params: dict[str, PCAMParams] = {}
+            for name, (lo, hi), (range_lo, range_hi) in zip(
+                    self.feature_names, box, feature_ranges):
+                fade = fade_fraction * (range_hi - range_lo)
+                params[name] = PCAMParams.canonical(
+                    m1=lo - fade, m2=lo, m3=hi, m4=hi + fade)
+            self._array.add(PCAMWord.from_params(params))
+            self._classes.append(prediction)
+
+    @property
+    def n_words(self) -> int:
+        """Stored pCAM words (one per tree leaf)."""
+        return len(self._array)
+
+    def classify(self, sample: Mapping[str, float]
+                 ) -> tuple[int, float]:
+        """(predicted class, match probability) in one analog search."""
+        result = self._array.search(
+            {name: float(sample[name]) for name in self.feature_names})
+        self.ledger.charge("decision_tree.search", result.energy_j)
+        if result.best_index is None:
+            raise RuntimeError("compiled tree has no leaves")
+        return (self._classes[result.best_index],
+                result.best_probability)
+
+    def agreement_with(self, tree: CARTTree,
+                       features: np.ndarray) -> float:
+        """Fraction of samples where the analog search matches the
+        digital tree traversal."""
+        x = np.asarray(features, dtype=float)
+        digital = tree.predict(x)
+        hits = 0
+        for row, expected in zip(x, digital):
+            sample = dict(zip(self.feature_names, row))
+            predicted, _ = self.classify(sample)
+            hits += int(predicted == expected)
+        return hits / len(digital)

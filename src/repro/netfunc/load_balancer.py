@@ -1,0 +1,110 @@
+"""Cognitive load balancing on pCAM probabilistic matches.
+
+One of Figure 5's analog network functions: backend selection weighs
+*partial* matches of the current load state against per-backend
+acceptance profiles.  Each backend stores one pCAM word whose cell
+accepts the backend's comfortable load region; a query with the
+backend's instantaneous load returns a *fitness* in [0, 1], and
+traffic is split proportionally to fitness — something a digital
+match/mismatch TCAM cannot express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pcam_cell import PCAMCell, prog_pcam
+from repro.energy.ledger import EnergyLedger
+
+__all__ = ["Backend", "PCAMLoadBalancer"]
+
+#: Per-decision analog search energy (two device reads per cell).
+_ENERGY_PER_DECISION_J = 2e-17
+
+
+@dataclass
+class Backend:
+    """One server behind the balancer."""
+
+    name: str
+    capacity: float = 1.0
+    active: float = 0.0
+    served: int = 0
+
+    @property
+    def utilisation(self) -> float:
+        """Instantaneous load fraction (can exceed 1 under overload)."""
+        return self.active / self.capacity if self.capacity > 0 else 1.0
+
+
+class PCAMLoadBalancer:
+    """Probabilistic least-loaded selection via pCAM fitness matching.
+
+    Each backend's cell is programmed to fully match utilisation below
+    ``comfort`` and fall off linearly to zero at ``saturation``; the
+    pick is a weighted draw over the per-backend fitness values.
+    """
+
+    def __init__(self, backends: list[Backend],
+                 comfort: float = 0.7, saturation: float = 1.2,
+                 ledger: EnergyLedger | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        if not backends:
+            raise ValueError("need at least one backend")
+        if not 0.0 < comfort < saturation:
+            raise ValueError(
+                f"need 0 < comfort < saturation: {comfort}, {saturation}")
+        names = [backend.name for backend in backends]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate backend names: {names}")
+        self.backends = list(backends)
+        self.ledger = ledger if ledger is not None else EnergyLedger()
+        self._rng = rng or np.random.default_rng()
+        # Acceptance cell: full match for util <= comfort, ramp to
+        # zero at saturation.  (Utilisation is never negative, so the
+        # rising edge sits below zero and is never exercised.)
+        self._cell = PCAMCell(prog_pcam(
+            m1=-2.0, m2=-1.0, m3=comfort, m4=saturation))
+        self.decisions = 0
+
+    def fitness(self) -> np.ndarray:
+        """Per-backend analog match values for the current loads."""
+        self.ledger.charge("load_balancer.search",
+                           len(self.backends) * _ENERGY_PER_DECISION_J)
+        return np.array([self._cell.response(backend.utilisation)
+                         for backend in self.backends])
+
+    def pick(self) -> Backend:
+        """Draw a backend proportionally to its analog fitness.
+
+        When every backend is saturated (all fitness zero) the least
+        utilised one is returned — the best partial match, which is
+        exactly the "closest matching stored policy for a query with
+        zero matches" capability of RQ1.
+        """
+        weights = self.fitness()
+        total = float(weights.sum())
+        if total <= 0.0:
+            index = int(np.argmin(
+                [backend.utilisation for backend in self.backends]))
+        else:
+            index = int(self._rng.choice(len(self.backends),
+                                         p=weights / total))
+        backend = self.backends[index]
+        backend.served += 1
+        self.decisions += 1
+        return backend
+
+    def assign(self, load: float = 0.05) -> Backend:
+        """Pick a backend and account ``load`` units of active work."""
+        if load < 0:
+            raise ValueError(f"load must be non-negative: {load!r}")
+        backend = self.pick()
+        backend.active += load
+        return backend
+
+    def release(self, backend: Backend, load: float = 0.05) -> None:
+        """Return ``load`` units of capacity to a backend."""
+        backend.active = max(0.0, backend.active - load)

@@ -1,0 +1,147 @@
+"""Multi-pattern payload matching on (memristor) TCAMs.
+
+Sec. 7 cites the memristor-TCAM regular-expression engines for
+network intrusion detection (Graves et al. [15-17], 12x throughput
+over FPGAs).  This module implements the core of that idea: a set of
+byte patterns — literals with single-character wildcards (``?``) —
+compiled into ternary TCAM words, matched against every sliding
+window of a payload in one search per offset.
+
+Each pattern byte becomes 8 ternary bits; a ``?`` byte becomes 8
+don't-cares, and patterns shorter than the window are padded with
+don't-cares, so one TCAM search simultaneously tests *every* stored
+signature at an offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.energy.ledger import EnergyLedger
+from repro.tcam.mtcam import MemristorTCAM
+from repro.tcam.tcam import TCAM, TernaryPattern
+
+__all__ = ["Match", "PatternMatcher", "compile_pattern"]
+
+#: Wildcard byte in pattern strings.
+WILDCARD_BYTE = ord("?")
+
+
+def compile_pattern(pattern: bytes, window_bytes: int) -> TernaryPattern:
+    """Compile a byte pattern into a ternary word of 8*window bits.
+
+    ``?`` bytes match anything; the tail beyond the pattern length is
+    padded with don't-cares.
+    """
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    if len(pattern) > window_bytes:
+        raise ValueError(
+            f"pattern of {len(pattern)} bytes exceeds the "
+            f"{window_bytes}-byte window")
+    bits = np.zeros(8 * window_bytes, dtype=bool)
+    care = np.zeros(8 * window_bytes, dtype=bool)
+    for index, byte in enumerate(pattern):
+        if byte == WILDCARD_BYTE:
+            continue
+        for bit in range(8):
+            position = 8 * index + bit
+            bits[position] = (byte >> (7 - bit)) & 1 == 1
+            care[position] = True
+    return TernaryPattern(bits=bits, care=care)
+
+
+def _window_key(window: bytes, window_bytes: int) -> np.ndarray:
+    key = np.zeros(8 * window_bytes, dtype=bool)
+    for index, byte in enumerate(window):
+        for bit in range(8):
+            key[8 * index + bit] = (byte >> (7 - bit)) & 1 == 1
+    return key
+
+
+@dataclass(frozen=True)
+class Match:
+    """One pattern hit in a scanned payload."""
+
+    offset: int
+    pattern_index: int
+    pattern: bytes
+
+
+class PatternMatcher:
+    """A TCAM-backed multi-pattern scanner.
+
+    Parameters
+    ----------
+    window_bytes:
+        TCAM word width in bytes; must cover the longest pattern.
+    use_memristor_tcam:
+        Back the scanner with the memristor TCAM (the cited designs)
+        instead of a transistor TCAM.
+    """
+
+    def __init__(self, window_bytes: int = 8, *,
+                 use_memristor_tcam: bool = True,
+                 ledger: EnergyLedger | None = None) -> None:
+        if window_bytes < 1:
+            raise ValueError(
+                f"window must be >= 1 byte: {window_bytes!r}")
+        self.window_bytes = window_bytes
+        self.ledger = ledger if ledger is not None else EnergyLedger()
+        width = 8 * window_bytes
+        if use_memristor_tcam:
+            self._tcam: TCAM = MemristorTCAM(width, ledger=self.ledger)
+        else:
+            self._tcam = TCAM(width, ledger=self.ledger)
+        self._patterns: list[bytes] = []
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def add_pattern(self, pattern: bytes | str) -> int:
+        """Install a signature; returns its index."""
+        if isinstance(pattern, str):
+            pattern = pattern.encode()
+        self._tcam.add(compile_pattern(pattern, self.window_bytes))
+        self._patterns.append(pattern)
+        return len(self._patterns) - 1
+
+    def _pattern_span(self, index: int) -> int:
+        return len(self._patterns[index])
+
+    def scan(self, payload: bytes) -> list[Match]:
+        """All pattern occurrences in the payload.
+
+        One TCAM search per byte offset; each search tests every
+        stored signature in parallel (the TCAM's whole point).
+        """
+        matches: list[Match] = []
+        if not self._patterns:
+            return matches
+        length = len(payload)
+        for offset in range(length):
+            window = payload[offset:offset + self.window_bytes]
+            # Pad the tail so end-of-payload windows stay searchable;
+            # padded bytes only meet don't-care tail bits of patterns
+            # short enough to fit, and candidate hits are re-checked
+            # against the true span below.
+            padded = window.ljust(self.window_bytes, b"\x00")
+            result = self._tcam.search(
+                _window_key(padded, self.window_bytes))
+            for index in result.matched_indices:
+                if offset + self._pattern_span(index) <= length:
+                    matches.append(Match(
+                        offset=offset, pattern_index=index,
+                        pattern=self._patterns[index]))
+        return matches
+
+    def contains(self, payload: bytes) -> bool:
+        """True when any signature occurs in the payload."""
+        return bool(self.scan(payload))
+
+    @property
+    def search_energy_j(self) -> float:
+        """Cumulative TCAM search energy for all scans."""
+        return self.ledger.total

@@ -1,0 +1,19 @@
+"""Neuromorphic extensions (the paper's future-work direction):
+associative recall, a self-learning analog AQM, and spiking blocks."""
+
+from repro.neuro.associative import AssociativeMemory, Recall
+from repro.neuro.neuromorphic import NeuromorphicAQM
+from repro.neuro.spiking import (
+    LIFNeuron,
+    MemristiveSynapses,
+    SpikingBurstDetector,
+)
+
+__all__ = [
+    "AssociativeMemory",
+    "LIFNeuron",
+    "MemristiveSynapses",
+    "NeuromorphicAQM",
+    "Recall",
+    "SpikingBurstDetector",
+]

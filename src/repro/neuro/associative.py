@@ -1,0 +1,123 @@
+"""Probabilistic associative memory (PAmM-style) on pCAM matches.
+
+The paper's companion work (Saleh et al., "PAmM: Memristor-based
+Probabilistic Associative Memory for Neuromorphic Network Functions"
+[44]) stores key->value associations and recalls by *similarity*
+rather than equality.  This module implements that abstraction on the
+pCAM core: each stored key becomes a word of pCAM cells with a
+receptive window around every component, and a recall returns the
+stored values ranked by analog match probability — a best-effort
+answer even when nothing matches deterministically (RQ1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.pcam_array import PCAMArray, PCAMWord
+from repro.core.pcam_cell import PCAMParams
+from repro.energy.ledger import EnergyLedger
+
+__all__ = ["AssociativeMemory", "Recall"]
+
+
+@dataclass(frozen=True)
+class Recall:
+    """Result of one associative recall."""
+
+    value: object
+    confidence: float
+    distribution: Mapping[int, float]
+    energy_j: float
+
+    @property
+    def deterministic(self) -> bool:
+        """True when the best association matched exactly."""
+        return self.confidence >= 0.999
+
+
+class AssociativeMemory:
+    """Key -> value storage with similarity-based recall.
+
+    Parameters
+    ----------
+    dimensions:
+        Ordered names of the key components.
+    receptive_width:
+        Half-width of the deterministic-match window around each
+        stored component (same units as the component).
+    fade_width:
+        Width of the probabilistic ramp beyond the window.
+    """
+
+    def __init__(self, dimensions: Sequence[str],
+                 receptive_width: float = 0.05,
+                 fade_width: float = 0.25,
+                 ledger: EnergyLedger | None = None) -> None:
+        if not dimensions:
+            raise ValueError("need at least one key dimension")
+        if receptive_width <= 0 or fade_width <= 0:
+            raise ValueError("widths must be positive")
+        self.dimensions = tuple(dimensions)
+        self.receptive_width = receptive_width
+        self.fade_width = fade_width
+        self.ledger = ledger if ledger is not None else EnergyLedger()
+        self._array = PCAMArray(self.dimensions)
+        self._values: list[object] = []
+        self._keys: list[dict[str, float]] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _window_for(self, centre: float) -> PCAMParams:
+        return PCAMParams.canonical(
+            m1=centre - self.receptive_width - self.fade_width,
+            m2=centre - self.receptive_width,
+            m3=centre + self.receptive_width,
+            m4=centre + self.receptive_width + self.fade_width)
+
+    def store(self, key: Mapping[str, float], value: object) -> int:
+        """Associate ``value`` with ``key``; returns the slot index."""
+        missing = [d for d in self.dimensions if d not in key]
+        if missing:
+            raise KeyError(f"key missing dimensions: {missing}")
+        word = PCAMWord.from_params({
+            dimension: self._window_for(float(key[dimension]))
+            for dimension in self.dimensions})
+        index = self._array.add(word)
+        self._values.append(value)
+        self._keys.append({d: float(key[d]) for d in self.dimensions})
+        return index
+
+    def recall(self, query: Mapping[str, float]) -> Recall | None:
+        """The stored value whose key best matches the query.
+
+        Returns None only when the memory is empty or *every* stored
+        association has exactly zero match probability.
+        """
+        if not self._values:
+            return None
+        result = self._array.search(
+            {d: float(query[d]) for d in self.dimensions})
+        self.ledger.charge("associative.recall", result.energy_j)
+        probabilities = result.probabilities
+        total = float(probabilities.sum())
+        if total <= 0.0:
+            return None
+        distribution = {index: float(p / total)
+                        for index, p in enumerate(probabilities)
+                        if p > 0.0}
+        best = int(np.argmax(probabilities))
+        return Recall(value=self._values[best],
+                      confidence=float(probabilities[best]),
+                      distribution=distribution,
+                      energy_j=result.energy_j)
+
+    def stored_key(self, index: int) -> dict[str, float]:
+        """The key stored in one slot (for inspection)."""
+        if not 0 <= index < len(self._keys):
+            raise IndexError(f"slot {index} out of range")
+        return dict(self._keys[index])

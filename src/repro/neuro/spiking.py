@@ -1,0 +1,169 @@
+"""Spiking building blocks: LIF neurons with memristive synapses.
+
+The smallest credible slice of the "brain-inspired Cognitive models
+using neuromorphic computations" the paper's introduction motivates:
+leaky integrate-and-fire neurons whose synaptic weights live in
+memristor conductances and adapt with a simplified STDP rule.  Used by
+the burst-detector example as an in-network anomaly signal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.memristor import MemristorParams, NbSTOMemristor
+from repro.device.variability import VariabilityModel
+
+__all__ = ["LIFNeuron", "MemristiveSynapses", "SpikingBurstDetector"]
+
+
+@dataclass
+class LIFNeuron:
+    """A leaky integrate-and-fire unit.
+
+    Membrane potential decays with time constant ``tau_s``; an input
+    current integrates onto it; crossing ``threshold`` emits a spike
+    and resets the potential (with a refractory period).
+    """
+
+    tau_s: float = 0.02
+    threshold: float = 1.0
+    reset_potential: float = 0.0
+    refractory_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.tau_s <= 0 or self.refractory_s < 0:
+            raise ValueError("invalid LIF time constants")
+        self.potential = self.reset_potential
+        self._last_time: float | None = None
+        self._refractory_until = -math.inf
+        self.spikes = 0
+
+    def step(self, time_s: float, input_current: float) -> bool:
+        """Advance to ``time_s`` with the given input; True = spike."""
+        if self._last_time is not None:
+            dt = time_s - self._last_time
+            if dt < 0:
+                raise ValueError("time must be non-decreasing")
+            self.potential *= math.exp(-dt / self.tau_s)
+        self._last_time = time_s
+        if time_s < self._refractory_until:
+            return False
+        self.potential += input_current
+        if self.potential >= self.threshold:
+            self.potential = self.reset_potential
+            self._refractory_until = time_s + self.refractory_s
+            self.spikes += 1
+            return True
+        return False
+
+
+class MemristiveSynapses:
+    """A bank of memristor-backed synaptic weights with STDP.
+
+    Each synapse's weight is the normalised conductance of one
+    simulated device; potentiation/depression move the device state
+    with programming pulses, so learning costs real (simulated)
+    energy.
+    """
+
+    def __init__(self, n_synapses: int,
+                 initial_weight: float = 0.5,
+                 params: MemristorParams | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        if n_synapses < 1:
+            raise ValueError(f"need at least one synapse: {n_synapses!r}")
+        if not 0.0 <= initial_weight <= 1.0:
+            raise ValueError("initial weight must be in [0, 1]")
+        self._devices = [
+            NbSTOMemristor(params=params or MemristorParams(),
+                           state=initial_weight,
+                           variability=VariabilityModel.ideal(),
+                           rng=rng)
+            for _ in range(n_synapses)]
+        self.learning_energy_j = 0.0
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalised synaptic weights (device states)."""
+        return np.array([device.state for device in self._devices])
+
+    def weighted_sum(self, inputs: np.ndarray) -> float:
+        """The synaptic drive for a binary/graded input vector."""
+        x = np.asarray(inputs, dtype=float)
+        if x.shape != (len(self._devices),):
+            raise ValueError(
+                f"expected {len(self._devices)} inputs, got {x.shape}")
+        return float(np.dot(self.weights, x))
+
+    def potentiate(self, index: int, amount: float = 0.02) -> None:
+        """Strengthen one synapse (pre-before-post STDP branch)."""
+        self._adjust(index, amount)
+
+    def depress(self, index: int, amount: float = 0.02) -> None:
+        """Weaken one synapse (post-before-pre STDP branch)."""
+        self._adjust(index, -amount)
+
+    def _adjust(self, index: int, delta: float) -> None:
+        if not 0 <= index < len(self._devices):
+            raise IndexError(f"synapse {index} out of range")
+        device = self._devices[index]
+        target = min(1.0, max(0.0, device.state + delta))
+        self.learning_energy_j += device.program_state(
+            target, tolerance=0.005)
+
+
+class SpikingBurstDetector:
+    """A one-neuron burst detector over packet arrivals.
+
+    Every arrival injects charge through a memristive synapse; a
+    sustained arrival burst drives the LIF neuron across threshold.
+    The spike rate is the anomaly signal; a homeostatic STDP-style
+    rule keeps the neuron quiet at the nominal rate.
+    """
+
+    def __init__(self, nominal_rate_pps: float,
+                 sensitivity: float = 3.0,
+                 rng: np.random.Generator | None = None) -> None:
+        if nominal_rate_pps <= 0:
+            raise ValueError("nominal rate must be positive")
+        if sensitivity <= 1.0:
+            raise ValueError("sensitivity must exceed 1")
+        self.nominal_rate_pps = nominal_rate_pps
+        # Membrane leak calibrated so that `sensitivity` x nominal
+        # arrivals within one tau cross the threshold.
+        self._tau = 10.0 / nominal_rate_pps
+        self._neuron = LIFNeuron(tau_s=self._tau, threshold=1.0,
+                                 refractory_s=1.0 / nominal_rate_pps)
+        self._synapses = MemristiveSynapses(1, initial_weight=0.5,
+                                            rng=rng)
+        self._charge = 1.0 / (sensitivity * nominal_rate_pps * self._tau)
+        self.arrivals = 0
+
+    @property
+    def spike_count(self) -> int:
+        """Total spikes emitted so far."""
+        return self._neuron.spikes
+
+    @property
+    def synaptic_weight(self) -> float:
+        """Current weight of the input synapse."""
+        return float(self._synapses.weights[0])
+
+    def on_arrival(self, time_s: float) -> bool:
+        """Feed one packet arrival; True when the neuron spikes."""
+        self.arrivals += 1
+        drive = self._charge * 2.0 * self._synapses.weighted_sum(
+            np.ones(1))
+        spiked = self._neuron.step(time_s, drive)
+        if spiked:
+            # Homeostasis: spiking depresses the synapse slightly so
+            # a persistent overload habituates instead of saturating.
+            self._synapses.depress(0, amount=0.01)
+        return spiked

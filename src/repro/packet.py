@@ -1,0 +1,76 @@
+"""Packet representation shared by the data plane and the simulator.
+
+A :class:`Packet` is deliberately lightweight (slots, no dict churn in
+the hot path): the queue simulator pushes millions of them through the
+bottleneck.  Header fields live in a plain dict so the parser can
+expose arbitrary protocol fields to match-action tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Mapping
+
+__all__ = ["Packet", "FIVE_TUPLE_FIELDS"]
+
+#: Canonical header-field names for the classic 5-tuple.
+FIVE_TUPLE_FIELDS = ("src_ip", "dst_ip", "src_port", "dst_port", "protocol")
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """One packet moving through the simulated network.
+
+    Parameters
+    ----------
+    size_bytes:
+        Wire size, used for service-time and byte-count accounting.
+    flow_id:
+        Opaque flow identifier assigned by the generator.
+    priority:
+        Scheduling class (0 = highest).  The paper's AQM gives high
+        priority traffic a lower drop probability.
+    fields:
+        Parsed header fields (5-tuple and anything else a parser
+        extracts).
+    created_at:
+        Simulation timestamp of creation [s].
+    """
+
+    __slots__ = ("packet_id", "size_bytes", "flow_id", "priority",
+                 "fields", "created_at", "enqueued_at", "dequeued_at",
+                 "dropped")
+
+    def __init__(self, size_bytes: int = 1500, flow_id: int = 0,
+                 priority: int = 0,
+                 fields: Mapping[str, Any] | None = None,
+                 created_at: float = 0.0) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"size must be positive: {size_bytes!r}")
+        if priority < 0:
+            raise ValueError(f"priority must be >= 0: {priority!r}")
+        self.packet_id = next(_packet_ids)
+        self.size_bytes = size_bytes
+        self.flow_id = flow_id
+        self.priority = priority
+        self.fields: dict[str, Any] = dict(fields) if fields else {}
+        self.created_at = created_at
+        self.enqueued_at: float | None = None
+        self.dequeued_at: float | None = None
+        self.dropped = False
+
+    @property
+    def sojourn_time(self) -> float | None:
+        """Queueing delay experienced, once dequeued [s]."""
+        if self.enqueued_at is None or self.dequeued_at is None:
+            return None
+        return self.dequeued_at - self.enqueued_at
+
+    def field(self, name: str, default: Any = None) -> Any:
+        """A parsed header field, or ``default``."""
+        return self.fields.get(name, default)
+
+    def __repr__(self) -> str:
+        return (f"Packet(id={self.packet_id}, flow={self.flow_id}, "
+                f"{self.size_bytes}B, prio={self.priority})")

@@ -1,0 +1,52 @@
+"""Discrete-event network simulation substrate (Figure 8's workload)."""
+
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import (
+    OnOffFlowGenerator,
+    ParetoBurstGenerator,
+    PoissonFlowGenerator,
+)
+from repro.simnet.metrics import (
+    DelayRecorder,
+    SummaryStatistics,
+    time_binned_mean,
+)
+from repro.simnet.multihop import (
+    MultiBottleneckExperiment,
+    PathResult,
+    build_path,
+)
+from repro.simnet.queue_sim import BottleneckQueue
+from repro.simnet.responsive import AIMDFlowGenerator, FeedbackRouter
+from repro.simnet.trace import (
+    ArrivalTrace,
+    TraceRecorder,
+    TraceReplayGenerator,
+)
+from repro.simnet.topology import (
+    DumbbellExperiment,
+    ExperimentResult,
+    overload_profile,
+)
+
+__all__ = [
+    "AIMDFlowGenerator",
+    "ArrivalTrace",
+    "BottleneckQueue",
+    "TraceRecorder",
+    "TraceReplayGenerator",
+    "FeedbackRouter",
+    "MultiBottleneckExperiment",
+    "PathResult",
+    "build_path",
+    "DelayRecorder",
+    "DumbbellExperiment",
+    "ExperimentResult",
+    "OnOffFlowGenerator",
+    "ParetoBurstGenerator",
+    "PoissonFlowGenerator",
+    "Simulator",
+    "SummaryStatistics",
+    "overload_profile",
+    "time_binned_mean",
+]

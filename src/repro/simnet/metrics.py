@@ -1,0 +1,136 @@
+"""Measurement instruments for queue experiments.
+
+The Figure 8 plot needs per-packet delays over time with and without
+AQM; the ablations additionally need drop counts, throughput and
+queue-occupancy series.  :class:`DelayRecorder` collects the raw
+events; the free functions summarise them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "DelayRecorder",
+    "SummaryStatistics",
+    "time_binned_mean",
+]
+
+
+@dataclass
+class DelayRecorder:
+    """Accumulates per-packet outcomes during a run."""
+
+    departure_times: list[float] = field(default_factory=list)
+    sojourn_times: list[float] = field(default_factory=list)
+    drop_times: list[float] = field(default_factory=list)
+    drop_priorities: list[int] = field(default_factory=list)
+    sample_times: list[float] = field(default_factory=list)
+    queue_lengths: list[int] = field(default_factory=list)
+    queue_bytes: list[int] = field(default_factory=list)
+    delivered_priorities: list[int] = field(default_factory=list)
+
+    def record_departure(self, time: float, sojourn: float,
+                         priority: int = 0) -> None:
+        """Log one served packet (time, sojourn, priority)."""
+        self.departure_times.append(time)
+        self.sojourn_times.append(sojourn)
+        self.delivered_priorities.append(priority)
+
+    def record_drop(self, time: float, priority: int = 0) -> None:
+        """Log one dropped packet."""
+        self.drop_times.append(time)
+        self.drop_priorities.append(priority)
+
+    def record_queue_sample(self, time: float, packets: int,
+                            bytes_: int) -> None:
+        """Log one periodic queue-occupancy sample."""
+        self.sample_times.append(time)
+        self.queue_lengths.append(packets)
+        self.queue_bytes.append(bytes_)
+
+    @property
+    def delivered(self) -> int:
+        """Packets served so far."""
+        return len(self.sojourn_times)
+
+    @property
+    def dropped(self) -> int:
+        """Packets dropped so far."""
+        return len(self.drop_times)
+
+    @property
+    def drop_rate(self) -> float:
+        """Dropped fraction of all observed packets."""
+        total = self.delivered + self.dropped
+        return self.dropped / total if total else 0.0
+
+    def summary(self) -> "SummaryStatistics":
+        """Headline statistics of the run so far."""
+        return SummaryStatistics.from_recorder(self)
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Headline numbers of one queue run."""
+
+    delivered: int
+    dropped: int
+    drop_rate: float
+    mean_delay_s: float
+    median_delay_s: float
+    p95_delay_s: float
+    p99_delay_s: float
+    max_delay_s: float
+
+    @classmethod
+    def from_recorder(cls, recorder: DelayRecorder) -> "SummaryStatistics":
+        """Summarise a recorder's accumulated events."""
+        delays = np.asarray(recorder.sojourn_times)
+        if delays.size == 0:
+            return cls(delivered=0, dropped=recorder.dropped,
+                       drop_rate=recorder.drop_rate, mean_delay_s=0.0,
+                       median_delay_s=0.0, p95_delay_s=0.0,
+                       p99_delay_s=0.0, max_delay_s=0.0)
+        return cls(
+            delivered=recorder.delivered,
+            dropped=recorder.dropped,
+            drop_rate=recorder.drop_rate,
+            mean_delay_s=float(delays.mean()),
+            median_delay_s=float(np.median(delays)),
+            p95_delay_s=float(np.percentile(delays, 95)),
+            p99_delay_s=float(np.percentile(delays, 99)),
+            max_delay_s=float(delays.max()),
+        )
+
+
+def time_binned_mean(times: list[float] | np.ndarray,
+                     values: list[float] | np.ndarray,
+                     bin_width_s: float,
+                     end_time_s: float | None = None
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Mean of ``values`` in fixed time bins -> (bin centres, means).
+
+    Empty bins yield NaN so plots show gaps rather than fabricated
+    zeros.  This produces the delay-vs-time series of Figure 8.
+    """
+    if bin_width_s <= 0:
+        raise ValueError(f"bin width must be positive: {bin_width_s!r}")
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape:
+        raise ValueError("times and values must align")
+    if t.size == 0:
+        return np.zeros(0), np.zeros(0)
+    horizon = float(t.max()) if end_time_s is None else end_time_s
+    n_bins = max(1, int(np.ceil(horizon / bin_width_s)))
+    edges = np.linspace(0.0, n_bins * bin_width_s, n_bins + 1)
+    indices = np.clip(np.digitize(t, edges) - 1, 0, n_bins - 1)
+    sums = np.bincount(indices, weights=v, minlength=n_bins)
+    counts = np.bincount(indices, minlength=n_bins)
+    with np.errstate(invalid="ignore"):
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    centres = 0.5 * (edges[:-1] + edges[1:])
+    return centres, means

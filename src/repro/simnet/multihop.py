@@ -1,0 +1,160 @@
+"""Multi-bottleneck paths: chained queues with propagation delay.
+
+The paper's bufferbloat citation (Ye et al., "Combating Bufferbloat
+in Multi-Bottleneck Networks" [60]) concerns exactly this topology:
+congestion can form at *several* hops, and per-hop AQM must keep the
+end-to-end delay bounded.  This module chains
+:class:`~repro.simnet.queue_sim.BottleneckQueue` instances through
+propagation-delay links and records end-to-end statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.netfunc.aqm.base import AQMAlgorithm, TailDropAQM
+from repro.packet import Packet
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import PoissonFlowGenerator
+from repro.simnet.metrics import DelayRecorder
+from repro.simnet.queue_sim import BottleneckQueue
+
+__all__ = ["MultiBottleneckExperiment", "PathResult", "build_path"]
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """End-to-end outcome of one multi-hop run."""
+
+    end_to_end_delays_s: np.ndarray
+    delivered: int
+    dropped: int
+    per_hop_recorders: tuple[DelayRecorder, ...]
+    queues: tuple[BottleneckQueue, ...]
+
+    @property
+    def mean_delay_s(self) -> float:
+        """Mean end-to-end delay [s]."""
+        if self.end_to_end_delays_s.size == 0:
+            return 0.0
+        return float(self.end_to_end_delays_s.mean())
+
+    @property
+    def p95_delay_s(self) -> float:
+        """95th-percentile end-to-end delay [s]."""
+        if self.end_to_end_delays_s.size == 0:
+            return 0.0
+        return float(np.percentile(self.end_to_end_delays_s, 95))
+
+
+def build_path(sim: Simulator,
+               hop_rates_bps: Sequence[float],
+               propagation_delays_s: Sequence[float],
+               aqm_factory: Callable[[], AQMAlgorithm],
+               capacity_packets: int = 2000,
+               on_delivery: Callable[[Packet], None] | None = None
+               ) -> list[BottleneckQueue]:
+    """Chain bottleneck queues into a path.
+
+    ``propagation_delays_s`` has one entry per hop: the latency of the
+    link *after* that hop (the last entry is the final link to the
+    receiver).  The returned list's first queue is the path entry
+    point.
+    """
+    if len(hop_rates_bps) != len(propagation_delays_s):
+        raise ValueError("need one propagation delay per hop")
+    if not hop_rates_bps:
+        raise ValueError("path needs at least one hop")
+    queues: list[BottleneckQueue] = []
+    for rate in hop_rates_bps:
+        queues.append(BottleneckQueue(sim, service_rate_bps=rate,
+                                      capacity_packets=capacity_packets,
+                                      aqm=aqm_factory()))
+
+    def make_forwarder(next_queue: BottleneckQueue,
+                       delay: float) -> Callable[[Packet], None]:
+        def forward(packet: Packet) -> None:
+            sim.schedule(delay, lambda p=packet: next_queue.enqueue(p))
+        return forward
+
+    for index in range(len(queues) - 1):
+        queues[index].delivery_listener = make_forwarder(
+            queues[index + 1], float(propagation_delays_s[index]))
+
+    if on_delivery is not None:
+        final_delay = float(propagation_delays_s[-1])
+
+        def deliver(packet: Packet) -> None:
+            sim.schedule(final_delay, lambda p=packet: on_delivery(p))
+
+        queues[-1].delivery_listener = deliver
+    return queues
+
+
+@dataclass
+class MultiBottleneckExperiment:
+    """Poisson sources through a two-bottleneck path.
+
+    The second hop is the tighter one by default, so congestion forms
+    downstream — the regime where end-to-end delay control needs AQM
+    at *both* hops.
+    """
+
+    n_flows: int = 6
+    load: float = 1.2
+    hop_rates_bps: tuple[float, ...] = (60e6, 40e6)
+    propagation_delays_s: tuple[float, ...] = (0.002, 0.002)
+    packet_size_bytes: int = 1000
+    capacity_packets: int = 2000
+    duration_s: float = 6.0
+    seed: int = 21
+
+    def __post_init__(self) -> None:
+        if self.n_flows < 1:
+            raise ValueError(f"need at least one flow: {self.n_flows!r}")
+        if len(self.hop_rates_bps) != len(self.propagation_delays_s):
+            raise ValueError("need one propagation delay per hop")
+
+    @property
+    def bottleneck_rate_bps(self) -> float:
+        """The tightest hop's rate [bits/s]."""
+        return min(self.hop_rates_bps)
+
+    def run(self, aqm_factory: Callable[[], AQMAlgorithm] | None = None
+            ) -> PathResult:
+        """Execute one run with the given per-hop AQM factory."""
+        sim = Simulator()
+        end_to_end: list[float] = []
+
+        def on_delivery(packet: Packet) -> None:
+            end_to_end.append(sim.now - packet.created_at)
+
+        queues = build_path(
+            sim, self.hop_rates_bps, self.propagation_delays_s,
+            aqm_factory or TailDropAQM,
+            capacity_packets=self.capacity_packets,
+            on_delivery=on_delivery)
+
+        total_pps = (self.load * self.bottleneck_rate_bps
+                     / (8.0 * self.packet_size_bytes))
+        rng = np.random.default_rng(self.seed)
+        for index in range(self.n_flows):
+            PoissonFlowGenerator(
+                rate_pps=total_pps / self.n_flows,
+                packet_size_bytes=self.packet_size_bytes,
+                flow_id=index,
+                rng=np.random.default_rng(rng.integers(2 ** 63))
+            ).attach(sim, queues[0].enqueue)
+        sim.run_until(self.duration_s)
+
+        dropped = sum(queue.aqm_drops + queue.overflow_drops
+                      for queue in queues)
+        return PathResult(
+            end_to_end_delays_s=np.asarray(end_to_end),
+            delivered=len(end_to_end),
+            dropped=dropped,
+            per_hop_recorders=tuple(queue.recorder for queue in queues),
+            queues=tuple(queues))

@@ -1,0 +1,139 @@
+"""Canned experiment topologies.
+
+The Figure 8 experiment is a dumbbell: several Poisson sources share
+one bottleneck queue.  :class:`DumbbellExperiment` wires that up,
+runs it, and hands back the recorder — so benchmarks, tests and
+examples all drive the identical scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.netfunc.aqm.base import AQMAlgorithm, TailDropAQM
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import FlowGenerator, PoissonFlowGenerator
+from repro.simnet.metrics import DelayRecorder
+from repro.simnet.queue_sim import BottleneckQueue
+
+__all__ = ["DumbbellExperiment", "ExperimentResult", "overload_profile"]
+
+
+def overload_profile(overload_start_s: float, overload_end_s: float,
+                     overload_factor: float = 1.6
+                     ) -> Callable[[float], float]:
+    """A rate profile that raises offered load inside a time window.
+
+    Outside the window the factor is 1.0 (nominal load); inside it the
+    arrival rate is multiplied by ``overload_factor`` — the congestion
+    episode the AQM must manage.
+    """
+    if overload_start_s >= overload_end_s:
+        raise ValueError("overload window is empty")
+    if overload_factor <= 0:
+        raise ValueError(f"factor must be positive: {overload_factor!r}")
+
+    def profile(now: float) -> float:
+        if overload_start_s <= now < overload_end_s:
+            return overload_factor
+        return 1.0
+
+    return profile
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything a bench needs from one run."""
+
+    recorder: DelayRecorder
+    queue: BottleneckQueue
+    duration_s: float
+
+    @property
+    def mean_delay_ms(self) -> float:
+        """Mean sojourn time of the run [ms]."""
+        delays = self.recorder.sojourn_times
+        return 1e3 * float(np.mean(delays)) if delays else 0.0
+
+
+@dataclass
+class DumbbellExperiment:
+    """N Poisson sources -> one bottleneck queue -> sink.
+
+    Parameters
+    ----------
+    n_flows:
+        Number of independent Poisson sources.
+    load:
+        Offered load as a fraction of the bottleneck rate (1.0 = the
+        queue is critically loaded before any overload window).
+    service_rate_bps:
+        Bottleneck line rate.
+    packet_size_bytes:
+        Fixed packet size of all sources.
+    capacity_packets:
+        Bottleneck buffer size.
+    duration_s:
+        Simulated horizon.
+    rate_fn:
+        Optional shared time-varying load profile (see
+        :func:`overload_profile`).
+    priorities:
+        Optional per-flow priority classes (defaults to all zero).
+    seed:
+        Seed for all arrival processes.
+    """
+
+    n_flows: int = 8
+    load: float = 0.95
+    service_rate_bps: float = 80e6
+    packet_size_bytes: int = 1000
+    capacity_packets: int = 2000
+    duration_s: float = 10.0
+    rate_fn: Callable[[float], float] | None = None
+    priorities: Sequence[int] | None = None
+    seed: int = 42
+    sample_interval_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.n_flows < 1:
+            raise ValueError(f"need at least one flow: {self.n_flows!r}")
+        if self.load <= 0:
+            raise ValueError(f"load must be positive: {self.load!r}")
+        if self.priorities is not None and len(self.priorities) != self.n_flows:
+            raise ValueError("priorities must match n_flows")
+
+    @property
+    def per_flow_rate_pps(self) -> float:
+        """Arrival rate of each Poisson source [packets/s]."""
+        total_pps = (self.load * self.service_rate_bps
+                     / (8.0 * self.packet_size_bytes))
+        return total_pps / self.n_flows
+
+    def run(self, aqm: AQMAlgorithm | None = None) -> ExperimentResult:
+        """Execute one run with the given policy (tail drop default)."""
+        sim = Simulator()
+        queue = BottleneckQueue(
+            sim,
+            service_rate_bps=self.service_rate_bps,
+            capacity_packets=self.capacity_packets,
+            aqm=aqm or TailDropAQM(),
+            sample_interval_s=self.sample_interval_s)
+        rng = np.random.default_rng(self.seed)
+        for index in range(self.n_flows):
+            priority = (self.priorities[index]
+                        if self.priorities is not None else 0)
+            generator = PoissonFlowGenerator(
+                rate_pps=self.per_flow_rate_pps,
+                packet_size_bytes=self.packet_size_bytes,
+                flow_id=index,
+                priority=priority,
+                rng=np.random.default_rng(rng.integers(2 ** 63)),
+                rate_fn=self.rate_fn)
+            generator.attach(sim, queue.enqueue)
+        sim.run_until(self.duration_s)
+        return ExperimentResult(recorder=queue.recorder, queue=queue,
+                                duration_s=self.duration_s)

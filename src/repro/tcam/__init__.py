@@ -1,0 +1,31 @@
+"""Digital match-action substrate: TCAM, memristor TCAM, Table 1 baselines."""
+
+from repro.tcam.baselines import (
+    Computation,
+    PublishedDesign,
+    TABLE1_DIGITAL_DESIGNS,
+    TABLE1_PCAM_PUBLISHED,
+    Technology,
+    best_digital_design,
+)
+from repro.tcam.mtcam import MemristorTCAM
+from repro.tcam.tcam import (
+    SearchResult,
+    TCAM,
+    TernaryPattern,
+    key_from_int,
+)
+
+__all__ = [
+    "Computation",
+    "MemristorTCAM",
+    "PublishedDesign",
+    "SearchResult",
+    "TABLE1_DIGITAL_DESIGNS",
+    "TABLE1_PCAM_PUBLISHED",
+    "TCAM",
+    "Technology",
+    "TernaryPattern",
+    "best_digital_design",
+    "key_from_int",
+]

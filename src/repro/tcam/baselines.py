@@ -1,0 +1,100 @@
+"""The published designs of Table 1.
+
+Table 1 compares eight published digital CAM designs (transistor and
+memristor based) against the analog pCAM on search latency and energy
+per bit.  The digital rows are *published figures*, not measurements of
+this reproduction — exactly as in the paper — so they are encoded here
+as frozen records.  The pCAM row is measured from the device model at
+run time by :mod:`repro.energy.comparison`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.energy.units import femtojoules, nanoseconds
+
+
+class Computation(enum.Enum):
+    """Digital (deterministic only) vs analog (probabilistic) matching."""
+
+    DIGITAL = "D"
+    ANALOG = "A"
+
+
+class Technology(enum.Enum):
+    """Underlying storage/compute device."""
+
+    TRANSISTOR = "T"
+    MEMRISTOR = "M"
+
+
+@dataclass(frozen=True)
+class PublishedDesign:
+    """One row of Table 1.
+
+    ``energy_fj_per_bit`` uses the design's best (lowest) published
+    figure when the source reports a range, mirroring the table.
+    """
+
+    name: str
+    reference: str
+    computation: Computation
+    technology: Technology
+    latency_ns: float
+    energy_fj_per_bit: float
+    energy_fj_per_bit_max: float | None = None
+
+    @property
+    def latency_s(self) -> float:
+        """Search latency in seconds."""
+        return nanoseconds(self.latency_ns)
+
+    @property
+    def energy_j_per_bit(self) -> float:
+        """Best published energy in joules per bit."""
+        return femtojoules(self.energy_fj_per_bit)
+
+    def __str__(self) -> str:
+        energy = (f"{self.energy_fj_per_bit:g}"
+                  if self.energy_fj_per_bit_max is None
+                  else f"{self.energy_fj_per_bit:g}-"
+                       f"{self.energy_fj_per_bit_max:g}")
+        return (f"{self.name} [{self.reference}] "
+                f"({self.computation.value}/{self.technology.value}): "
+                f"{self.latency_ns:g} ns, {energy} fJ/bit")
+
+
+#: The eight digital designs of Table 1, in column order.
+TABLE1_DIGITAL_DESIGNS: tuple[PublishedDesign, ...] = (
+    PublishedDesign("Arsovski", "2", Computation.DIGITAL,
+                    Technology.TRANSISTOR, 1.0, 0.58),
+    PublishedDesign("Hayashi", "19", Computation.DIGITAL,
+                    Technology.TRANSISTOR, 1.9, 1.98),
+    PublishedDesign("Saleh (TCAmMCogniGron)", "42", Computation.DIGITAL,
+                    Technology.MEMRISTOR, 1.0, 1.0,
+                    energy_fj_per_bit_max=16.0),
+    PublishedDesign("Matsunaga", "33", Computation.DIGITAL,
+                    Technology.MEMRISTOR, 0.29, 1.04),
+    PublishedDesign("Gnawali", "11", Computation.DIGITAL,
+                    Technology.MEMRISTOR, 0.18, 1.2),
+    PublishedDesign("Bontupalli", "4", Computation.DIGITAL,
+                    Technology.MEMRISTOR, 1.0, 2.15),
+    PublishedDesign("Zheng", "62", Computation.DIGITAL,
+                    Technology.MEMRISTOR, 2.3, 3.0),
+    PublishedDesign("Xu", "59", Computation.DIGITAL,
+                    Technology.MEMRISTOR, 8.0, 7.4),
+)
+
+#: The paper's published pCAM row (what we try to reproduce by
+#: measurement): 1 ns latency, 0.01 fJ/bit minimum-state energy.
+TABLE1_PCAM_PUBLISHED = PublishedDesign(
+    "pCAM", "this paper", Computation.ANALOG, Technology.MEMRISTOR,
+    1.0, 0.01)
+
+
+def best_digital_design() -> PublishedDesign:
+    """The lowest-energy digital row (the paper's 50x reference point)."""
+    return min(TABLE1_DIGITAL_DESIGNS,
+               key=lambda design: design.energy_fj_per_bit)

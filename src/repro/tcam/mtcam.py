@@ -1,0 +1,130 @@
+"""Memristor-based TCAM (digital matching on analog devices).
+
+The middle column of the paper's taxonomy (Figure 3): memristors used
+for *digital* match-action, as in the authors' earlier TCAmMCogniGron
+work [42, 43] and the HPE regex engines [15-17].  Match semantics are
+identical to a transistor TCAM, but storage is non-volatile and the
+search energy comes from the device physics instead of CMOS cells —
+and because computation happens inside the storage array, the data-
+movement account stays near zero (Figure 1).
+
+Cell encoding: each ternary cell holds two complementary memristors.
+During a search, the cell conducts strongly (LRS path) only when the
+key bit *disagrees* with the stored bit, discharging the match line;
+a matching or don't-care cell presents only its HRS leakage.
+
+Energy model: a mismatching cell dumps its share of the precharged
+match-line capacitance through the LRS path (the discharge is
+*capacitance-limited*, not device-limited: ``C_ml * V^2`` per cell).
+A matching cell costs only the precharge refresh losses plus the HRS
+leakage of its devices over the search pulse.  This lands in the
+1-16 fJ/bit corridor published for memristor TCAMs [42].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.memristor import MemristorParams, NbSTOMemristor
+from repro.device.variability import VariabilityModel
+from repro.energy.ledger import (
+    ACCOUNT_COMPUTE,
+    ACCOUNT_MOVEMENT,
+    EnergyLedger,
+)
+from repro.tcam.tcam import SearchResult, TCAM, key_from_int
+
+#: Search (read) voltage applied to cells during a match cycle [V].
+DEFAULT_SEARCH_VOLTAGE_V = 1.0
+#: Match-line precharge capacitance per cell [F].
+DEFAULT_MATCHLINE_CAP_PER_CELL_F = 1.0e-15
+
+
+class MemristorTCAM(TCAM):
+    """TCAM with device-derived energy and near-zero movement cost.
+
+    Inherits the match semantics (patterns, priorities, search) from
+    :class:`~repro.tcam.tcam.TCAM` and replaces the energy model.
+    """
+
+    def __init__(self, width_bits: int,
+                 params: MemristorParams | None = None,
+                 search_voltage_v: float = DEFAULT_SEARCH_VOLTAGE_V,
+                 search_latency_s: float = 1e-9,
+                 matchline_cap_per_cell_f: float =
+                 DEFAULT_MATCHLINE_CAP_PER_CELL_F,
+                 ledger: EnergyLedger | None = None) -> None:
+        super().__init__(width_bits=width_bits,
+                         search_latency_s=search_latency_s,
+                         ledger=ledger)
+        if search_voltage_v <= 0:
+            raise ValueError("search voltage must be positive")
+        self.params = params or MemristorParams()
+        self.search_voltage_v = search_voltage_v
+        self.matchline_cap_per_cell_f = matchline_cap_per_cell_f
+        self._hrs_cell = NbSTOMemristor(params=self.params, state=0.0,
+                                        variability=VariabilityModel.ideal())
+
+    #: Fraction of the precharge energy lost refreshing a match line
+    #: that was *not* discharged (clock feed-through, leakage top-up).
+    _REFRESH_FRACTION = 0.2
+
+    def _cell_energy(self, mismatch: bool) -> float:
+        """Energy contribution of one cell during a search [J]."""
+        precharge = (self.matchline_cap_per_cell_f
+                     * self.search_voltage_v ** 2)
+        if mismatch:
+            # Full discharge of the cell's slice of the match line
+            # through the LRS path; capacitance-limited.
+            return precharge
+        leakage = self._hrs_cell.read(
+            self.search_voltage_v, self.search_latency_s,
+            noisy=False).energy_j
+        return self._REFRESH_FRACTION * precharge + leakage
+
+    def search(self, key: np.ndarray | int) -> SearchResult:
+        """Search with device-physics energy accounting.
+
+        Energy = HRS leakage of agreeing/don't-care cells + LRS
+        discharge of disagreeing cells + match-line precharge, all
+        charged to the compute account (colocalized compute/storage).
+        """
+        if isinstance(key, int):
+            key = key_from_int(key, self.width_bits)
+        if key.shape != (self.width_bits,):
+            raise ValueError(
+                f"key shape {key.shape} != ({self.width_bits},)")
+        bits, care = self._ensure_matrices()
+        agree = ~care | (bits == key[None, :])
+        matched = np.flatnonzero(agree.all(axis=1))
+        best: int | None = None
+        if matched.size:
+            priorities = np.array([self._priorities[i] for i in matched])
+            best = int(matched[int(np.argmin(priorities))])
+
+        total_cells = agree.size
+        mismatching = int(total_cells - np.count_nonzero(agree))
+        energy = (mismatching * self._cell_energy(mismatch=True)
+                  + (total_cells - mismatching)
+                  * self._cell_energy(mismatch=False))
+        # Colocalized compute/storage: everything is computation; there
+        # is no storage-to-ALU shuttling to charge.
+        self.ledger.charge(ACCOUNT_COMPUTE, energy)
+        self.ledger.charge(ACCOUNT_MOVEMENT, 0.0)
+        self._searches += 1
+        return SearchResult(matched_indices=tuple(int(i) for i in matched),
+                            best_index=best,
+                            energy_j=energy,
+                            latency_s=self.search_latency_s)
+
+    def energy_per_bit_for(self, mismatch_fraction: float = 0.5) -> float:
+        """Expected per-bit search energy at a given mismatch rate [J].
+
+        Useful for apples-to-apples comparison against the fJ/bit
+        figures in Table 1.
+        """
+        if not 0.0 <= mismatch_fraction <= 1.0:
+            raise ValueError("mismatch fraction must be in [0, 1]")
+        return (mismatch_fraction * self._cell_energy(mismatch=True)
+                + (1.0 - mismatch_fraction)
+                * self._cell_energy(mismatch=False))

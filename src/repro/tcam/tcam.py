@@ -1,0 +1,233 @@
+"""Behavioural ternary content-addressable memory (TCAM).
+
+The digital baseline of the paper: packet header fields are matched
+against stored ternary rules (0 / 1 / don't-care) in one clock cycle,
+every search activating *all* match lines.  The output is strictly
+binary — match or mismatch — with no notion of a partial match, which
+is exactly the expressiveness limitation the pCAM removes.
+
+Energy model: each search charges ``energy_per_bit_j`` for every stored
+cell (the whole array participates in a search), split between data
+movement and computation with the ~90/10 ratio the paper cites for
+transistor-based designs (Figure 1, [23, 41]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.energy.ledger import (
+    ACCOUNT_COMPUTE,
+    ACCOUNT_MOVEMENT,
+    EnergyLedger,
+)
+from repro.energy.units import femtojoules, nanoseconds
+
+#: Representative transistor TCAM figures (Arsovski et al. [2]).
+DEFAULT_ENERGY_PER_BIT_J = femtojoules(0.58)
+DEFAULT_SEARCH_LATENCY_S = nanoseconds(1.0)
+#: Fraction of digital search energy spent moving data between the
+#: separate storage and computation units (paper Figure 1: "upto 90%").
+DEFAULT_MOVEMENT_FRACTION = 0.9
+
+#: Wildcard character in ternary pattern strings.
+WILDCARD = "x"
+
+
+@dataclass(frozen=True)
+class TernaryPattern:
+    """A stored ternary word: per-bit value and care mask.
+
+    ``bits[i]`` is meaningful only where ``care[i]`` is True; elsewhere
+    the bit is a don't-care (``x``).
+    """
+
+    bits: np.ndarray
+    care: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.bits.shape != self.care.shape or self.bits.ndim != 1:
+            raise ValueError("bits and care must be 1-D and aligned")
+
+    @property
+    def width(self) -> int:
+        """Word width in bits."""
+        return len(self.bits)
+
+    @classmethod
+    def parse(cls, text: str) -> "TernaryPattern":
+        """Parse a pattern like ``"10x1"`` (``x`` = don't-care)."""
+        if not text:
+            raise ValueError("pattern must be non-empty")
+        bits = np.zeros(len(text), dtype=bool)
+        care = np.ones(len(text), dtype=bool)
+        for index, char in enumerate(text.lower()):
+            if char == "1":
+                bits[index] = True
+            elif char == "0":
+                bits[index] = False
+            elif char == WILDCARD or char == "*":
+                care[index] = False
+            else:
+                raise ValueError(
+                    f"invalid pattern character {char!r} at {index}")
+        return cls(bits=bits, care=care)
+
+    @classmethod
+    def from_value(cls, value: int, width: int,
+                   mask: int | None = None) -> "TernaryPattern":
+        """Build from an integer value and optional care mask.
+
+        ``mask`` bit = 1 means the bit is compared; default all-ones.
+        The most significant bit is stored first.
+        """
+        if width < 1:
+            raise ValueError(f"width must be >= 1: {width!r}")
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        care_mask = (1 << width) - 1 if mask is None else mask
+        bits = np.array([(value >> (width - 1 - i)) & 1 == 1
+                         for i in range(width)])
+        care = np.array([(care_mask >> (width - 1 - i)) & 1 == 1
+                         for i in range(width)])
+        return cls(bits=bits, care=care)
+
+    def matches(self, key: np.ndarray) -> bool:
+        """True iff the key agrees on every cared-for bit."""
+        if key.shape != self.bits.shape:
+            raise ValueError(f"key width {key.shape} != {self.bits.shape}")
+        return bool(np.all(~self.care | (key == self.bits)))
+
+    def __str__(self) -> str:
+        return "".join(("1" if b else "0") if c else WILDCARD
+                       for b, c in zip(self.bits, self.care))
+
+
+def key_from_int(value: int, width: int) -> np.ndarray:
+    """Encode an integer search key as a bit array (MSB first)."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 == 1
+                     for i in range(width)])
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one TCAM search."""
+
+    matched_indices: tuple[int, ...]
+    best_index: int | None
+    energy_j: float
+    latency_s: float
+
+    @property
+    def hit(self) -> bool:
+        """True when at least one entry matched."""
+        return self.best_index is not None
+
+
+class TCAM:
+    """A priority-ordered ternary CAM with a digital energy model.
+
+    Entries are matched in insertion order unless an explicit priority
+    is given; lower priority value wins (like P4 table entries).
+    """
+
+    def __init__(self, width_bits: int,
+                 energy_per_bit_j: float = DEFAULT_ENERGY_PER_BIT_J,
+                 search_latency_s: float = DEFAULT_SEARCH_LATENCY_S,
+                 movement_fraction: float = DEFAULT_MOVEMENT_FRACTION,
+                 ledger: EnergyLedger | None = None) -> None:
+        if width_bits < 1:
+            raise ValueError(f"width must be >= 1: {width_bits!r}")
+        if not 0.0 <= movement_fraction <= 1.0:
+            raise ValueError("movement fraction must be in [0, 1]")
+        self.width_bits = width_bits
+        self.energy_per_bit_j = energy_per_bit_j
+        self.search_latency_s = search_latency_s
+        self.movement_fraction = movement_fraction
+        self.ledger = ledger if ledger is not None else EnergyLedger()
+        self._patterns: list[TernaryPattern] = []
+        self._priorities: list[int] = []
+        self._searches = 0
+        # Dense matrices rebuilt lazily for vectorised search.
+        self._bits_matrix: np.ndarray | None = None
+        self._care_matrix: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    @property
+    def searches(self) -> int:
+        """Number of searches performed."""
+        return self._searches
+
+    def add(self, pattern: TernaryPattern | str,
+            priority: int | None = None) -> int:
+        """Install a rule; returns its entry index."""
+        if isinstance(pattern, str):
+            pattern = TernaryPattern.parse(pattern)
+        if pattern.width != self.width_bits:
+            raise ValueError(
+                f"pattern width {pattern.width} != TCAM width "
+                f"{self.width_bits}")
+        self._patterns.append(pattern)
+        self._priorities.append(
+            priority if priority is not None else len(self._priorities))
+        self._bits_matrix = None
+        self._care_matrix = None
+        return len(self._patterns) - 1
+
+    def remove(self, index: int) -> None:
+        """Delete a rule by entry index."""
+        if not 0 <= index < len(self._patterns):
+            raise IndexError(f"entry {index} out of range")
+        del self._patterns[index]
+        del self._priorities[index]
+        self._bits_matrix = None
+        self._care_matrix = None
+
+    def _ensure_matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._bits_matrix is None or self._care_matrix is None:
+            if self._patterns:
+                self._bits_matrix = np.stack(
+                    [p.bits for p in self._patterns])
+                self._care_matrix = np.stack(
+                    [p.care for p in self._patterns])
+            else:
+                self._bits_matrix = np.zeros((0, self.width_bits), dtype=bool)
+                self._care_matrix = np.zeros((0, self.width_bits), dtype=bool)
+        return self._bits_matrix, self._care_matrix
+
+    def search(self, key: np.ndarray | int) -> SearchResult:
+        """One-cycle search of all entries against ``key``.
+
+        Returns every matching entry plus the highest-priority one and
+        charges the digital search energy to the ledger.
+        """
+        if isinstance(key, int):
+            key = key_from_int(key, self.width_bits)
+        if key.shape != (self.width_bits,):
+            raise ValueError(
+                f"key shape {key.shape} != ({self.width_bits},)")
+        bits, care = self._ensure_matrices()
+        agree = ~care | (bits == key[None, :])
+        matched = np.flatnonzero(agree.all(axis=1))
+        best: int | None = None
+        if matched.size:
+            priorities = np.array([self._priorities[i] for i in matched])
+            best = int(matched[int(np.argmin(priorities))])
+
+        energy = self.energy_per_bit_j * self.width_bits * max(
+            len(self._patterns), 1)
+        self.ledger.charge(ACCOUNT_MOVEMENT,
+                           energy * self.movement_fraction)
+        self.ledger.charge(ACCOUNT_COMPUTE,
+                           energy * (1.0 - self.movement_fraction))
+        self._searches += 1
+        return SearchResult(matched_indices=tuple(int(i) for i in matched),
+                            best_index=best,
+                            energy_j=energy,
+                            latency_s=self.search_latency_s)

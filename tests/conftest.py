@@ -1,0 +1,34 @@
+"""Shared fixtures: seeded RNGs and a small session-scoped dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device.dataset import MemristorDataset, generate_dataset
+from repro.device.memristor import MemristorParams
+from repro.device.variability import VariabilityModel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministically seeded generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> MemristorDataset:
+    """A compact synthetic measurement campaign (shared, read-only)."""
+    return generate_dataset(n_states=24, n_voltages=49,
+                            include_sweeps=True,
+                            include_pulse_trains=True, seed=7)
+
+
+@pytest.fixture(scope="session")
+def ideal_params() -> MemristorParams:
+    return MemristorParams()
+
+
+@pytest.fixture
+def ideal_variability() -> VariabilityModel:
+    return VariabilityModel.ideal()

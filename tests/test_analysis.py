@@ -1,0 +1,113 @@
+"""Statistics helpers and the per-figure series builders."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    figure1_series,
+    figure2_series,
+    figure4_series,
+    figure7_series,
+)
+from repro.analysis.stats import (
+    banded_fraction,
+    describe,
+    monotone_fraction,
+)
+
+
+class TestStats:
+    def test_describe_fields(self):
+        summary = describe([1.0, 2.0, 3.0, 4.0])
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+
+    def test_describe_empty_rejected(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+    def test_banded_fraction(self):
+        values = [5, 15, 25, 35]
+        assert banded_fraction(values, 10, 30) == pytest.approx(0.5)
+        assert banded_fraction([], 0, 1) == 0.0
+
+    def test_banded_fraction_validates(self):
+        with pytest.raises(ValueError):
+            banded_fraction([1.0], 2.0, 1.0)
+
+    def test_monotone_fraction(self):
+        assert monotone_fraction([1, 2, 3]) == 1.0
+        assert monotone_fraction([3, 2, 1]) == 0.0
+        assert monotone_fraction([1, 2, 1]) == pytest.approx(0.5)
+        assert monotone_fraction([1]) == 1.0
+
+
+class TestFigure1:
+    def test_movement_split_matches_paper_claim(self):
+        series = figure1_series(width_bits=16, n_entries=8,
+                                n_searches=16)
+        digital = series["digital_transistor"]
+        analog = series["analog_memristor"]
+        # "upto 90%" of digital energy is data movement; colocalized
+        # analog computation moves nothing.
+        assert digital["movement_fraction"] == pytest.approx(0.9)
+        assert analog["movement_fraction"] == 0.0
+        assert analog["compute_j"] == pytest.approx(analog["total_j"])
+
+
+class TestFigure2:
+    def test_distinct_outputs_per_state(self):
+        series = figure2_series()
+        inputs = series["inputs"]
+        assert "S_0_0" in series and "S_1_2" in series
+        # Different states produce different outputs for same input.
+        assert not np.allclose(series["S_0_0"], series["S_0_2"])
+        np.testing.assert_allclose(series["S_0_1"], 0.4 * inputs)
+
+    def test_device_backed_close_to_ideal(self):
+        ideal = figure2_series()
+        device = figure2_series(device_backed=True, seed=1)
+        np.testing.assert_allclose(device["S_0_2"], ideal["S_0_2"],
+                                   rtol=0.15, atol=0.05)
+
+
+class TestFigure4:
+    def test_single_cell_trapezoid(self):
+        series = figure4_series()
+        single = series["single"]
+        assert single.min() == 0.0
+        assert single.max() == 1.0
+
+    def test_series_product_below_single(self):
+        series = figure4_series()
+        assert np.all(series["series_product"] <= series["single"] + 1e-12)
+        # Strictly smaller on the ramps.
+        on_ramp = (series["single"] > 0.01) & (series["single"] < 0.99)
+        assert np.all(series["series_product"][on_ramp]
+                      < series["single"][on_ramp])
+
+
+class TestFigure7:
+    @pytest.mark.parametrize("panel, lo, hi", [("a", 1.0, 4.0),
+                                               ("b", -2.0, 1.0)])
+    def test_pdp_spans_zero_to_one(self, panel, lo, hi):
+        series = figure7_series(panel, n_points=31, trials=6)
+        assert series["inputs"][0] == lo
+        assert series["inputs"][-1] == hi
+        assert series["pdp_mean"].min() == pytest.approx(0.0, abs=0.05)
+        assert series["pdp_mean"].max() == pytest.approx(1.0, abs=0.05)
+
+    def test_measured_tracks_ideal(self):
+        series = figure7_series("a", n_points=31, trials=8)
+        error = np.abs(series["pdp_mean"] - series["pdp_ideal"])
+        assert error.max() < 0.15
+
+    def test_read_energy_reported(self):
+        series = figure7_series("a", n_points=11, trials=2)
+        assert np.all(series["read_energy_j"] > 0.0)
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(ValueError):
+            figure7_series("c")

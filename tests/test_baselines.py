@@ -1,0 +1,62 @@
+"""The published designs of Table 1."""
+
+import pytest
+
+from repro.tcam.baselines import (
+    Computation,
+    PublishedDesign,
+    TABLE1_DIGITAL_DESIGNS,
+    TABLE1_PCAM_PUBLISHED,
+    Technology,
+    best_digital_design,
+)
+
+
+def test_eight_digital_designs():
+    assert len(TABLE1_DIGITAL_DESIGNS) == 8
+
+
+def test_all_digital_rows_are_digital():
+    assert all(design.computation is Computation.DIGITAL
+               for design in TABLE1_DIGITAL_DESIGNS)
+
+
+def test_published_figures_match_paper():
+    by_ref = {design.reference: design
+              for design in TABLE1_DIGITAL_DESIGNS}
+    assert by_ref["2"].energy_fj_per_bit == 0.58
+    assert by_ref["2"].latency_ns == 1.0
+    assert by_ref["19"].energy_fj_per_bit == 1.98
+    assert by_ref["42"].energy_fj_per_bit_max == 16.0
+    assert by_ref["33"].latency_ns == 0.29
+    assert by_ref["11"].latency_ns == 0.18
+    assert by_ref["4"].energy_fj_per_bit == 2.15
+    assert by_ref["62"].energy_fj_per_bit == 3.0
+    assert by_ref["59"].latency_ns == 8.0
+
+
+def test_best_digital_is_arsovski():
+    best = best_digital_design()
+    assert best.reference == "2"
+    assert best.energy_fj_per_bit == 0.58
+
+
+def test_pcam_published_row():
+    assert TABLE1_PCAM_PUBLISHED.computation is Computation.ANALOG
+    assert TABLE1_PCAM_PUBLISHED.technology is Technology.MEMRISTOR
+    assert TABLE1_PCAM_PUBLISHED.energy_fj_per_bit == 0.01
+    assert TABLE1_PCAM_PUBLISHED.latency_ns == 1.0
+
+
+def test_si_conversions():
+    design = TABLE1_DIGITAL_DESIGNS[0]
+    assert design.latency_s == pytest.approx(1e-9)
+    assert design.energy_j_per_bit == pytest.approx(0.58e-15)
+
+
+def test_str_rendering():
+    text = str(TABLE1_DIGITAL_DESIGNS[2])
+    assert "1-16 fJ/bit" in text
+    assert "(D/M)" in text
+    single = str(TABLE1_DIGITAL_DESIGNS[0])
+    assert "0.58 fJ/bit" in single

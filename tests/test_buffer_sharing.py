@@ -1,0 +1,134 @@
+"""Shared-buffer admission policies (DT and ABM)."""
+
+import pytest
+
+from repro.dataplane.buffer_sharing import (
+    ABMPolicy,
+    BufferPool,
+    DynamicThresholdPolicy,
+)
+from repro.packet import Packet
+
+
+def make_pool(capacity=10_000, queues=("q0", "q1"), priorities=None):
+    pool = BufferPool(capacity_bytes=capacity)
+    for index, queue_id in enumerate(queues):
+        priority = priorities[index] if priorities else 0
+        pool.register(queue_id, priority=priority)
+    return pool
+
+
+class TestBufferPool:
+    def test_charge_and_release_accounting(self):
+        pool = make_pool()
+        pool.charge("q0", 1000)
+        pool.charge("q1", 500)
+        assert pool.used_bytes == 1500
+        assert pool.free_bytes == 8500
+        pool.release("q0", 1000)
+        assert pool.occupancy("q0") == 0
+
+    def test_over_release_rejected(self):
+        pool = make_pool()
+        pool.charge("q0", 100)
+        with pytest.raises(ValueError):
+            pool.release("q0", 200)
+
+    def test_unknown_queue_rejected(self):
+        pool = make_pool()
+        with pytest.raises(KeyError):
+            pool.charge("ghost", 100)
+
+    def test_duplicate_registration_rejected(self):
+        pool = make_pool()
+        with pytest.raises(ValueError):
+            pool.register("q0")
+
+    def test_congested_queue_count(self):
+        pool = make_pool(queues=("a", "b", "c"),
+                         priorities=(0, 0, 1))
+        pool.charge("a", 100)
+        pool.charge("c", 100)
+        assert pool.congested_queues(0) == 1
+        assert pool.congested_queues(1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+        pool = make_pool()
+        with pytest.raises(ValueError):
+            pool.charge("q0", 0)
+
+
+class TestDynamicThresholds:
+    def test_admission_below_threshold(self):
+        pool = make_pool()
+        policy = DynamicThresholdPolicy(pool, alpha=0.5)
+        assert policy.admits("q0", Packet(size_bytes=1000))
+        assert pool.occupancy("q0") == 1000
+
+    def test_threshold_shrinks_as_pool_fills(self):
+        pool = make_pool(capacity=10_000)
+        policy = DynamicThresholdPolicy(pool, alpha=0.5)
+        empty_threshold = policy.threshold_bytes("q0")
+        pool.charge("q1", 6000)
+        assert policy.threshold_bytes("q0") < empty_threshold
+
+    def test_one_queue_cannot_monopolise_the_pool(self):
+        pool = make_pool(capacity=10_000)
+        policy = DynamicThresholdPolicy(pool, alpha=1.0)
+        admitted = 0
+        while policy.admits("q0", Packet(size_bytes=500)):
+            admitted += 1
+        # DT with alpha=1 converges to half the buffer for one hog.
+        assert pool.occupancy("q0") <= 5000
+        # ...and the other queue can still get something in.
+        assert policy.admits("q1", Packet(size_bytes=500))
+
+    def test_full_pool_rejects(self):
+        pool = make_pool(capacity=1000)
+        policy = DynamicThresholdPolicy(pool, alpha=10.0)
+        assert policy.admits("q0", Packet(size_bytes=900))
+        assert not policy.admits("q1", Packet(size_bytes=200))
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            DynamicThresholdPolicy(make_pool(), alpha=0.0)
+
+
+class TestABM:
+    def test_high_priority_gets_more_headroom(self):
+        pool = make_pool(queues=("hi", "lo"), priorities=(0, 2))
+        policy = ABMPolicy(pool)
+        assert policy.threshold_bytes("hi") > policy.threshold_bytes("lo")
+
+    def test_threshold_divided_among_congested_queues(self):
+        pool = make_pool(queues=("a", "b", "c"),
+                         priorities=(1, 1, 1))
+        policy = ABMPolicy(pool)
+        alone = policy.threshold_bytes("a")
+        pool.charge("a", 100)
+        pool.charge("b", 100)
+        crowded = policy.threshold_bytes("a")
+        assert crowded < alone
+
+    def test_unknown_priority_uses_most_conservative_alpha(self):
+        pool = make_pool(queues=("x",), priorities=(9,))
+        policy = ABMPolicy(pool)
+        assert policy._alpha_for(9) == min(
+            policy.alphas_by_priority.values())
+
+    def test_admission_respects_scaled_threshold(self):
+        pool = make_pool(capacity=10_000, queues=("hi", "lo"),
+                         priorities=(0, 2))
+        policy = ABMPolicy(pool)
+        while policy.admits("lo", Packet(size_bytes=500)):
+            pass
+        low_share = pool.occupancy("lo")
+        while policy.admits("hi", Packet(size_bytes=500)):
+            pass
+        assert pool.occupancy("hi") > low_share
+
+    def test_alphas_validated(self):
+        with pytest.raises(ValueError):
+            ABMPolicy(make_pool(), alphas_by_priority={0: -1.0})

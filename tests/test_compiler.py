@@ -1,0 +1,135 @@
+"""The precision-aware digital/analog placement compiler (RQ2)."""
+
+import pytest
+
+from repro.core.compiler import (
+    CognitiveCompiler,
+    CompilationError,
+    Domain,
+    FunctionKind,
+    NetworkFunctionSpec,
+    PrecisionClass,
+)
+from repro.crossbar.converters import DAC
+from repro.crossbar.losses import LineLossModel
+from repro.crossbar.sensing import SenseAmplifier
+from repro.device.variability import VariabilityModel
+
+
+def spec(name, precision, kind=FunctionKind.DETERMINISTIC):
+    return NetworkFunctionSpec(name=name, precision=precision, kind=kind)
+
+
+STANDARD_SPECS = [
+    spec("ip_lookup", PrecisionClass.HIGH),
+    spec("firewall", PrecisionClass.HIGH),
+    spec("aqm", PrecisionClass.LOW, FunctionKind.COGNITIVE),
+    spec("load_balancer", PrecisionClass.MEDIUM, FunctionKind.COGNITIVE),
+    spec("traffic_analysis", PrecisionClass.LOW, FunctionKind.COGNITIVE),
+]
+
+
+class TestErrorBudget:
+    def test_total_is_rss_of_terms(self):
+        budget = CognitiveCompiler().error_budget()
+        rss = (budget.quantization ** 2 + budget.device_noise ** 2
+               + budget.line_loss ** 2 + budget.crosstalk ** 2
+               + budget.sense_gain ** 2) ** 0.5
+        assert budget.total == pytest.approx(rss)
+
+    def test_more_dac_bits_less_quantization(self):
+        coarse = CognitiveCompiler(dac=DAC(bits=4)).error_budget()
+        fine = CognitiveCompiler(dac=DAC(bits=12)).error_budget()
+        assert fine.quantization < coarse.quantization
+
+    def test_noisier_devices_bigger_budget(self):
+        quiet = CognitiveCompiler(
+            variability=VariabilityModel(read_sigma=0.01)).error_budget()
+        loud = CognitiveCompiler(
+            variability=VariabilityModel(read_sigma=0.2)).error_budget()
+        assert loud.total > quiet.total
+
+    def test_bigger_array_more_line_loss(self):
+        small = CognitiveCompiler(array_rows=16,
+                                  array_cols=16).error_budget()
+        large = CognitiveCompiler(array_rows=512,
+                                  array_cols=512).error_budget()
+        assert large.line_loss > small.line_loss
+
+    def test_dominant_term_named(self):
+        budget = CognitiveCompiler(
+            variability=VariabilityModel(read_sigma=0.3)).error_budget()
+        assert budget.dominant_term() == "device_noise"
+
+    def test_sense_gain_contributes(self):
+        budget = CognitiveCompiler(
+            sense=SenseAmplifier(gain_error=0.5)).error_budget()
+        assert budget.dominant_term() == "sense_gain"
+
+
+class TestPlacement:
+    def test_paper_split_reproduced(self):
+        # RQ2: lookup/firewall digital; AQM/LB/analysis analog.
+        placement = CognitiveCompiler().place(STANDARD_SPECS)
+        assert placement.domain_of("ip_lookup") is Domain.DIGITAL_TCAM
+        assert placement.domain_of("firewall") is Domain.DIGITAL_TCAM
+        assert placement.domain_of("aqm") is Domain.ANALOG_PCAM
+        assert placement.domain_of("load_balancer") is Domain.ANALOG_PCAM
+        assert placement.domain_of("traffic_analysis") is \
+            Domain.ANALOG_PCAM
+
+    def test_tolerant_deterministic_function_goes_analog(self):
+        placement = CognitiveCompiler().place(
+            [spec("coarse_filter", PrecisionClass.LOW)])
+        assert placement.domain_of("coarse_filter") is Domain.ANALOG_PCAM
+
+    def test_cognitive_function_with_bad_substrate_fails(self):
+        compiler = CognitiveCompiler(
+            variability=VariabilityModel(read_sigma=0.5))
+        with pytest.raises(CompilationError) as excinfo:
+            compiler.place([spec("aqm", PrecisionClass.LOW,
+                                 FunctionKind.COGNITIVE)])
+        assert "device_noise" in str(excinfo.value)
+
+    def test_deterministic_function_falls_back_to_digital(self):
+        compiler = CognitiveCompiler(
+            variability=VariabilityModel(read_sigma=0.5))
+        placement = compiler.place(
+            [spec("coarse_filter", PrecisionClass.LOW)])
+        assert placement.domain_of("coarse_filter") is Domain.DIGITAL_TCAM
+
+    def test_rationale_covers_every_function(self):
+        placement = CognitiveCompiler().place(STANDARD_SPECS)
+        assert set(placement.rationale) == {
+            s.name for s in STANDARD_SPECS}
+
+    def test_unknown_function_lookup_rejected(self):
+        placement = CognitiveCompiler().place(STANDARD_SPECS)
+        with pytest.raises(KeyError):
+            placement.domain_of("nonexistent")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            CognitiveCompiler().place(
+                [spec("x", PrecisionClass.LOW),
+                 spec("x", PrecisionClass.LOW)])
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(ValueError):
+            CognitiveCompiler().place([])
+
+
+class TestSpecValidation:
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            NetworkFunctionSpec(name="", precision=PrecisionClass.LOW,
+                                kind=FunctionKind.COGNITIVE)
+
+    def test_n_fields_positive(self):
+        with pytest.raises(ValueError):
+            NetworkFunctionSpec(name="x", precision=PrecisionClass.LOW,
+                                kind=FunctionKind.COGNITIVE, n_fields=0)
+
+    def test_compiler_geometry_validated(self):
+        with pytest.raises(ValueError):
+            CognitiveCompiler(array_rows=0)

@@ -1,0 +1,109 @@
+"""The cognitive network controller."""
+
+import pytest
+
+from repro.core.compiler import (
+    CognitiveCompiler,
+    Domain,
+    FunctionKind,
+    NetworkFunctionSpec,
+    PrecisionClass,
+)
+from repro.core.pcam_cell import prog_pcam
+from repro.core.programming import PipelineProgram
+from repro.dataplane.controller import CognitiveNetworkController
+
+
+def spec(name, precision=PrecisionClass.LOW,
+         kind=FunctionKind.COGNITIVE):
+    return NetworkFunctionSpec(name=name, precision=precision, kind=kind)
+
+
+def test_register_and_compile_splits_domains():
+    controller = CognitiveNetworkController()
+    controller.register(spec("aqm"))
+    controller.register(spec("ip_lookup", PrecisionClass.HIGH,
+                             FunctionKind.DETERMINISTIC))
+    placement = controller.compile()
+    assert placement.domain_of("aqm") is Domain.ANALOG_PCAM
+    assert controller.domain_of("ip_lookup") is Domain.DIGITAL_TCAM
+
+
+def test_install_callback_receives_domain():
+    controller = CognitiveNetworkController()
+    installed = {}
+    controller.register(spec("aqm"),
+                        install=lambda d: installed.update(aqm=d))
+    controller.compile()
+    assert installed["aqm"] is Domain.ANALOG_PCAM
+
+
+def test_duplicate_registration_rejected():
+    controller = CognitiveNetworkController()
+    controller.register(spec("aqm"))
+    with pytest.raises(ValueError):
+        controller.register(spec("aqm"))
+
+
+def test_compile_without_functions_rejected():
+    with pytest.raises(ValueError):
+        CognitiveNetworkController().compile()
+
+
+def test_domain_lookup_before_compile_rejected():
+    controller = CognitiveNetworkController()
+    controller.register(spec("aqm"))
+    with pytest.raises(RuntimeError):
+        controller.domain_of("aqm")
+
+
+def test_runtime_reprogramming_path():
+    controller = CognitiveNetworkController()
+    controller.register(spec("aqm"))
+    controller.compile()
+    pipeline = (PipelineProgram()
+                .stage("sojourn", prog_pcam(0, 1, 2, 3))).build()
+    controller.attach_pipeline("aqm", "pdp", pipeline)
+    controller.reprogram("aqm", "pdp", "sojourn",
+                         prog_pcam(5, 6, 7, 8))
+    assert pipeline.stage("sojourn").params.m1 == 5
+    assert controller.reprogram_events == 1
+
+
+def test_reprogram_digital_function_rejected():
+    controller = CognitiveNetworkController()
+    controller.register(spec("ip_lookup", PrecisionClass.HIGH,
+                             FunctionKind.DETERMINISTIC))
+    controller.compile()
+    pipeline = (PipelineProgram()
+                .stage("s", prog_pcam(0, 1, 2, 3))).build()
+    controller.attach_pipeline("ip_lookup", "p", pipeline)
+    with pytest.raises(ValueError):
+        controller.reprogram("ip_lookup", "p", "s",
+                             prog_pcam(0, 1, 2, 3))
+
+
+def test_unknown_function_and_pipeline_rejected():
+    controller = CognitiveNetworkController()
+    controller.register(spec("aqm"))
+    controller.compile()
+    with pytest.raises(KeyError):
+        controller.attach_pipeline("ghost", "p", None)
+    with pytest.raises(KeyError):
+        controller.reprogram("aqm", "missing", "s",
+                             prog_pcam(0, 1, 2, 3))
+
+
+def test_report_lists_every_function():
+    controller = CognitiveNetworkController()
+    controller.register(spec("aqm"))
+    controller.register(spec("firewall", PrecisionClass.HIGH,
+                             FunctionKind.DETERMINISTIC))
+    controller.compile()
+    report = "\n".join(controller.report())
+    assert "aqm" in report and "firewall" in report
+    assert "analog_pcam" in report and "digital_tcam" in report
+
+
+def test_report_before_compile():
+    assert CognitiveNetworkController().report() == ["<not compiled>"]

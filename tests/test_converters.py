@@ -1,0 +1,99 @@
+"""DAC/ADC boundary converters."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.converters import ADC, DAC
+
+
+class TestDAC:
+    def test_levels_and_lsb(self):
+        dac = DAC(bits=8, v_min=0.0, v_max=4.0)
+        assert dac.levels == 256
+        assert dac.lsb_v == pytest.approx(4.0 / 255)
+
+    def test_encode_endpoints(self):
+        dac = DAC(bits=8)
+        assert dac.encode(0.0) == 0
+        assert dac.encode(1.0) == 255
+
+    def test_encode_clamps(self):
+        dac = DAC(bits=8)
+        assert dac.encode(-0.5) == 0
+        assert dac.encode(1.5) == 255
+
+    def test_convert_endpoints(self):
+        dac = DAC(bits=8, v_min=0.0, v_max=4.0)
+        assert dac.convert(0) == pytest.approx(0.0)
+        assert dac.convert(255) == pytest.approx(4.0)
+
+    def test_convert_bounds_checked(self):
+        with pytest.raises(ValueError):
+            DAC(bits=4).convert(16)
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        dac = DAC(bits=6, v_min=0.0, v_max=1.0)
+        for value in np.linspace(0, 1, 37):
+            error = abs(dac.quantize(float(value)) - value)
+            assert error <= dac.lsb_v / 2 + 1e-12
+
+    def test_more_bits_less_error(self):
+        coarse = DAC(bits=4, v_min=0.0, v_max=1.0)
+        fine = DAC(bits=12, v_min=0.0, v_max=1.0)
+        value = 0.123456
+        assert (abs(fine.quantize(value) - value)
+                < abs(coarse.quantize(value) - value))
+
+    def test_inl_bows_midscale_only(self):
+        dac = DAC(bits=8, v_min=0.0, v_max=1.0, inl_lsb=2.0)
+        assert dac.convert(0) == pytest.approx(0.0)
+        assert dac.convert(255) == pytest.approx(1.0, abs=1e-9)
+        ideal_mid = 128 * dac.lsb_v
+        assert dac.convert(128) > ideal_mid
+
+    def test_quantize_array_matches_scalar(self):
+        dac = DAC(bits=5, v_min=0.0, v_max=2.0)
+        values = np.linspace(-0.2, 1.2, 11)
+        array = dac.quantize_array(values)
+        scalar = [dac.quantize(float(v)) for v in values]
+        np.testing.assert_allclose(array, scalar)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DAC(bits=0)
+        with pytest.raises(ValueError):
+            DAC(v_min=1.0, v_max=0.0)
+        with pytest.raises(ValueError):
+            DAC(energy_per_conversion_j=-1.0)
+
+
+class TestADC:
+    def test_sample_reconstruct_round_trip(self):
+        adc = ADC(bits=8, v_min=0.0, v_max=1.0)
+        for voltage in (0.0, 0.25, 0.5, 1.0):
+            assert adc.quantize(voltage) == pytest.approx(
+                voltage, abs=adc.lsb_v / 2 + 1e-12)
+
+    def test_sample_clamps_at_rails(self):
+        adc = ADC(bits=8, v_min=0.0, v_max=1.0)
+        assert adc.sample(-5.0) == 0
+        assert adc.sample(5.0) == adc.levels - 1
+
+    def test_reconstruct_bounds_checked(self):
+        with pytest.raises(ValueError):
+            ADC(bits=4).reconstruct(-1)
+
+    def test_quantize_array_matches_scalar(self):
+        adc = ADC(bits=6, v_min=0.0, v_max=1.0)
+        voltages = np.linspace(-0.1, 1.1, 13)
+        array = adc.quantize_array(voltages)
+        scalar = [adc.quantize(float(v)) for v in voltages]
+        np.testing.assert_allclose(array, scalar)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ADC(bits=0)
+        with pytest.raises(ValueError):
+            ADC(v_min=2.0, v_max=1.0)
+        with pytest.raises(ValueError):
+            ADC(energy_per_conversion_j=-0.1)

@@ -1,0 +1,139 @@
+"""Crossbar array analog matrix-vector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import Crossbar
+from repro.crossbar.losses import LineLossModel
+from repro.device.variability import VariabilityModel
+
+
+def ideal_crossbar(rows=4, cols=3, **kwargs):
+    kwargs.setdefault("losses", LineLossModel.ideal())
+    kwargs.setdefault("variability", VariabilityModel.ideal())
+    return Crossbar(rows, cols, **kwargs)
+
+
+class TestProgramming:
+    def test_starts_all_hrs(self):
+        bar = ideal_crossbar()
+        g_min, _ = bar.conductance_bounds
+        np.testing.assert_allclose(bar.conductances, g_min)
+
+    def test_program_normalised_maps_window(self):
+        bar = ideal_crossbar(2, 2)
+        bar.program_normalised(np.array([[0.0, 1.0], [0.5, 0.25]]))
+        g_min, g_max = bar.conductance_bounds
+        conductances = bar.conductances
+        assert conductances[0, 0] == pytest.approx(g_min)
+        assert conductances[0, 1] == pytest.approx(g_max)
+
+    def test_program_outside_window_rejected(self):
+        bar = ideal_crossbar()
+        _, g_max = bar.conductance_bounds
+        bad = np.full((4, 3), g_max * 2)
+        with pytest.raises(ValueError):
+            bar.program(bad)
+
+    def test_program_normalised_validates_range(self):
+        bar = ideal_crossbar()
+        with pytest.raises(ValueError):
+            bar.program_normalised(np.full((4, 3), 1.5))
+
+    def test_write_energy_counts_changed_cells(self):
+        bar = ideal_crossbar(2, 2)
+        weights = np.array([[0.1, 0.2], [0.3, 0.4]])
+        first = bar.program_normalised(weights,
+                                       write_energy_per_cell_j=1e-12)
+        second = bar.program_normalised(weights,
+                                        write_energy_per_cell_j=1e-12)
+        assert first == pytest.approx(4e-12)
+        assert second == 0.0
+        assert bar.write_energy_j == pytest.approx(4e-12)
+
+    def test_shape_validated(self):
+        bar = ideal_crossbar()
+        with pytest.raises(ValueError):
+            bar.program(np.zeros((2, 2)))
+
+
+class TestMatvec:
+    def test_ideal_matvec_is_gt_v(self):
+        bar = ideal_crossbar(3, 2)
+        weights = np.array([[0.1, 0.9], [0.5, 0.2], [0.8, 0.6]])
+        bar.program_normalised(weights)
+        voltages = np.array([1.0, 2.0, 0.5])
+        expected = bar.conductances.T @ voltages
+        np.testing.assert_allclose(bar.ideal_matvec(voltages), expected)
+
+    def test_noiseless_lossless_matches_ideal(self):
+        bar = ideal_crossbar(3, 2)
+        bar.program_normalised(np.random.default_rng(0).random((3, 2)))
+        voltages = np.array([1.0, 0.5, 2.0])
+        result = bar.matvec(voltages, noisy=False)
+        np.testing.assert_allclose(result.currents_a,
+                                   bar.ideal_matvec(voltages), rtol=1e-9)
+
+    def test_matvec_dissipates_energy(self):
+        bar = ideal_crossbar()
+        bar.program_normalised(np.full((4, 3), 0.5))
+        result = bar.matvec(np.ones(4))
+        assert result.energy_j > 0.0
+        assert bar.operations == 1
+
+    def test_wire_losses_reduce_output(self):
+        lossy = Crossbar(8, 8, losses=LineLossModel(
+            wire_resistance_per_cell_ohm=50.0),
+            variability=VariabilityModel.ideal())
+        lossy.program_normalised(np.full((8, 8), 1.0))
+        voltages = np.ones(8)
+        measured = lossy.matvec(voltages, noisy=False).currents_a
+        ideal = lossy.ideal_matvec(voltages)
+        assert np.all(measured < ideal)
+
+    def test_read_noise_perturbs_output(self):
+        bar = Crossbar(4, 4, losses=LineLossModel.ideal(),
+                       variability=VariabilityModel(read_sigma=0.1,
+                                                    device_sigma=0.0),
+                       rng=np.random.default_rng(0))
+        bar.program_normalised(np.full((4, 4), 0.5))
+        a = bar.matvec(np.ones(4)).currents_a
+        b = bar.matvec(np.ones(4)).currents_a
+        assert not np.allclose(a, b)
+
+    def test_matvec_validates_inputs(self):
+        bar = ideal_crossbar()
+        with pytest.raises(ValueError):
+            bar.matvec(np.ones(3))
+        with pytest.raises(ValueError):
+            bar.matvec(np.ones(4), duration_s=0.0)
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            Crossbar(0, 4)
+
+
+class TestRelativeError:
+    def test_zero_for_ideal_array(self):
+        bar = ideal_crossbar()
+        bar.program_normalised(np.full((4, 3), 0.5))
+        assert bar.relative_error(np.ones(4)) == pytest.approx(0.0,
+                                                               abs=1e-12)
+
+    def test_grows_with_noise(self):
+        quiet = Crossbar(4, 4, losses=LineLossModel.ideal(),
+                         variability=VariabilityModel(read_sigma=0.01,
+                                                      device_sigma=0.0),
+                         rng=np.random.default_rng(1))
+        loud = Crossbar(4, 4, losses=LineLossModel.ideal(),
+                        variability=VariabilityModel(read_sigma=0.2,
+                                                     device_sigma=0.0),
+                        rng=np.random.default_rng(1))
+        for bar in (quiet, loud):
+            bar.program_normalised(np.full((4, 4), 0.5))
+        assert (loud.relative_error(np.ones(4), trials=16)
+                > quiet.relative_error(np.ones(4), trials=16))
+
+    def test_zero_input_zero_error(self):
+        bar = ideal_crossbar()
+        assert bar.relative_error(np.zeros(4)) == 0.0

@@ -1,0 +1,122 @@
+"""End-to-end tests of the Figure 5 packet processor."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.parser import build_ethernet_frame, build_ipv4_packet
+from repro.dataplane.pipeline import AnalogPacketProcessor, Verdict
+from repro.netfunc.firewall import Action, FirewallRule
+from repro.packet import Packet
+
+
+def make_processor(**kwargs):
+    processor = AnalogPacketProcessor(n_ports=2, **kwargs)
+    processor.add_route("10.0.0.0/8", port=0)
+    processor.add_route("192.168.0.0/16", port=1)
+    processor.add_firewall_rule(FirewallRule(
+        action=Action.DENY, src_prefix="172.16.0.0/12"))
+    return processor
+
+
+def make_packet(src="10.1.1.1", dst="10.2.2.2", **fields):
+    merged = {"src_ip": src, "dst_ip": dst, "protocol": 17,
+              "src_port": 1000, "dst_port": 80}
+    merged.update(fields)
+    return Packet(fields=merged)
+
+
+class TestDataPath:
+    def test_routed_packet_queued(self):
+        processor = make_processor()
+        result = processor.process(make_packet(dst="192.168.3.4"))
+        assert result.verdict is Verdict.QUEUED
+        assert result.port == 1
+
+    def test_acl_denied_packet_dropped(self):
+        processor = make_processor()
+        result = processor.process(make_packet(src="172.16.5.5"))
+        assert result.verdict is Verdict.DROPPED_ACL
+
+    def test_unrouted_packet_dropped(self):
+        processor = make_processor()
+        result = processor.process(make_packet(dst="8.8.8.8"))
+        assert result.verdict is Verdict.DROPPED_NO_ROUTE
+
+    def test_frame_path_parses_and_routes(self):
+        processor = make_processor()
+        frame = build_ethernet_frame(build_ipv4_packet(
+            "10.1.1.1", "10.9.9.9"))
+        result = processor.process_frame(frame)
+        assert result.verdict is Verdict.QUEUED
+        assert result.port == 0
+
+    def test_garbage_frame_dropped_at_parse(self):
+        processor = make_processor()
+        assert processor.process_frame(b"junk").verdict is \
+            Verdict.DROPPED_PARSE
+
+    def test_drain_serves_queued_packets(self):
+        processor = make_processor()
+        for _ in range(3):
+            processor.process(make_packet())
+        served = processor.drain(0, now=0.001)
+        assert len(served) == 3
+        assert processor.drain(0) == []
+
+    def test_drain_limit(self):
+        processor = make_processor()
+        for _ in range(3):
+            processor.process(make_packet())
+        assert len(processor.drain(0, limit=2)) == 2
+
+    def test_verdict_counters(self):
+        processor = make_processor()
+        processor.process(make_packet())
+        processor.process(make_packet(dst="8.8.8.8"))
+        assert processor.verdict_counts[Verdict.QUEUED] == 1
+        assert processor.verdict_counts[Verdict.DROPPED_NO_ROUTE] == 1
+        assert processor.processed == 2
+
+
+class TestEnergyAccounting:
+    def test_searches_charge_energy(self):
+        processor = make_processor()
+        before = processor.energy_total_j()
+        processor.process(make_packet())
+        assert processor.energy_total_j() > before
+
+    def test_memristor_pipeline_cheaper_than_transistor(self):
+        analog = make_processor(use_memristor_tcam=True)
+        digital = make_processor(use_memristor_tcam=False)
+        for processor in (analog, digital):
+            for index in range(50):
+                processor.process(make_packet(dst=f"10.0.0.{index}"))
+        assert analog.energy_total_j() < digital.energy_total_j()
+
+    def test_breakdown_has_accounts(self):
+        processor = make_processor()
+        processor.process(make_packet())
+        assert processor.energy_breakdown()
+
+
+class TestAQMIntegration:
+    def test_overloaded_port_triggers_aqm(self):
+        # Tiny port rate -> large estimated delay -> pCAM drops.
+        processor = make_processor(port_rate_bps=1e5,
+                                   aqm_factory=None)
+        rng = np.random.default_rng(0)
+        drops = 0
+        for index in range(400):
+            result = processor.process(make_packet(), now=index * 1e-4)
+            if result.verdict is Verdict.DROPPED_AQM:
+                drops += 1
+        assert drops > 0
+
+    def test_route_port_validated(self):
+        processor = make_processor()
+        with pytest.raises(IndexError):
+            processor.add_route("1.0.0.0/8", port=9)
+
+    def test_n_ports_validated(self):
+        with pytest.raises(ValueError):
+            AnalogPacketProcessor(n_ports=0)

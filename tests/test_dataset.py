@@ -1,0 +1,116 @@
+"""The synthetic chip measurement campaign."""
+
+import numpy as np
+import pytest
+
+from repro.device.dataset import (
+    MemristorDataset,
+    REFERENCE_READ_DURATION_S,
+    generate_dataset,
+)
+
+
+class TestGeneration:
+    def test_grid_shapes(self, small_dataset):
+        n_states = len(small_dataset.states)
+        n_voltages = len(small_dataset.read_voltages)
+        assert small_dataset.currents_a.shape == (n_states, n_voltages)
+        assert small_dataset.energies_j.shape == (n_states, n_voltages)
+
+    def test_voltage_grid_covers_figure7_ranges(self, small_dataset):
+        assert small_dataset.read_voltages.min() <= -2.0
+        assert small_dataset.read_voltages.max() >= 4.0
+
+    def test_resistance_window_spans_decades(self, small_dataset):
+        assert small_dataset.resistance_window > 1e6
+
+    def test_energies_consistent_with_currents(self, small_dataset):
+        expected = (np.abs(small_dataset.read_voltages[None, :]
+                           * small_dataset.currents_a)
+                    * REFERENCE_READ_DURATION_S)
+        np.testing.assert_allclose(small_dataset.energies_j, expected)
+
+    def test_rejects_degenerate_grids(self):
+        with pytest.raises(ValueError):
+            generate_dataset(n_states=1)
+        with pytest.raises(ValueError):
+            generate_dataset(n_voltages=1)
+        with pytest.raises(ValueError):
+            generate_dataset(v_min=2.0, v_max=1.0)
+
+    def test_reproducible_with_seed(self):
+        a = generate_dataset(n_states=6, n_voltages=9, seed=3,
+                             include_sweeps=False,
+                             include_pulse_trains=False)
+        b = generate_dataset(n_states=6, n_voltages=9, seed=3,
+                             include_sweeps=False,
+                             include_pulse_trains=False)
+        np.testing.assert_array_equal(a.currents_a, b.currents_a)
+
+
+class TestSweeps:
+    def test_hysteresis_loop_has_area(self, small_dataset):
+        # Memristance signature: the I-V loop encloses area.
+        assert small_dataset.sweeps
+        for sweep in small_dataset.sweeps:
+            assert sweep.loop_area > 0.0
+
+    def test_larger_amplitude_larger_loop(self, small_dataset):
+        areas = [sweep.loop_area for sweep in small_dataset.sweeps]
+        assert areas[-1] > areas[0]
+
+    def test_sweep_alignment_enforced(self):
+        from repro.device.dataset import SweepRecord
+        with pytest.raises(ValueError):
+            SweepRecord(voltages=np.zeros(3), currents=np.zeros(4))
+
+
+class TestPulseTrains:
+    def test_set_train_decreases_resistance(self, small_dataset):
+        train = small_dataset.pulse_trains[0]
+        assert train.pulse_voltage_v > 0
+        assert train.resistances_ohm[-1] < train.resistances_ohm[0]
+
+    def test_reset_train_increases_resistance(self, small_dataset):
+        train = small_dataset.pulse_trains[1]
+        assert train.pulse_voltage_v < 0
+        assert train.resistances_ohm[-1] > train.resistances_ohm[0]
+
+    def test_train_length(self, small_dataset):
+        assert small_dataset.pulse_trains[0].n_pulses == 40
+
+
+class TestLookups:
+    def test_current_at_interpolates(self, small_dataset):
+        v = 2.0
+        direct = small_dataset.current_at(1.0, v)
+        # LRS at 2 V must exceed HRS at 2 V by orders of magnitude.
+        assert direct > 1e3 * small_dataset.current_at(0.0, v)
+
+    def test_energy_at_positive(self, small_dataset):
+        assert small_dataset.energy_at(0.5, 2.0) > 0.0
+
+    def test_voltage_clamping_at_grid_edges(self, small_dataset):
+        low = small_dataset.current_at(0.5, -100.0)
+        high = small_dataset.current_at(0.5, 100.0)
+        assert low == small_dataset.current_at(
+            0.5, float(small_dataset.read_voltages[0]))
+        assert high == small_dataset.current_at(
+            0.5, float(small_dataset.read_voltages[-1]))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MemristorDataset(states=np.linspace(0, 1, 4),
+                             read_voltages=np.linspace(0, 1, 5),
+                             currents_a=np.zeros((4, 4)),
+                             energies_j=np.zeros((4, 5)))
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, small_dataset, tmp_path):
+        path = tmp_path / "campaign.npz"
+        small_dataset.save(path)
+        loaded = MemristorDataset.load(path)
+        np.testing.assert_allclose(loaded.currents_a,
+                                   small_dataset.currents_a)
+        np.testing.assert_allclose(loaded.states, small_dataset.states)

@@ -1,0 +1,149 @@
+"""Decision trees on the analog CAM."""
+
+import numpy as np
+import pytest
+
+from repro.netfunc.decision_tree import (
+    AnalogDecisionTree,
+    CARTTree,
+    tree_to_boxes,
+)
+
+
+def two_cluster_data(rng, n=200):
+    """Two well-separated classes in 2-D."""
+    a = rng.normal([0.3, 0.3], 0.08, size=(n // 2, 2))
+    b = rng.normal([0.7, 0.7], 0.08, size=(n // 2, 2))
+    features = np.vstack([a, b])
+    labels = np.array([0] * (n // 2) + [1] * (n // 2))
+    return features, labels
+
+
+def quadrant_data(rng, n=400):
+    """Class 1 in the upper-right quadrant (needs depth >= 2)."""
+    x = rng.uniform(0, 1, size=(n, 2))
+    labels = ((x[:, 0] > 0.5) & (x[:, 1] > 0.5)).astype(int)
+    return x, labels
+
+
+class TestCARTTree:
+    def test_separable_data_fits_perfectly(self, rng):
+        features, labels = two_cluster_data(rng)
+        tree = CARTTree(max_depth=3).fit(features, labels)
+        assert np.mean(tree.predict(features) == labels) > 0.98
+
+    def test_quadrant_needs_depth_two(self, rng):
+        features, labels = quadrant_data(rng)
+        shallow = CARTTree(max_depth=1).fit(features, labels)
+        deep = CARTTree(max_depth=3).fit(features, labels)
+        shallow_acc = np.mean(shallow.predict(features) == labels)
+        deep_acc = np.mean(deep.predict(features) == labels)
+        assert deep_acc > 0.95
+        assert shallow_acc < deep_acc
+
+    def test_pure_node_becomes_leaf(self, rng):
+        features = rng.uniform(0, 1, size=(50, 2))
+        labels = np.zeros(50, dtype=int)
+        tree = CARTTree(max_depth=5).fit(features, labels)
+        assert tree.root.is_leaf
+        assert tree.n_leaves() == 1
+
+    def test_min_samples_leaf_respected(self, rng):
+        features, labels = quadrant_data(rng, n=40)
+        tree = CARTTree(max_depth=10, min_samples_leaf=15).fit(
+            features, labels)
+        assert tree.n_leaves() <= 3
+
+    def test_unfitted_tree_rejected(self):
+        with pytest.raises(RuntimeError):
+            CARTTree().root
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            CARTTree(max_depth=0)
+        with pytest.raises(ValueError):
+            CARTTree(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            CARTTree().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestTreeToBoxes:
+    def test_boxes_partition_the_space(self, rng):
+        features, labels = quadrant_data(rng)
+        tree = CARTTree(max_depth=3).fit(features, labels)
+        boxes = tree_to_boxes(tree, [(0.0, 1.0), (0.0, 1.0)])
+        assert len(boxes) == tree.n_leaves()
+        # Every training point falls in exactly one box.
+        for row in features[:50]:
+            containing = [
+                1 for _, box in boxes
+                if all(lo <= value <= hi
+                       for value, (lo, hi) in zip(row, box))]
+            assert len(containing) >= 1
+
+    def test_box_class_matches_tree_prediction(self, rng):
+        features, labels = two_cluster_data(rng)
+        tree = CARTTree(max_depth=3).fit(features, labels)
+        boxes = tree_to_boxes(tree, [(0.0, 1.0), (0.0, 1.0)])
+        for prediction, box in boxes:
+            centre = [0.5 * (lo + hi) for lo, hi in box]
+            assert tree.predict_one(centre) == prediction
+
+    def test_range_count_validated(self, rng):
+        features, labels = two_cluster_data(rng)
+        tree = CARTTree().fit(features, labels)
+        with pytest.raises(ValueError):
+            tree_to_boxes(tree, [(0.0, 1.0)])
+
+
+class TestAnalogDecisionTree:
+    def make(self, rng, data=two_cluster_data):
+        features, labels = data(rng)
+        tree = CARTTree(max_depth=3).fit(features, labels)
+        analog = AnalogDecisionTree(
+            tree, feature_names=("x", "y"),
+            feature_ranges=[(0.0, 1.0), (0.0, 1.0)])
+        return tree, analog, features, labels
+
+    def test_one_word_per_leaf(self, rng):
+        tree, analog, _, _ = self.make(rng)
+        assert analog.n_words == tree.n_leaves()
+
+    def test_agreement_with_digital_tree(self, rng):
+        tree, analog, features, _ = self.make(rng)
+        assert analog.agreement_with(tree, features[:80]) > 0.95
+
+    def test_quadrant_agreement(self, rng):
+        tree, analog, features, _ = self.make(rng, data=quadrant_data)
+        assert analog.agreement_with(tree, features[:80]) > 0.9
+
+    def test_in_box_classification_deterministic(self, rng):
+        _, analog, _, _ = self.make(rng)
+        prediction, probability = analog.classify({"x": 0.3, "y": 0.3})
+        assert prediction == 0
+        assert probability == pytest.approx(1.0)
+
+    def test_out_of_distribution_still_classifies(self, rng):
+        # RQ1 again: a sample outside every leaf box falls to the
+        # nearest leaf with a graded score.
+        _, analog, _, _ = self.make(rng)
+        prediction, probability = analog.classify(
+            {"x": 1.02, "y": 0.72})
+        assert prediction in (0, 1)
+        assert 0.0 < probability
+
+    def test_search_energy_charged(self, rng):
+        _, analog, _, _ = self.make(rng)
+        analog.classify({"x": 0.3, "y": 0.3})
+        assert analog.ledger.total > 0.0
+
+    def test_validation(self, rng):
+        features, labels = two_cluster_data(rng)
+        tree = CARTTree().fit(features, labels)
+        with pytest.raises(ValueError):
+            AnalogDecisionTree(tree, ("only_one",),
+                               [(0.0, 1.0), (0.0, 1.0)])
+        with pytest.raises(ValueError):
+            AnalogDecisionTree(tree, ("x", "y"),
+                               [(0.0, 1.0), (0.0, 1.0)],
+                               fade_fraction=0.0)

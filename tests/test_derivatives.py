@@ -1,0 +1,135 @@
+"""Analog derivative feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.netfunc.aqm.derivatives import (
+    DerivativeChain,
+    ExponentialSmoother,
+    FeatureExtractor,
+)
+
+
+class TestSmoother:
+    def test_first_sample_passes_through(self):
+        smoother = ExponentialSmoother(tau_s=0.1)
+        assert smoother.update(0.0, 5.0) == 5.0
+
+    def test_converges_to_constant_input(self):
+        smoother = ExponentialSmoother(tau_s=0.05)
+        value = 0.0
+        for step in range(100):
+            value = smoother.update(step * 0.01, 3.0)
+        assert value == pytest.approx(3.0, abs=1e-6)
+
+    def test_tau_controls_response_speed(self):
+        fast = ExponentialSmoother(tau_s=0.01)
+        slow = ExponentialSmoother(tau_s=1.0)
+        for smoother in (fast, slow):
+            smoother.update(0.0, 0.0)
+            smoother.update(0.1, 1.0)
+        assert fast.value > slow.value
+
+    def test_out_of_order_samples_rejected(self):
+        smoother = ExponentialSmoother(tau_s=0.1)
+        smoother.update(1.0, 1.0)
+        with pytest.raises(ValueError):
+            smoother.update(0.5, 1.0)
+
+    def test_coincident_sample_no_change(self):
+        smoother = ExponentialSmoother(tau_s=0.1)
+        smoother.update(1.0, 1.0)
+        assert smoother.update(1.0, 99.0) == 1.0
+
+    def test_reset(self):
+        smoother = ExponentialSmoother(tau_s=0.1)
+        smoother.update(0.0, 5.0)
+        smoother.reset()
+        assert smoother.value == 0.0
+
+    def test_tau_validated(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoother(tau_s=0.0)
+
+
+class TestDerivativeChain:
+    def test_linear_ramp_gives_constant_first_derivative(self):
+        chain = DerivativeChain(order=1, tau_s=0.01)
+        outputs = None
+        for step in range(200):
+            t = step * 0.01
+            outputs = chain.update(t, 2.0 * t)  # slope 2
+        assert outputs[1] == pytest.approx(2.0, rel=0.05)
+
+    def test_constant_input_zero_derivatives(self):
+        chain = DerivativeChain(order=3, tau_s=0.01)
+        outputs = None
+        for step in range(100):
+            outputs = chain.update(step * 0.01, 7.0)
+        assert outputs[0] == pytest.approx(7.0)
+        for derivative in outputs[1:]:
+            assert derivative == pytest.approx(0.0, abs=1e-6)
+
+    def test_quadratic_gives_constant_second_derivative(self):
+        chain = DerivativeChain(order=2, tau_s=0.005)
+        outputs = None
+        for step in range(600):
+            t = step * 0.005
+            outputs = chain.update(t, 0.5 * 3.0 * t * t)  # d2 = 3
+        assert outputs[2] == pytest.approx(3.0, rel=0.15)
+
+    def test_output_length_matches_order(self):
+        chain = DerivativeChain(order=3)
+        assert len(chain.update(0.0, 1.0)) == 4
+
+    def test_rising_signal_positive_first_derivative(self):
+        chain = DerivativeChain(order=1, tau_s=0.02)
+        for step in range(50):
+            outputs = chain.update(step * 0.01, step * 0.1)
+        assert outputs[1] > 0.0
+
+    def test_reset_clears_history(self):
+        chain = DerivativeChain(order=1, tau_s=0.01)
+        for step in range(10):
+            chain.update(step * 0.01, step * 1.0)
+        chain.reset()
+        outputs = chain.update(0.0, 5.0)
+        assert outputs[1] == 0.0
+
+    def test_order_validated(self):
+        with pytest.raises(ValueError):
+            DerivativeChain(order=0)
+        with pytest.raises(ValueError):
+            DerivativeChain(order=4)
+
+
+class TestFeatureExtractor:
+    def test_eight_features_at_order_three(self):
+        extractor = FeatureExtractor(order=3)
+        features = extractor.update(0.0, 0.01, 100.0)
+        assert set(features) == {
+            "sojourn_time", "d_sojourn", "d2_sojourn", "d3_sojourn",
+            "buffer_size", "d_buffer", "d2_buffer", "d3_buffer"}
+
+    def test_feature_names_respect_order(self):
+        extractor = FeatureExtractor(order=1)
+        assert extractor.feature_names == (
+            "sojourn_time", "d_sojourn", "buffer_size", "d_buffer")
+
+    def test_sojourn_and_buffer_independent(self):
+        extractor = FeatureExtractor(order=1, tau_s=0.01)
+        features = None
+        for step in range(100):
+            t = step * 0.01
+            features = extractor.update(t, 0.02, t * 10.0)
+        assert features["d_sojourn"] == pytest.approx(0.0, abs=0.01)
+        assert features["d_buffer"] == pytest.approx(10.0, rel=0.1)
+
+    def test_reset(self):
+        extractor = FeatureExtractor(order=1, tau_s=0.01)
+        for step in range(10):
+            extractor.update(step * 0.01, step * 0.01, 0.0)
+        extractor.reset()
+        features = extractor.update(0.0, 0.05, 1.0)
+        assert features["sojourn_time"] == pytest.approx(0.05)
+        assert features["d_sojourn"] == 0.0

@@ -1,0 +1,108 @@
+"""Device-realised pCAM cell: noise, energy, fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.core.device_cell import DevicePCAMCell
+from repro.core.pcam_cell import PCAMCell, prog_pcam
+from repro.device.variability import VariabilityModel
+
+PARAMS = prog_pcam(m1=1.5, m2=2.4, m3=2.6, m4=3.5)
+
+
+def make_cell(variability=None, seed=1, **kwargs):
+    return DevicePCAMCell(
+        PARAMS,
+        variability=variability or VariabilityModel(read_sigma=0.02,
+                                                    device_sigma=0.0),
+        rng=np.random.default_rng(seed), **kwargs)
+
+
+class TestConstruction:
+    def test_thresholds_must_fit_encodable_range(self):
+        with pytest.raises(ValueError):
+            DevicePCAMCell(prog_pcam(1.5, 2.4, 2.6, 3.5),
+                           v_range=(0.0, 3.0))
+
+    def test_invalid_voltage_range(self):
+        with pytest.raises(ValueError):
+            DevicePCAMCell(PARAMS, v_range=(4.0, -2.0))
+
+    def test_programming_costs_energy(self):
+        cell = make_cell()
+        assert cell.programming_energy_j > 0.0
+
+    def test_reprogram_updates_params(self):
+        cell = make_cell()
+        new_params = prog_pcam(0.0, 1.0, 2.0, 3.0)
+        cell.program(new_params)
+        assert cell.params == new_params
+
+
+class TestFidelity:
+    def test_tracks_ideal_response_closely(self):
+        cell = make_cell()
+        ideal = PCAMCell(PARAMS)
+        xs = np.linspace(0.5, 4.0, 15)
+        measured = np.mean([cell.response_array(xs) for _ in range(8)],
+                           axis=0)
+        expected = ideal.response_array(xs)
+        assert np.max(np.abs(measured - expected)) < 0.12
+
+    def test_deterministic_match_region_stable(self):
+        cell = make_cell()
+        values = [cell.response(2.5) for _ in range(12)]
+        assert np.mean(values) > 0.95
+
+    def test_deterministic_mismatch_region_stable(self):
+        cell = make_cell()
+        values = [cell.response(0.8) for _ in range(12)]
+        assert np.mean(values) < 0.05
+
+    def test_noise_creates_band_on_ramps(self):
+        cell = make_cell()
+        samples = [cell.response(2.0) for _ in range(24)]
+        assert np.std(samples) > 0.0
+
+    def test_ideal_cell_noise_free(self):
+        cell = make_cell(variability=VariabilityModel.ideal())
+        samples = {cell.response(2.0) for _ in range(6)}
+        assert len(samples) == 1
+
+    def test_negative_input_panel_b_regime(self):
+        # Figure 7(b): thresholds below zero still decode correctly.
+        params = prog_pcam(m1=-1.5, m2=-0.8, m3=0.0, m4=0.7)
+        cell = DevicePCAMCell(
+            params, variability=VariabilityModel(read_sigma=0.02,
+                                                 device_sigma=0.0),
+            rng=np.random.default_rng(2))
+        assert np.mean([cell.response(-0.4) for _ in range(8)]) > 0.9
+        assert np.mean([cell.response(-1.8) for _ in range(8)]) < 0.1
+
+    def test_ideal_response_array_matches_reference(self):
+        cell = make_cell()
+        xs = np.linspace(0.0, 4.0, 9)
+        np.testing.assert_allclose(cell.ideal_response_array(xs),
+                                   PCAMCell(PARAMS).response_array(xs))
+
+
+class TestEnergy:
+    def test_evaluation_dissipates_energy(self):
+        cell = make_cell()
+        result = cell.evaluate(2.5)
+        assert result.energy_j > 0.0
+        assert result.latency_s == 1e-9
+
+    def test_higher_input_voltage_costs_more(self):
+        cell = make_cell(variability=VariabilityModel.ideal())
+        low = cell.evaluate(1.0).energy_j
+        high = cell.evaluate(3.9).energy_j
+        assert high > low
+
+    def test_callable_protocol(self):
+        cell = make_cell()
+        assert 0.0 <= cell(2.0) <= 1.0
+
+
+def test_repr_is_informative():
+    assert "PCAMCell" in repr(make_cell())

@@ -1,0 +1,79 @@
+"""Energy statistics over the chip dataset (paper Sec. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.device.energy import (
+    BEST_DIGITAL_ENERGY_J_PER_BIT,
+    energy_histogram,
+    energy_statistics,
+    energy_statistics_all_reads,
+)
+
+
+class TestHeadlineNumbers:
+    def test_minimum_state_energy_near_001_fj(self, small_dataset):
+        stats = energy_statistics(small_dataset)
+        assert stats.min_fj == pytest.approx(0.01, rel=0.15)
+
+    def test_maximum_state_energy_near_016_nj(self, small_dataset):
+        stats = energy_statistics(small_dataset)
+        assert stats.max_nj == pytest.approx(0.16, rel=0.15)
+
+    def test_at_least_50x_better_than_best_digital(self, small_dataset):
+        stats = energy_statistics(small_dataset)
+        assert stats.improvement_over_digital() >= 50.0
+
+    def test_best_digital_reference_is_058_fj(self):
+        assert BEST_DIGITAL_ENERGY_J_PER_BIT == pytest.approx(0.58e-15)
+
+
+class TestStatisticsShape:
+    def test_ordering_of_stats(self, small_dataset):
+        stats = energy_statistics(small_dataset)
+        assert stats.min_j < stats.median_j < stats.max_j
+        assert stats.min_j < stats.mean_j <= stats.max_j
+
+    def test_state_space_spans_many_decades(self, small_dataset):
+        stats = energy_statistics(small_dataset)
+        assert stats.decades > 6.0
+
+    def test_custom_search_voltage(self, small_dataset):
+        low_v = energy_statistics(small_dataset, search_voltage_v=1.0)
+        high_v = energy_statistics(small_dataset, search_voltage_v=4.0)
+        assert low_v.max_j < high_v.max_j
+
+    def test_zero_search_voltage_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            energy_statistics(small_dataset, search_voltage_v=0.0)
+
+
+class TestAllReads:
+    def test_all_reads_span_wider_than_per_state(self, small_dataset):
+        per_state = energy_statistics(small_dataset)
+        all_reads = energy_statistics_all_reads(small_dataset)
+        assert all_reads.min_j <= per_state.min_j
+        assert all_reads.max_j >= per_state.max_j
+
+    def test_positive_only_excludes_reverse(self, small_dataset):
+        both = energy_statistics_all_reads(small_dataset)
+        positive = energy_statistics_all_reads(small_dataset,
+                                               positive_reads_only=True)
+        assert positive.min_j >= both.min_j
+
+
+class TestHistogram:
+    def test_histogram_counts_everything(self, small_dataset):
+        counts, edges = energy_histogram(small_dataset)
+        positive = small_dataset.energies_j[small_dataset.energies_j > 0]
+        assert counts.sum() == positive.size
+        assert len(edges) == len(counts) + 1
+
+    def test_histogram_edges_log_spaced(self, small_dataset):
+        _, edges = energy_histogram(small_dataset, bins_per_decade=1)
+        ratios = edges[1:] / edges[:-1]
+        np.testing.assert_allclose(ratios, ratios[0], rtol=1e-6)
+
+    def test_bins_per_decade_validated(self, small_dataset):
+        with pytest.raises(ValueError):
+            energy_histogram(small_dataset, bins_per_decade=0)

@@ -1,0 +1,149 @@
+"""The textual programming front-end (paper Sec. 5 syntax)."""
+
+import pytest
+
+from repro.core.dsl import DSLError, parse_program, parse_table
+
+ANALOG_AQM = """
+// The paper's analogAQM table, lightly regularised.
+table analogAQM {
+    read { sojourn_time; d_sojourn; }
+    output {
+        pipeline {
+            pCAM(sojourn_time: 0.01, 0.03, 0.16, 0.19),   // Stage-1
+            pCAM(d_sojourn: -1.0, -0.05, 8.0, 9.5),       // Stage-2
+        }
+    }
+    action { update_pCAM(); }
+}
+"""
+
+
+def noop_action(table, output, features):
+    return "updated"
+
+
+class TestParsing:
+    def test_full_table(self):
+        table = parse_table(ANALOG_AQM,
+                            actions={"update_pCAM": noop_action})
+        assert table.name == "analogAQM"
+        assert table.reads == ("sojourn_time", "d_sojourn")
+        result = table.process({"sojourn_time": 0.05, "d_sojourn": 0.0})
+        assert result.output == pytest.approx(1.0)
+        assert result.action_taken == "updated"
+
+    def test_read_section_optional(self):
+        text = """table t { output { pipeline {
+            pCAM(x: 0, 1, 2, 3) } } }"""
+        table = parse_table(text)
+        assert table.reads == ("x",)
+
+    def test_stage_parameters_applied(self):
+        table = parse_table(ANALOG_AQM,
+                            actions={"update_pCAM": noop_action})
+        params = table.pipeline.stage("sojourn_time").params
+        assert params.m1 == pytest.approx(0.01)
+        assert params.m4 == pytest.approx(0.19)
+        assert params.is_continuous  # canonical slopes by default
+
+    def test_explicit_slopes_and_rails(self):
+        text = """table t { output { pipeline {
+            pCAM(x: 0, 1, 2, 3, 0.5, -0.5, 0.9, 0.1) } } }"""
+        params = parse_table(text).pipeline.stage("x").params
+        assert params.sa == 0.5
+        assert params.pmax == 0.9
+        assert params.pmin == 0.1
+
+    def test_multiple_tables(self):
+        text = """
+        table a { output { pipeline { pCAM(x: 0, 1, 2, 3) } } }
+        table b { output { pipeline { pCAM(y: 0, 1, 2, 3) } } }
+        """
+        tables = parse_program(text)
+        assert [t.name for t in tables] == ["a", "b"]
+
+    def test_comments_ignored(self):
+        text = """// leading comment
+        table t { // inline
+            output { pipeline { pCAM(x: 0, 1, 2, 3) } }
+        }"""
+        assert parse_table(text).name == "t"
+
+    def test_scientific_notation_numbers(self):
+        text = """table t { output { pipeline {
+            pCAM(x: 1e-2, 3e-2, 1.6e-1, 1.9e-1) } } }"""
+        params = parse_table(text).pipeline.stage("x").params
+        assert params.m1 == pytest.approx(0.01)
+
+
+class TestErrors:
+    def test_missing_output_section(self):
+        with pytest.raises(DSLError, match="no output section"):
+            parse_table("table t { read { x; } }")
+
+    def test_read_pipeline_mismatch(self):
+        text = """table t { read { y; }
+            output { pipeline { pCAM(x: 0, 1, 2, 3) } } }"""
+        with pytest.raises(DSLError, match="do not match"):
+            parse_table(text)
+
+    def test_wrong_parameter_count(self):
+        with pytest.raises(DSLError, match="parameters"):
+            parse_table("""table t { output { pipeline {
+                pCAM(x: 0, 1, 2) } } }""")
+
+    def test_invalid_thresholds_reported(self):
+        with pytest.raises(DSLError, match="M1 < M2"):
+            parse_table("""table t { output { pipeline {
+                pCAM(x: 3, 2, 1, 0) } } }""")
+
+    def test_unknown_action(self):
+        with pytest.raises(DSLError, match="unknown action"):
+            parse_table("""table t {
+                output { pipeline { pCAM(x: 0, 1, 2, 3) } }
+                action { mystery() }
+            }""")
+
+    def test_duplicate_stage(self):
+        with pytest.raises(DSLError, match="duplicate"):
+            parse_table("""table t { output { pipeline {
+                pCAM(x: 0, 1, 2, 3), pCAM(x: 0, 1, 2, 3) } } }""")
+
+    def test_unclosed_table(self):
+        with pytest.raises(DSLError):
+            parse_table("table t { output { pipeline { "
+                        "pCAM(x: 0, 1, 2, 3) } }")
+
+    def test_garbage_character(self):
+        with pytest.raises(DSLError, match="unexpected character"):
+            parse_table("table t @ {}")
+
+    def test_empty_program(self):
+        with pytest.raises(DSLError):
+            parse_program("   // nothing here\n")
+
+    def test_unknown_section(self):
+        with pytest.raises(DSLError, match="unknown section"):
+            parse_table("""table t { bogus { } }""")
+
+    def test_parse_table_rejects_multiple(self):
+        text = """
+        table a { output { pipeline { pCAM(x: 0, 1, 2, 3) } } }
+        table b { output { pipeline { pCAM(y: 0, 1, 2, 3) } } }
+        """
+        with pytest.raises(DSLError, match="exactly one"):
+            parse_table(text)
+
+
+class TestDeviceBackedBuild:
+    def test_builds_on_simulated_devices(self, rng):
+        from repro.device.variability import VariabilityModel
+        text = """table t { output { pipeline {
+            pCAM(x: 0.5, 1.0, 2.0, 2.5) } } }"""
+        table = parse_table(text, device_backed=True,
+                            variability=VariabilityModel.ideal(),
+                            rng=rng)
+        result = table.process({"x": 1.5})
+        assert result.output == pytest.approx(1.0, abs=0.05)
+        assert result.energy_j > 0.0

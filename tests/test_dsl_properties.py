@@ -1,0 +1,63 @@
+"""Property-based round-trip test for the DSL: render -> parse."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dsl import parse_table
+from repro.core.pcam_cell import PCAMParams
+
+
+@st.composite
+def stage_params(draw):
+    m1 = draw(st.floats(-5.0, 5.0, allow_nan=False))
+    gaps = [draw(st.floats(0.05, 3.0)) for _ in range(3)]
+    pmin = draw(st.floats(0.0, 0.4))
+    pmax = draw(st.floats(0.6, 1.0))
+    return PCAMParams.canonical(
+        m1=m1, m2=m1 + gaps[0], m3=m1 + gaps[0] + gaps[1],
+        m4=m1 + sum(gaps), pmax=pmax, pmin=pmin)
+
+
+def render_table(name: str, stages: dict[str, PCAMParams]) -> str:
+    """Emit a table definition in the DSL surface syntax."""
+    stage_lines = []
+    for stage_name, params in stages.items():
+        numbers = (f"{params.m1!r}, {params.m2!r}, {params.m3!r}, "
+                   f"{params.m4!r}, {params.sa!r}, {params.sb!r}, "
+                   f"{params.pmax!r}, {params.pmin!r}")
+        stage_lines.append(f"pCAM({stage_name}: {numbers})")
+    body = ",\n            ".join(stage_lines)
+    return (f"table {name} {{\n"
+            f"    output {{ pipeline {{\n            {body}\n"
+            f"    }} }}\n"
+            f"}}")
+
+
+@given(params_list=st.lists(stage_params(), min_size=1, max_size=4))
+@settings(max_examples=40)
+def test_render_parse_round_trip(params_list):
+    stages = {f"f{i}": params for i, params in enumerate(params_list)}
+    text = render_table("roundtrip", stages)
+    table = parse_table(text)
+    assert table.name == "roundtrip"
+    assert table.reads == tuple(stages)
+    for name, params in stages.items():
+        parsed = table.pipeline.stage(name).params
+        assert np.isclose(parsed.m1, params.m1)
+        assert np.isclose(parsed.m4, params.m4)
+        assert np.isclose(parsed.sa, params.sa)
+        assert np.isclose(parsed.pmin, params.pmin)
+
+
+@given(params_list=st.lists(stage_params(), min_size=1, max_size=3),
+       x=st.floats(-10.0, 10.0, allow_nan=False))
+@settings(max_examples=40)
+def test_parsed_pipeline_behaves_like_original(params_list, x):
+    from repro.core.pcam_pipeline import PCAMPipeline
+
+    stages = {f"f{i}": params for i, params in enumerate(params_list)}
+    reference = PCAMPipeline.from_params(stages)
+    parsed = parse_table(render_table("t", stages)).pipeline
+    features = {name: x for name in stages}
+    assert np.isclose(parsed.evaluate(features),
+                      reference.evaluate(features), atol=1e-9)

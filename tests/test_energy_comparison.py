@@ -1,0 +1,54 @@
+"""The Table 1 harness."""
+
+import pytest
+
+from repro.energy.comparison import (
+    Table1Row,
+    build_table1,
+    format_table1,
+    improvement_factor,
+    measured_pcam_row,
+)
+from repro.tcam.baselines import Computation, Technology
+
+
+def test_nine_rows(small_dataset):
+    rows = build_table1(small_dataset)
+    assert len(rows) == 9
+    assert sum(1 for row in rows if row.measured) == 1
+
+
+def test_pcam_row_measured_from_dataset(small_dataset):
+    row = measured_pcam_row(small_dataset)
+    assert row.computation is Computation.ANALOG
+    assert row.technology is Technology.MEMRISTOR
+    assert row.latency_ns == 1.0
+    assert row.energy_fj_per_bit == pytest.approx(0.01, rel=0.15)
+
+
+def test_improvement_factor_at_least_50x(small_dataset):
+    rows = build_table1(small_dataset)
+    assert improvement_factor(rows) >= 50.0
+
+
+def test_pcam_beats_every_digital_row(small_dataset):
+    rows = build_table1(small_dataset)
+    pcam = next(row for row in rows if row.measured)
+    for row in rows:
+        if not row.measured:
+            assert pcam.energy_fj_per_bit < row.energy_fj_per_bit / 50.0
+
+
+def test_improvement_requires_measured_row():
+    rows = [Table1Row("x", "1", Computation.DIGITAL,
+                      Technology.TRANSISTOR, 1.0, 1.0)]
+    with pytest.raises(ValueError):
+        improvement_factor(rows)
+
+
+def test_format_renders_all_rows(small_dataset):
+    rows = build_table1(small_dataset)
+    lines = format_table1(rows)
+    assert len(lines) == 2 + 9 + 1
+    assert any("pCAM" in line for line in lines)
+    assert "improvement over best digital" in lines[-1]

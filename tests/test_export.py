@@ -1,0 +1,73 @@
+"""CSV exporters."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    export_all,
+    export_series_csv,
+    export_table1_csv,
+)
+
+
+class TestSeriesCsv:
+    def test_round_trip(self, tmp_path):
+        path = export_series_csv(
+            {"x": np.array([1.0, 2.0]), "y": np.array([3.0, 4.0])},
+            tmp_path / "series.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "y"]
+        assert float(rows[1][0]) == 1.0
+        assert float(rows[2][1]) == 4.0
+
+    def test_uneven_columns_padded(self, tmp_path):
+        path = export_series_csv(
+            {"long": np.arange(3), "short": np.arange(1)},
+            tmp_path / "uneven.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[2][1] == ""
+
+    def test_parent_directories_created(self, tmp_path):
+        path = export_series_csv({"x": np.zeros(1)},
+                                 tmp_path / "a" / "b" / "c.csv")
+        assert path.exists()
+
+    def test_empty_export_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series_csv({}, tmp_path / "nope.csv")
+
+
+class TestTable1Csv:
+    def test_nine_rows_with_measured_flag(self, tmp_path,
+                                          small_dataset):
+        path = export_table1_csv(tmp_path / "table1.csv",
+                                 dataset=small_dataset)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 9
+        measured = [row for row in rows if row["measured"] == "True"]
+        assert len(measured) == 1
+        assert measured[0]["design"] == "pCAM"
+
+
+@pytest.mark.slow
+class TestExportAll:
+    def test_all_figures_written(self, tmp_path, small_dataset):
+        written = export_all(tmp_path / "out", quick=True,
+                             dataset=small_dataset)
+        names = {path.name for path in written}
+        assert names == {
+            "fig1_colocalization.csv",
+            "fig2_state_machine.csv",
+            "fig4_pcam_response.csv",
+            "fig7a_aqm_output.csv",
+            "fig7b_aqm_output.csv",
+            "fig8_queue_management.csv",
+            "table1_comparison.csv",
+        }
+        for path in written:
+            assert path.stat().st_size > 0

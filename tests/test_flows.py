@@ -1,0 +1,128 @@
+"""Traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import (
+    OnOffFlowGenerator,
+    ParetoBurstGenerator,
+    PoissonFlowGenerator,
+)
+
+
+def collect(generator, duration):
+    sim = Simulator()
+    packets = []
+    generator.attach(sim, packets.append)
+    sim.run_until(duration)
+    return packets
+
+
+class TestPoisson:
+    def test_mean_rate_close_to_nominal(self, rng):
+        generator = PoissonFlowGenerator(rate_pps=1000.0, rng=rng)
+        packets = collect(generator, 5.0)
+        assert len(packets) == pytest.approx(5000, rel=0.1)
+
+    def test_interarrivals_exponential_cv(self, rng):
+        generator = PoissonFlowGenerator(rate_pps=2000.0, rng=rng)
+        packets = collect(generator, 3.0)
+        gaps = np.diff([p.created_at for p in packets])
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.1)  # Poisson signature
+
+    def test_packet_attributes_stamped(self, rng):
+        generator = PoissonFlowGenerator(rate_pps=100.0,
+                                         packet_size_bytes=512,
+                                         flow_id=7, priority=1, rng=rng)
+        packets = collect(generator, 1.0)
+        assert all(p.size_bytes == 512 for p in packets)
+        assert all(p.flow_id == 7 for p in packets)
+        assert all(p.priority == 1 for p in packets)
+
+    def test_stop_at_silences_flow(self, rng):
+        generator = PoissonFlowGenerator(rate_pps=1000.0, stop_at=1.0,
+                                         rng=rng)
+        packets = collect(generator, 5.0)
+        assert all(p.created_at <= 1.0 + 0.1 for p in packets)
+
+    def test_rate_fn_scales_load(self, rng):
+        generator = PoissonFlowGenerator(
+            rate_pps=1000.0,
+            rate_fn=lambda t: 3.0 if t >= 1.0 else 1.0, rng=rng)
+        packets = collect(generator, 2.0)
+        first = sum(1 for p in packets if p.created_at < 1.0)
+        second = sum(1 for p in packets if p.created_at >= 1.0)
+        assert second > 2.0 * first
+
+    def test_negative_rate_factor_rejected(self, rng):
+        generator = PoissonFlowGenerator(rate_pps=10.0,
+                                         rate_fn=lambda t: -1.0, rng=rng)
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            generator.attach(sim, lambda p: None)
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            PoissonFlowGenerator(rate_pps=0.0)
+
+
+class TestOnOff:
+    def test_duty_cycle_and_mean_rate(self, rng):
+        generator = OnOffFlowGenerator(peak_rate_pps=1000.0,
+                                       mean_on_s=0.5, mean_off_s=0.5,
+                                       rng=rng)
+        assert generator.duty_cycle == pytest.approx(0.5)
+        assert generator.mean_rate_pps == pytest.approx(500.0)
+        packets = collect(generator, 20.0)
+        assert len(packets) == pytest.approx(10000, rel=0.25)
+
+    def test_off_periods_exist(self, rng):
+        generator = OnOffFlowGenerator(peak_rate_pps=2000.0,
+                                       mean_on_s=0.2, mean_off_s=0.5,
+                                       rng=rng)
+        packets = collect(generator, 10.0)
+        gaps = np.diff([p.created_at for p in packets])
+        # The largest gaps are OFF periods, far above 1/peak_rate.
+        assert gaps.max() > 20.0 / 2000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffFlowGenerator(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            OnOffFlowGenerator(10.0, 0.0, 1.0)
+
+
+class TestParetoBursts:
+    def test_bursts_arrive_back_to_back(self, rng):
+        generator = ParetoBurstGenerator(burst_rate_hz=5.0,
+                                         mean_burst_packets=20.0,
+                                         rng=rng)
+        packets = collect(generator, 10.0)
+        assert len(packets) > 100
+        gaps = np.diff(sorted(p.created_at for p in packets))
+        # Intra-burst spacing is the configured 10 us.
+        assert np.median(gaps) == pytest.approx(1e-5, rel=0.2)
+
+    def test_burst_sizes_heavy_tailed(self, rng):
+        generator = ParetoBurstGenerator(burst_rate_hz=50.0,
+                                         mean_burst_packets=10.0,
+                                         pareto_alpha=1.3, rng=rng)
+        sizes = [generator._burst_size() for _ in range(2000)]
+        assert max(sizes) > 10 * np.median(sizes)
+
+    def test_mean_burst_size_calibrated(self, rng):
+        generator = ParetoBurstGenerator(burst_rate_hz=1.0,
+                                         mean_burst_packets=30.0,
+                                         pareto_alpha=2.5, rng=rng)
+        sizes = [generator._burst_size() for _ in range(4000)]
+        assert np.mean(sizes) == pytest.approx(30.0, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParetoBurstGenerator(0.0, 10.0)
+        with pytest.raises(ValueError):
+            ParetoBurstGenerator(1.0, 0.5)
+        with pytest.raises(ValueError):
+            ParetoBurstGenerator(1.0, 10.0, pareto_alpha=1.0)

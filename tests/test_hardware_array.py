@@ -1,0 +1,134 @@
+"""The crossbar-realised pCAM array."""
+
+import numpy as np
+import pytest
+
+from repro.core.hardware_array import CrossbarPCAMArray
+from repro.core.pcam_cell import prog_pcam
+from repro.device.variability import VariabilityModel
+
+FIELDS = ("port", "size")
+WORD0 = {"port": prog_pcam(0.5, 1.0, 1.5, 2.0),
+         "size": prog_pcam(2.0, 2.5, 3.0, 3.5)}
+WORD1 = {"port": prog_pcam(2.5, 3.0, 3.5, 3.9),
+         "size": prog_pcam(-1.0, -0.5, 0.0, 0.5)}
+
+
+def make_array(**kwargs):
+    kwargs.setdefault("variability",
+                      VariabilityModel(read_sigma=0.02, device_sigma=0.0))
+    kwargs.setdefault("rng", np.random.default_rng(1))
+    array = CrossbarPCAMArray(FIELDS, max_words=4, **kwargs)
+    array.add(WORD0)
+    array.add(WORD1)
+    return array
+
+
+class TestSearch:
+    def test_exact_queries_select_their_word(self):
+        array = make_array()
+        first = array.search({"port": 1.2, "size": 2.7})
+        second = array.search({"port": 3.2, "size": -0.2})
+        assert first.best_index == 0
+        assert first.best_probability > 0.9
+        assert second.best_index == 1
+        assert second.best_probability > 0.9
+
+    def test_cross_query_mismatches(self):
+        array = make_array()
+        result = array.search({"port": 1.2, "size": -0.2})
+        # Matches word0 on port only, word1 on size only: both words
+        # score ~0 because the product needs every field.
+        assert result.probabilities.max() < 0.1
+
+    def test_partial_match_graded(self):
+        array = make_array()
+        # On the ramp of word0's port window.
+        result = array.search({"port": 0.75, "size": 2.7})
+        assert 0.1 < result.probabilities[0] < 0.95
+
+    def test_search_consumes_energy(self):
+        array = make_array()
+        result = array.search({"port": 1.2, "size": 2.7})
+        assert result.energy_j > 0.0
+        assert array.ledger.account("conversion") > 0.0
+        assert array.searches == 1
+
+    def test_empty_array(self):
+        array = CrossbarPCAMArray(FIELDS, max_words=2)
+        result = array.search({"port": 1.0, "size": 1.0})
+        assert result.best_index is None
+        assert result.probabilities.size == 0
+
+    def test_missing_query_field_rejected(self):
+        array = make_array()
+        with pytest.raises(KeyError):
+            array.search({"port": 1.0})
+
+    def test_dac_quantization_applied(self):
+        coarse = make_array(rng=np.random.default_rng(2))
+        # Queries within one LSB land on the same DAC code -> same
+        # decoded probability (noise aside, use ideal variability).
+        ideal = CrossbarPCAMArray(
+            FIELDS, max_words=4,
+            variability=VariabilityModel.ideal(),
+            rng=np.random.default_rng(3))
+        ideal.add(WORD0)
+        lsb = ideal.dac.lsb_v
+        a = ideal.search({"port": 1.2, "size": 2.7})
+        b = ideal.search({"port": 1.2 + 0.3 * lsb, "size": 2.7})
+        np.testing.assert_allclose(a.probabilities, b.probabilities)
+
+
+class TestProgramming:
+    def test_capacity_enforced(self):
+        array = CrossbarPCAMArray(FIELDS, max_words=1)
+        array.add(WORD0)
+        with pytest.raises(ValueError):
+            array.add(WORD1)
+
+    def test_field_set_validated(self):
+        array = CrossbarPCAMArray(FIELDS, max_words=2)
+        with pytest.raises(ValueError):
+            array.add({"port": prog_pcam(0, 1, 2, 3)})
+
+    def test_thresholds_must_fit_range(self):
+        array = CrossbarPCAMArray(FIELDS, max_words=2,
+                                  v_range=(0.0, 2.0))
+        with pytest.raises(ValueError):
+            array.add(WORD0)  # size window reaches 3.5 V
+
+    def test_word_params_accessor(self):
+        array = make_array()
+        assert array.word_params(0)["port"].m2 == 1.0
+        with pytest.raises(IndexError):
+            array.word_params(9)
+        assert len(array) == 2
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            CrossbarPCAMArray((), max_words=2)
+        with pytest.raises(ValueError):
+            CrossbarPCAMArray(FIELDS, max_words=0)
+        with pytest.raises(ValueError):
+            CrossbarPCAMArray(FIELDS, v_range=(4.0, -2.0))
+
+
+class TestAgainstFunctionalModel:
+    def test_matches_ideal_array_probabilities(self):
+        from repro.core.pcam_array import PCAMArray
+        hardware = CrossbarPCAMArray(
+            FIELDS, max_words=4,
+            variability=VariabilityModel.ideal(),
+            rng=np.random.default_rng(5))
+        functional = PCAMArray(FIELDS)
+        for word in (WORD0, WORD1):
+            hardware.add(word)
+            functional.add(word)
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            query = {"port": float(rng.uniform(0.0, 3.8)),
+                     "size": float(rng.uniform(-1.5, 3.4))}
+            hw = hardware.search(query).probabilities
+            fn = functional.search(query).probabilities
+            np.testing.assert_allclose(hw, fn, atol=0.06)

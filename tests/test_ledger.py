@@ -1,0 +1,101 @@
+"""Energy ledger accounting."""
+
+import pytest
+
+from repro.energy import (
+    ACCOUNT_COMPUTE,
+    ACCOUNT_MOVEMENT,
+    EnergyLedger,
+    EnergyReport,
+)
+
+
+def test_charges_accumulate_per_account():
+    ledger = EnergyLedger()
+    ledger.charge("tcam.search", 1e-15)
+    ledger.charge("tcam.search", 2e-15)
+    ledger.charge("pcam.search", 5e-17)
+    assert ledger.account("tcam.search") == pytest.approx(3e-15)
+    assert ledger.total == pytest.approx(3.05e-15)
+    assert ledger.events == 3
+
+
+def test_negative_charge_rejected():
+    ledger = EnergyLedger()
+    with pytest.raises(ValueError):
+        ledger.charge("x", -1.0)
+
+
+def test_unknown_account_reads_zero():
+    assert EnergyLedger().account("nothing") == 0.0
+
+
+def test_merge_combines_ledgers():
+    a = EnergyLedger()
+    b = EnergyLedger()
+    a.charge("x", 1.0)
+    b.charge("x", 2.0)
+    b.charge("y", 3.0)
+    a.merge(b)
+    assert a.account("x") == pytest.approx(3.0)
+    assert a.account("y") == pytest.approx(3.0)
+    assert a.events == 3
+
+
+def test_by_prefix_sums_subaccounts():
+    ledger = EnergyLedger()
+    ledger.charge("tcam.search", 1.0)
+    ledger.charge("tcam.write", 2.0)
+    ledger.charge("pcam.search", 4.0)
+    assert ledger.by_prefix("tcam.") == pytest.approx(3.0)
+
+
+def test_breakdown_sorted_descending():
+    ledger = EnergyLedger()
+    ledger.charge("small", 1.0)
+    ledger.charge("big", 10.0)
+    assert list(ledger.breakdown()) == ["big", "small"]
+
+
+def test_fractions_sum_to_one():
+    ledger = EnergyLedger()
+    ledger.charge(ACCOUNT_MOVEMENT, 9.0)
+    ledger.charge(ACCOUNT_COMPUTE, 1.0)
+    fractions = ledger.fractions()
+    assert fractions[ACCOUNT_MOVEMENT] == pytest.approx(0.9)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_fractions_of_empty_ledger():
+    assert EnergyLedger().fractions() == {}
+
+
+def test_reset_clears_everything():
+    ledger = EnergyLedger()
+    ledger.charge("x", 1.0)
+    ledger.reset()
+    assert ledger.total == 0.0
+    assert ledger.events == 0
+    assert len(ledger) == 0
+
+
+def test_report_fraction_and_lines():
+    ledger = EnergyLedger()
+    ledger.charge("a", 3.0)
+    ledger.charge("b", 1.0)
+    report = EnergyReport.from_ledger("run", ledger)
+    assert report.fraction("a") == pytest.approx(0.75)
+    lines = list(report.lines())
+    assert lines[0].startswith("run: total")
+    assert len(lines) == 3
+
+
+def test_report_fraction_zero_total():
+    report = EnergyReport(label="empty", total_j=0.0, accounts={})
+    assert report.fraction("anything") == 0.0
+
+
+def test_iteration_yields_accounts():
+    ledger = EnergyLedger()
+    ledger.charge("a", 1.0)
+    assert dict(iter(ledger)) == {"a": 1.0}

@@ -1,0 +1,88 @@
+"""pCAM-based cognitive load balancing."""
+
+import numpy as np
+import pytest
+
+from repro.netfunc.load_balancer import Backend, PCAMLoadBalancer
+
+
+def make_lb(utils=(0.0, 0.0, 0.0), **kwargs):
+    backends = [Backend(name=f"b{i}", capacity=1.0, active=u)
+                for i, u in enumerate(utils)]
+    kwargs.setdefault("rng", np.random.default_rng(11))
+    return PCAMLoadBalancer(backends, **kwargs), backends
+
+
+def test_fitness_full_when_idle():
+    lb, _ = make_lb((0.1, 0.2, 0.3))
+    np.testing.assert_allclose(lb.fitness(), 1.0)
+
+
+def test_fitness_falls_past_comfort():
+    lb, _ = make_lb((0.5, 0.9, 1.3), comfort=0.7, saturation=1.2)
+    fitness = lb.fitness()
+    assert fitness[0] == 1.0
+    assert 0.0 < fitness[1] < 1.0
+    assert fitness[2] == 0.0
+
+
+def test_idle_backends_share_traffic_evenly():
+    lb, backends = make_lb((0.0, 0.0, 0.0))
+    for _ in range(900):
+        lb.pick()
+    counts = [b.served for b in backends]
+    for count in counts:
+        assert count == pytest.approx(300, rel=0.25)
+
+
+def test_overloaded_backend_avoided():
+    lb, backends = make_lb((0.2, 0.2, 1.5), comfort=0.7,
+                           saturation=1.2)
+    for _ in range(300):
+        lb.pick()
+    assert backends[2].served == 0
+
+
+def test_all_saturated_falls_back_to_least_loaded():
+    # RQ1: zero deterministic matches still yields the best partial
+    # match (here: the least-bad backend).
+    lb, backends = make_lb((1.5, 1.4, 1.8), comfort=0.5,
+                           saturation=1.2)
+    chosen = lb.pick()
+    assert chosen is backends[1]
+
+
+def test_assign_and_release_track_load():
+    lb, _ = make_lb((0.0,))
+    backend = lb.assign(load=0.3)
+    assert backend.active == pytest.approx(0.3)
+    lb.release(backend, load=0.3)
+    assert backend.active == 0.0
+    lb.release(backend, load=5.0)
+    assert backend.active == 0.0  # floors at zero
+
+
+def test_energy_charged_per_decision():
+    lb, _ = make_lb((0.0, 0.0))
+    lb.pick()
+    assert lb.ledger.total > 0.0
+    assert lb.decisions == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PCAMLoadBalancer([])
+    with pytest.raises(ValueError):
+        make_lb((0.0,), comfort=1.5, saturation=1.2)
+    with pytest.raises(ValueError):
+        PCAMLoadBalancer([Backend("a"), Backend("a")])
+    lb, _ = make_lb((0.0,))
+    with pytest.raises(ValueError):
+        lb.assign(load=-1.0)
+
+
+def test_utilisation_property():
+    backend = Backend(name="x", capacity=2.0, active=1.0)
+    assert backend.utilisation == 0.5
+    zero_capacity = Backend(name="z", capacity=0.0)
+    assert zero_capacity.utilisation == 1.0

@@ -1,0 +1,93 @@
+"""Interconnect loss models (RQ2 precision analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.losses import LineLossModel
+
+
+class TestVoltageAtCell:
+    def test_ideal_model_lossless(self):
+        model = LineLossModel.ideal()
+        assert model.voltage_at_cell(2.0, 100, 1e-3) == pytest.approx(2.0)
+
+    def test_attenuation_grows_with_distance(self):
+        model = LineLossModel(wire_resistance_per_cell_ohm=2.0)
+        near = model.voltage_at_cell(1.0, 1, 1e-3)
+        far = model.voltage_at_cell(1.0, 100, 1e-3)
+        assert far < near < 1.0
+
+    def test_high_resistance_cell_barely_attenuated(self):
+        model = LineLossModel(wire_resistance_per_cell_ohm=2.0)
+        # A 1 Gohm cell sees essentially the full drive voltage.
+        assert model.voltage_at_cell(1.0, 100, 1e-9) == pytest.approx(
+            1.0, rel=1e-6)
+
+    def test_zero_conductance_cell_full_voltage(self):
+        model = LineLossModel(wire_resistance_per_cell_ohm=2.0)
+        assert model.voltage_at_cell(1.0, 50, 0.0) == 1.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LineLossModel().voltage_at_cell(1.0, -1, 1e-3)
+
+
+class TestAttenuationMatrix:
+    def test_shape_and_range(self):
+        model = LineLossModel(wire_resistance_per_cell_ohm=1.0)
+        conductances = np.full((4, 5), 1e-2)
+        matrix = model.attenuation_matrix(4, 5, conductances)
+        assert matrix.shape == (4, 5)
+        assert np.all(matrix <= 1.0)
+        assert np.all(matrix > 0.0)
+
+    def test_corner_cell_most_attenuated(self):
+        model = LineLossModel(wire_resistance_per_cell_ohm=1.0)
+        conductances = np.full((8, 8), 1e-2)
+        matrix = model.attenuation_matrix(8, 8, conductances)
+        assert matrix[7, 7] == matrix.min()
+        assert matrix[0, 0] == matrix.max()
+
+    def test_shape_mismatch_rejected(self):
+        model = LineLossModel()
+        with pytest.raises(ValueError):
+            model.attenuation_matrix(3, 3, np.zeros((2, 3)))
+
+
+class TestSneakAndCrosstalk:
+    def test_sneak_current_scales_with_unselected(self):
+        model = LineLossModel(sneak_conductance_s=1e-9)
+        assert model.sneak_current(2.0, 100) == pytest.approx(2e-7)
+        assert model.sneak_current(2.0, 0) == 0.0
+
+    def test_sneak_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            LineLossModel().sneak_current(1.0, -1)
+
+    def test_crosstalk_conserves_uniform_signal(self):
+        model = LineLossModel(crosstalk_fraction=0.05)
+        signals = np.ones(6)
+        np.testing.assert_allclose(model.apply_crosstalk(signals),
+                                   signals)
+
+    def test_crosstalk_smears_spike(self):
+        model = LineLossModel(crosstalk_fraction=0.1)
+        signals = np.zeros(5)
+        signals[2] = 1.0
+        mixed = model.apply_crosstalk(signals)
+        assert mixed[2] < 1.0
+        assert mixed[1] > 0.0 and mixed[3] > 0.0
+
+    def test_zero_crosstalk_identity(self):
+        model = LineLossModel(crosstalk_fraction=0.0)
+        signals = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(model.apply_crosstalk(signals),
+                                      signals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LineLossModel(wire_resistance_per_cell_ohm=-1.0)
+        with pytest.raises(ValueError):
+            LineLossModel(sneak_conductance_s=-1e-9)
+        with pytest.raises(ValueError):
+            LineLossModel(crosstalk_fraction=1.0)

@@ -1,0 +1,105 @@
+"""Analog match-action tables and stored-action memory."""
+
+import pytest
+
+from repro.core.match_action import (
+    AnalogMatchActionTable,
+    StoredActionMemory,
+)
+from repro.core.pcam_cell import prog_pcam
+from repro.core.pcam_pipeline import PCAMPipeline
+
+
+def make_pipeline():
+    return PCAMPipeline.from_params({
+        "sojourn_time": prog_pcam(0.0, 1.0, 3.0, 4.0),
+        "buffer_size": prog_pcam(0.0, 1.0, 3.0, 4.0),
+    })
+
+
+class TestStoredActionMemory:
+    def test_fetch_by_range(self):
+        memory = StoredActionMemory()
+        memory.store(0.0, 0.5, "forward")
+        memory.store(0.5, 1.01, "mark_ecn")
+        assert memory.fetch(0.2) == "forward"
+        assert memory.fetch(0.7) == "mark_ecn"
+        assert memory.fetch(1.0) == "mark_ecn"
+
+    def test_fetch_outside_ranges_none(self):
+        memory = StoredActionMemory()
+        memory.store(0.2, 0.4, "x")
+        assert memory.fetch(0.1) is None
+        assert memory.fetch(0.5) is None
+
+    def test_overlap_rejected(self):
+        memory = StoredActionMemory()
+        memory.store(0.0, 0.5, "a")
+        with pytest.raises(ValueError):
+            memory.store(0.4, 0.6, "b")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            StoredActionMemory().store(0.5, 0.5, "x")
+
+    def test_len(self):
+        memory = StoredActionMemory()
+        memory.store(0, 1, "a")
+        assert len(memory) == 1
+
+
+class TestAnalogMatchActionTable:
+    def test_reads_must_match_pipeline_stages(self):
+        with pytest.raises(ValueError):
+            AnalogMatchActionTable("t", ("wrong",), make_pipeline())
+
+    def test_process_returns_pipeline_output(self):
+        table = AnalogMatchActionTable(
+            "analogAQM", ("sojourn_time", "buffer_size"),
+            make_pipeline())
+        result = table.process({"sojourn_time": 2.0, "buffer_size": 2.0,
+                                "extra": 99.0})
+        assert result.output == pytest.approx(1.0)
+        assert result.features == {"sojourn_time": 2.0,
+                                   "buffer_size": 2.0}
+        assert table.lookups == 1
+
+    def test_missing_read_field_rejected(self):
+        table = AnalogMatchActionTable(
+            "t", ("sojourn_time", "buffer_size"), make_pipeline())
+        with pytest.raises(KeyError):
+            table.process({"sojourn_time": 1.0})
+
+    def test_action_invoked_with_output(self):
+        seen = []
+
+        def action(table, output, features):
+            seen.append(output)
+            return "updated"
+
+        table = AnalogMatchActionTable(
+            "t", ("sojourn_time", "buffer_size"), make_pipeline(),
+            action=action)
+        result = table.process({"sojourn_time": 2.0, "buffer_size": 2.0})
+        assert seen == [pytest.approx(1.0)]
+        assert result.action_taken == "updated"
+
+    def test_indirect_action_fetch(self):
+        memory = StoredActionMemory()
+        memory.store(0.9, 1.01, "drop_aggressively")
+        table = AnalogMatchActionTable(
+            "t", ("sojourn_time", "buffer_size"), make_pipeline(),
+            action_memory=memory)
+        result = table.process({"sojourn_time": 2.0, "buffer_size": 2.0})
+        assert result.fetched_action == "drop_aggressively"
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            AnalogMatchActionTable(
+                "", ("sojourn_time", "buffer_size"), make_pipeline())
+
+    def test_repr(self):
+        table = AnalogMatchActionTable(
+            "analogAQM", ("sojourn_time", "buffer_size"),
+            make_pipeline())
+        assert "analogAQM" in repr(table)

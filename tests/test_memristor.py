@@ -1,0 +1,184 @@
+"""The Nb:SrTiO3 memristor device model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.device.memristor import MemristorParams, NbSTOMemristor
+from repro.device.variability import VariabilityModel
+
+
+def make_device(state: float = 0.0, **kwargs) -> NbSTOMemristor:
+    kwargs.setdefault("variability", VariabilityModel.ideal())
+    return NbSTOMemristor(state=state, **kwargs)
+
+
+class TestParams:
+    def test_defaults_have_wide_window(self):
+        params = MemristorParams()
+        assert params.resistance_window > 1e6
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            MemristorParams(r_on=1e9, r_off=100.0)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ValueError):
+            MemristorParams(r_on=-1.0)
+
+    def test_rejects_bad_rectification(self):
+        with pytest.raises(ValueError):
+            MemristorParams(rectification=1.5)
+
+
+class TestStaticBehaviour:
+    def test_paper_energy_anchor_lrs(self):
+        # LRS read at 4 V / 1 ns dissipates 0.16 nJ (Sec. 6 maximum).
+        device = make_device(state=1.0)
+        read = device.read(4.0, 1e-9, noisy=False)
+        assert read.energy_j == pytest.approx(1.6e-10, rel=1e-6)
+
+    def test_paper_energy_anchor_hrs(self):
+        # HRS read at 4 V / 1 ns dissipates 0.01 fJ (Sec. 6 minimum).
+        device = make_device(state=0.0)
+        read = device.read(4.0, 1e-9, noisy=False)
+        assert read.energy_j == pytest.approx(1e-17, rel=1e-6)
+
+    def test_resistance_exponential_in_state(self):
+        r_mid = make_device(state=0.5).resistance()
+        r_on = make_device(state=1.0).resistance()
+        r_off = make_device(state=0.0).resistance()
+        assert r_mid == pytest.approx(math.sqrt(r_on * r_off), rel=1e-6)
+
+    def test_current_is_rectifying(self):
+        device = make_device(state=0.8)
+        forward = device.current(2.0)
+        reverse = device.current(-2.0)
+        assert reverse < 0.0
+        assert abs(reverse) < 0.1 * forward
+
+    def test_current_superlinear_forward(self):
+        device = make_device(state=0.5)
+        # Doubling the voltage more than doubles the current.
+        assert device.current(4.0) > 2.0 * device.current(2.0)
+
+    def test_zero_voltage_zero_current(self):
+        assert make_device(state=0.7).current(0.0) == 0.0
+
+    def test_read_counts_and_power(self):
+        device = make_device(state=1.0)
+        read = device.read(1.0, 2e-9, noisy=False)
+        assert device.reads == 1
+        assert read.power_w == pytest.approx(
+            abs(read.current_a * read.voltage_v))
+        assert read.energy_j == pytest.approx(read.power_w * 2e-9)
+
+    def test_read_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            make_device().read(1.0, 0.0)
+
+    def test_state_setter_validates(self):
+        device = make_device()
+        with pytest.raises(ValueError):
+            device.state = 1.5
+
+    def test_read_noise_changes_current(self):
+        noisy = NbSTOMemristor(
+            state=0.5,
+            variability=VariabilityModel(read_sigma=0.1, device_sigma=0.0),
+            rng=np.random.default_rng(0))
+        currents = {noisy.current(1.0, noisy=True) for _ in range(8)}
+        assert len(currents) > 1
+
+    def test_device_factor_shifts_resistance(self):
+        devices = [NbSTOMemristor(
+            state=0.5,
+            variability=VariabilityModel(read_sigma=0.0, device_sigma=0.3),
+            rng=np.random.default_rng(seed)) for seed in range(6)]
+        resistances = {round(d.resistance(), 3) for d in devices}
+        assert len(resistances) > 1
+
+
+class TestProgramming:
+    def test_below_threshold_no_motion(self):
+        device = make_device(state=0.5)
+        device.apply_pulse(0.5, 10e-9)
+        assert device.state == pytest.approx(0.5)
+
+    def test_positive_pulse_moves_toward_lrs(self):
+        device = make_device(state=0.2)
+        device.apply_pulse(2.0, 5e-9)
+        assert device.state > 0.2
+
+    def test_negative_pulse_moves_toward_hrs(self):
+        device = make_device(state=0.8)
+        device.apply_pulse(-2.0, 5e-9)
+        assert device.state < 0.8
+
+    def test_state_stays_bounded(self):
+        device = make_device(state=0.9)
+        for _ in range(20):
+            device.apply_pulse(3.5, 100e-9)
+        assert device.state <= 1.0
+
+    def test_pulse_dissipates_energy(self):
+        device = make_device(state=0.5)
+        energy = device.apply_pulse(2.0, 5e-9)
+        assert energy > 0.0
+
+    def test_pulse_rejects_bad_arguments(self):
+        device = make_device()
+        with pytest.raises(ValueError):
+            device.apply_pulse(2.0, 0.0)
+        with pytest.raises(ValueError):
+            device.apply_pulse(2.0, 1e-9, substeps=0)
+
+    @pytest.mark.parametrize("target", [0.0, 0.1, 0.25, 0.5, 0.9, 1.0])
+    def test_program_and_verify_converges(self, target):
+        device = make_device(state=0.5)
+        device.program_state(target, tolerance=0.01)
+        assert device.state == pytest.approx(target, abs=0.011)
+
+    def test_program_returns_energy(self):
+        device = make_device(state=0.0)
+        assert device.program_state(0.7) > 0.0
+
+    def test_program_noop_when_already_there(self):
+        device = make_device(state=0.5)
+        assert device.program_state(0.5) == 0.0
+        assert device.pulses == 0
+
+    def test_program_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            make_device().program_state(1.2)
+        with pytest.raises(ValueError):
+            make_device().program_state(0.5, tolerance=0.0)
+
+    def test_state_velocity_sign_and_threshold(self):
+        device = make_device(state=0.5)
+        assert device.state_velocity(0.9) == 0.0
+        assert device.state_velocity(2.0) > 0.0
+        assert device.state_velocity(-2.0) < 0.0
+
+
+class TestRetention:
+    def test_no_drift_by_default(self):
+        device = make_device(state=0.6)
+        device.relax(1000.0)
+        assert device.state == pytest.approx(0.6)
+
+    def test_drift_relaxes_toward_target(self):
+        device = NbSTOMemristor(
+            state=1.0,
+            variability=VariabilityModel(read_sigma=0.0, device_sigma=0.0,
+                                         drift_rate_per_s=0.1,
+                                         drift_target=0.0))
+        device.relax(10.0)
+        assert 0.3 < device.state < 0.4  # e^-1 of the way
+
+
+def test_repr_mentions_state_and_resistance():
+    text = repr(make_device(state=0.25))
+    assert "state=0.250" in text
+    assert "ohm" in text

@@ -1,0 +1,80 @@
+"""Measurement instruments."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.metrics import (
+    DelayRecorder,
+    SummaryStatistics,
+    time_binned_mean,
+)
+
+
+class TestDelayRecorder:
+    def test_counters(self):
+        recorder = DelayRecorder()
+        recorder.record_departure(1.0, 0.01)
+        recorder.record_departure(2.0, 0.02)
+        recorder.record_drop(1.5)
+        assert recorder.delivered == 2
+        assert recorder.dropped == 1
+        assert recorder.drop_rate == pytest.approx(1 / 3)
+
+    def test_drop_rate_empty(self):
+        assert DelayRecorder().drop_rate == 0.0
+
+    def test_queue_samples(self):
+        recorder = DelayRecorder()
+        recorder.record_queue_sample(0.5, 10, 15000)
+        assert recorder.queue_lengths == [10]
+        assert recorder.queue_bytes == [15000]
+
+    def test_summary_statistics(self):
+        recorder = DelayRecorder()
+        for delay in (0.01, 0.02, 0.03, 0.04):
+            recorder.record_departure(1.0, delay)
+        summary = recorder.summary()
+        assert summary.mean_delay_s == pytest.approx(0.025)
+        assert summary.max_delay_s == pytest.approx(0.04)
+        assert summary.delivered == 4
+
+    def test_summary_of_empty_run(self):
+        summary = SummaryStatistics.from_recorder(DelayRecorder())
+        assert summary.delivered == 0
+        assert summary.mean_delay_s == 0.0
+
+    def test_priorities_recorded(self):
+        recorder = DelayRecorder()
+        recorder.record_departure(1.0, 0.01, priority=1)
+        recorder.record_drop(1.0, priority=0)
+        assert recorder.delivered_priorities == [1]
+        assert recorder.drop_priorities == [0]
+
+
+class TestTimeBinnedMean:
+    def test_means_per_bin(self):
+        times = [0.1, 0.2, 1.1, 1.9]
+        values = [1.0, 3.0, 10.0, 20.0]
+        centres, means = time_binned_mean(times, values, 1.0)
+        assert centres[0] == pytest.approx(0.5)
+        assert means[0] == pytest.approx(2.0)
+        assert means[1] == pytest.approx(15.0)
+
+    def test_empty_bins_are_nan(self):
+        centres, means = time_binned_mean([0.1, 2.5], [1.0, 2.0], 1.0)
+        assert np.isnan(means[1])
+
+    def test_horizon_extends_series(self):
+        centres, means = time_binned_mean([0.1], [1.0], 1.0,
+                                          end_time_s=5.0)
+        assert len(centres) == 5
+
+    def test_empty_input(self):
+        centres, means = time_binned_mean([], [], 1.0)
+        assert centres.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_binned_mean([1.0], [1.0], 0.0)
+        with pytest.raises(ValueError):
+            time_binned_mean([1.0, 2.0], [1.0], 1.0)

@@ -1,0 +1,77 @@
+"""Memristor-based TCAM: same semantics, device-derived energy."""
+
+import pytest
+
+from repro.energy.ledger import ACCOUNT_COMPUTE, ACCOUNT_MOVEMENT
+from repro.tcam.mtcam import MemristorTCAM
+from repro.tcam.tcam import TCAM
+
+
+def make_pair(width=8):
+    digital = TCAM(width)
+    memristor = MemristorTCAM(width)
+    for cam in (digital, memristor):
+        cam.add("1" * width)
+        cam.add("x" * (width // 2) + "0" * (width - width // 2))
+    return digital, memristor
+
+
+def test_match_semantics_identical_to_digital():
+    digital, memristor = make_pair()
+    for key in range(0, 256, 7):
+        a = digital.search(key)
+        b = memristor.search(key)
+        assert a.matched_indices == b.matched_indices
+        assert a.best_index == b.best_index
+
+
+def test_no_data_movement_energy():
+    _, memristor = make_pair()
+    memristor.search(0)
+    assert memristor.ledger.account(ACCOUNT_MOVEMENT) == 0.0
+    assert memristor.ledger.account(ACCOUNT_COMPUTE) > 0.0
+
+
+def test_search_energy_positive_and_recorded():
+    _, memristor = make_pair()
+    result = memristor.search(0b11111111)
+    assert result.energy_j > 0.0
+    assert memristor.searches == 1
+
+
+def test_mismatches_cost_more_than_matches():
+    memristor = MemristorTCAM(8)
+    memristor.add("1" * 8)
+    all_match = memristor.search(0b11111111).energy_j
+    all_miss = memristor.search(0b00000000).energy_j
+    assert all_miss > all_match
+
+
+def test_energy_per_bit_below_transistor_baseline():
+    # The memristor TCAM must beat the 0.58 fJ/bit transistor figure
+    # in the mostly-matching regime that searches operate in.
+    memristor = MemristorTCAM(16)
+    per_bit = memristor.energy_per_bit_for(mismatch_fraction=0.1)
+    assert per_bit < 0.58e-15
+
+
+def test_energy_per_bit_monotone_in_mismatch_rate():
+    memristor = MemristorTCAM(16)
+    assert (memristor.energy_per_bit_for(0.9)
+            > memristor.energy_per_bit_for(0.1))
+
+
+def test_energy_per_bit_validates():
+    with pytest.raises(ValueError):
+        MemristorTCAM(8).energy_per_bit_for(1.5)
+
+
+def test_search_voltage_validated():
+    with pytest.raises(ValueError):
+        MemristorTCAM(8, search_voltage_v=0.0)
+
+
+def test_key_width_validated():
+    from repro.tcam.tcam import key_from_int
+    with pytest.raises(ValueError):
+        MemristorTCAM(8).search(key_from_int(1, 4))

@@ -1,0 +1,90 @@
+"""Multi-bottleneck paths."""
+
+import numpy as np
+import pytest
+
+from repro.netfunc.aqm.base import TailDropAQM
+from repro.netfunc.aqm.pcam_aqm import PCAMAQM
+from repro.packet import Packet
+from repro.simnet.engine import Simulator
+from repro.simnet.multihop import (
+    MultiBottleneckExperiment,
+    build_path,
+)
+
+
+class TestBuildPath:
+    def test_packets_traverse_all_hops(self):
+        sim = Simulator()
+        delivered = []
+        queues = build_path(sim, [8e6, 8e6], [0.001, 0.001],
+                            TailDropAQM,
+                            on_delivery=delivered.append)
+        packet = Packet(size_bytes=1000, created_at=0.0)
+        queues[0].enqueue(packet)
+        sim.run()
+        assert len(delivered) == 1
+        # Two 1 ms transmissions + two 1 ms propagation delays.
+        assert sim.now == pytest.approx(0.004)
+
+    def test_propagation_delay_counts(self):
+        sim = Simulator()
+        delivered_at = []
+        queues = build_path(
+            sim, [8e6], [0.010], TailDropAQM,
+            on_delivery=lambda p: delivered_at.append(sim.now))
+        queues[0].enqueue(Packet(size_bytes=1000, created_at=0.0))
+        sim.run()
+        assert delivered_at[0] == pytest.approx(0.011)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            build_path(sim, [1e6], [0.001, 0.002], TailDropAQM)
+        with pytest.raises(ValueError):
+            build_path(sim, [], [], TailDropAQM)
+
+
+class TestMultiBottleneckExperiment:
+    def test_congestion_forms_at_tight_hop(self):
+        experiment = MultiBottleneckExperiment(
+            load=1.3, duration_s=3.0,
+            hop_rates_bps=(60e6, 40e6), seed=2)
+        result = experiment.run(TailDropAQM)
+        first, second = result.per_hop_recorders
+        assert np.mean(second.sojourn_times) > \
+            3 * np.mean(first.sojourn_times)
+
+    def test_per_hop_aqm_bounds_end_to_end_delay(self):
+        experiment = MultiBottleneckExperiment(
+            load=1.3, duration_s=4.0, seed=2)
+        unmanaged = experiment.run(TailDropAQM)
+        counter = iter(range(100))
+        managed = experiment.run(
+            lambda: PCAMAQM(rng=np.random.default_rng(next(counter))))
+        assert managed.mean_delay_s < 0.3 * unmanaged.mean_delay_s
+        # End-to-end stays near band + propagation.
+        assert managed.p95_delay_s < 0.05
+
+    def test_deliveries_and_drops_accounted(self):
+        experiment = MultiBottleneckExperiment(load=1.3,
+                                               duration_s=2.0, seed=2)
+        result = experiment.run(TailDropAQM)
+        assert result.delivered > 1000
+        assert result.dropped >= 0
+        assert len(result.queues) == 2
+
+    def test_empty_result_statistics(self):
+        from repro.simnet.multihop import PathResult
+        empty = PathResult(end_to_end_delays_s=np.zeros(0),
+                           delivered=0, dropped=0,
+                           per_hop_recorders=(), queues=())
+        assert empty.mean_delay_s == 0.0
+        assert empty.p95_delay_s == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiBottleneckExperiment(n_flows=0)
+        with pytest.raises(ValueError):
+            MultiBottleneckExperiment(hop_rates_bps=(1e6,),
+                                      propagation_delays_s=(0.1, 0.2))

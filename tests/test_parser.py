@@ -1,0 +1,96 @@
+"""Wire-format header parsing."""
+
+import pytest
+
+from repro.dataplane.parser import (
+    HeaderParser,
+    ParseError,
+    PROTO_TCP,
+    PROTO_UDP,
+    build_ethernet_frame,
+    build_ipv4_packet,
+)
+
+
+def make_frame(**kwargs):
+    kwargs.setdefault("src_ip", "10.0.0.1")
+    kwargs.setdefault("dst_ip", "192.168.1.2")
+    return build_ethernet_frame(build_ipv4_packet(**kwargs))
+
+
+class TestFrameParsing:
+    def test_five_tuple_extracted(self):
+        parser = HeaderParser()
+        packet = parser.parse_frame(make_frame(
+            protocol=PROTO_TCP, src_port=5555, dst_port=443))
+        assert packet.field("src_ip") == "10.0.0.1"
+        assert packet.field("dst_ip") == "192.168.1.2"
+        assert packet.field("protocol") == PROTO_TCP
+        assert packet.field("src_port") == 5555
+        assert packet.field("dst_port") == 443
+        assert parser.parsed == 1
+
+    def test_udp_ports_extracted(self):
+        packet = HeaderParser().parse_frame(make_frame(
+            protocol=PROTO_UDP, src_port=53, dst_port=53))
+        assert packet.field("src_port") == 53
+
+    def test_mac_addresses_extracted(self):
+        frame = build_ethernet_frame(
+            build_ipv4_packet("1.1.1.1", "2.2.2.2"),
+            eth_src="aa:bb:cc:dd:ee:ff")
+        packet = HeaderParser().parse_frame(frame)
+        assert packet.field("eth_src") == "aa:bb:cc:dd:ee:ff"
+
+    def test_ttl_and_dscp(self):
+        packet = HeaderParser().parse_frame(make_frame(ttl=7, dscp=46))
+        assert packet.field("ttl") == 7
+        assert packet.field("dscp") == 46
+
+    def test_high_dscp_maps_to_priority_zero(self):
+        cs6 = HeaderParser().parse_frame(make_frame(dscp=48))
+        normal = HeaderParser().parse_frame(make_frame(dscp=0))
+        assert cs6.priority == 0
+        assert normal.priority == 1
+
+    def test_size_includes_frame_overhead(self):
+        payload = b"x" * 100
+        packet = HeaderParser().parse_frame(make_frame(payload=payload))
+        assert packet.size_bytes >= 14 + 20 + 8 + 100
+
+    def test_non_transport_protocol_no_ports(self):
+        packet = HeaderParser().parse_frame(make_frame(protocol=1))
+        assert packet.field("src_port") is None
+
+
+class TestErrors:
+    def test_short_frame_rejected(self):
+        parser = HeaderParser()
+        with pytest.raises(ParseError):
+            parser.parse_frame(b"\x00" * 5)
+        assert parser.errors == 1
+
+    def test_non_ipv4_ethertype_rejected(self):
+        frame = build_ethernet_frame(b"payload", ethertype=0x86DD)
+        with pytest.raises(ParseError):
+            HeaderParser().parse_frame(frame)
+
+    def test_short_ip_packet_rejected(self):
+        with pytest.raises(ParseError):
+            HeaderParser().parse_ipv4(b"\x45\x00\x00")
+
+    def test_wrong_ip_version_rejected(self):
+        packet = bytearray(build_ipv4_packet("1.1.1.1", "2.2.2.2"))
+        packet[0] = (6 << 4) | 5
+        with pytest.raises(ParseError):
+            HeaderParser().parse_ipv4(bytes(packet))
+
+    def test_bad_ihl_rejected(self):
+        packet = bytearray(build_ipv4_packet("1.1.1.1", "2.2.2.2"))
+        packet[0] = (4 << 4) | 2  # IHL below minimum
+        with pytest.raises(ParseError):
+            HeaderParser().parse_ipv4(bytes(packet))
+
+    def test_bad_mac_rejected(self):
+        with pytest.raises(ValueError):
+            build_ethernet_frame(b"", eth_src="not-a-mac")

@@ -1,0 +1,107 @@
+"""TCAM multi-pattern payload scanning."""
+
+import pytest
+
+from repro.netfunc.pattern_match import (
+    Match,
+    PatternMatcher,
+    compile_pattern,
+)
+from repro.tcam.tcam import key_from_int
+
+
+class TestCompilePattern:
+    def test_literal_bits_msb_first(self):
+        pattern = compile_pattern(b"\x80", window_bytes=1)
+        assert str(pattern) == "10000000"
+
+    def test_wildcard_byte_all_dont_care(self):
+        pattern = compile_pattern(b"?", window_bytes=1)
+        assert str(pattern) == "x" * 8
+
+    def test_tail_padding_dont_care(self):
+        pattern = compile_pattern(b"\xff", window_bytes=2)
+        assert str(pattern) == "1" * 8 + "x" * 8
+
+    def test_pattern_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            compile_pattern(b"abc", window_bytes=2)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            compile_pattern(b"", window_bytes=2)
+
+
+class TestPatternMatcher:
+    def make(self, **kwargs):
+        matcher = PatternMatcher(window_bytes=8, **kwargs)
+        matcher.add_pattern(b"attack")
+        matcher.add_pattern(b"GET /?")     # wildcard after the space
+        matcher.add_pattern(b"\x90\x90\x90\x90")
+        return matcher
+
+    def test_finds_literal_at_any_offset(self):
+        matcher = self.make()
+        matches = matcher.scan(b"benign data attack vector")
+        assert any(m.pattern == b"attack" and m.offset == 12
+                   for m in matches)
+
+    def test_wildcard_matches_any_byte(self):
+        matcher = self.make()
+        assert matcher.contains(b"GET /a HTTP/1.1")
+        assert matcher.contains(b"GET /Z HTTP/1.1")
+
+    def test_nop_sled_detected(self):
+        matcher = self.make()
+        matches = matcher.scan(b"xx\x90\x90\x90\x90\x90yy")
+        sled_hits = [m for m in matches
+                     if m.pattern == b"\x90\x90\x90\x90"]
+        assert len(sled_hits) == 2  # offsets 2 and 3
+
+    def test_clean_payload_no_matches(self):
+        matcher = self.make()
+        assert matcher.scan(b"perfectly ordinary text") == []
+        assert not matcher.contains(b"nothing here")
+
+    def test_match_near_end_of_payload(self):
+        matcher = self.make()
+        assert matcher.contains(b"ends with attack")
+
+    def test_pattern_spanning_past_end_not_reported(self):
+        matcher = self.make()
+        # "attac" is a truncated signature: must not match.
+        assert not matcher.contains(b"ends with attac")
+
+    def test_multiple_signatures_in_one_scan(self):
+        matcher = self.make()
+        payload = b"GET /x attack \x90\x90\x90\x90"
+        found = {m.pattern for m in matcher.scan(payload)}
+        assert found == {b"attack", b"GET /?",
+                         b"\x90\x90\x90\x90"}
+
+    def test_string_patterns_accepted(self):
+        matcher = PatternMatcher(window_bytes=4)
+        matcher.add_pattern("evil")
+        assert matcher.contains(b"so evil")
+
+    def test_scanning_charges_energy(self):
+        matcher = self.make()
+        matcher.scan(b"some payload")
+        assert matcher.search_energy_j > 0.0
+
+    def test_transistor_backing_agrees_with_memristor(self):
+        memristor = self.make(use_memristor_tcam=True)
+        transistor = self.make(use_memristor_tcam=False)
+        payload = b"GET /y then attack and \x90\x90\x90\x90"
+        assert ([(m.offset, m.pattern_index)
+                 for m in memristor.scan(payload)]
+                == [(m.offset, m.pattern_index)
+                    for m in transistor.scan(payload)])
+
+    def test_empty_matcher_scans_nothing(self):
+        matcher = PatternMatcher(window_bytes=4)
+        assert matcher.scan(b"data") == []
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            PatternMatcher(window_bytes=0)

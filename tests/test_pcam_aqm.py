@@ -1,0 +1,219 @@
+"""The pCAM-based analog AQM (the paper's proof of concept)."""
+
+import numpy as np
+import pytest
+
+from repro.energy.ledger import EnergyLedger
+from repro.netfunc.aqm.base import TailDropAQM
+from repro.netfunc.aqm.pcam_aqm import (
+    PCAMAQM,
+    StageSpec,
+    default_stage_programs,
+)
+from repro.core.pcam_cell import prog_pcam
+from repro.packet import Packet
+from repro.simnet.topology import DumbbellExperiment, overload_profile
+
+
+class FakeQueue:
+    def __init__(self, packets=0, bytes_=0, rate=40e6, sojourn=0.0):
+        self.backlog_packets = packets
+        self.backlog_bytes = bytes_
+        self.capacity_packets = 2000
+        self.service_rate_bps = rate
+        self.last_sojourn_s = sojourn
+
+
+def make_aqm(**kwargs):
+    kwargs.setdefault("rng", np.random.default_rng(7))
+    return PCAMAQM(**kwargs)
+
+
+class TestStagePrograms:
+    def test_default_has_eight_stages(self):
+        programs = default_stage_programs()
+        assert len(programs) == 8
+        assert "sojourn_time" in programs
+        assert "d3_buffer" in programs
+
+    def test_order_limits_stage_count(self):
+        assert len(default_stage_programs(order=0)) == 2
+        assert len(default_stage_programs(order=1)) == 4
+
+    def test_without_buffer_family(self):
+        programs = default_stage_programs(use_buffer=False)
+        assert len(programs) == 4
+        assert all("buffer" not in name for name in programs)
+
+    def test_band_encoded_in_delay_stage(self):
+        programs = default_stage_programs(target_delay_s=0.02,
+                                          max_deviation_s=0.01)
+        delay = programs["sojourn_time"].params
+        assert delay.m1 == pytest.approx(0.01)
+        assert delay.m2 == pytest.approx(0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_stage_programs(target_delay_s=0.0)
+        with pytest.raises(ValueError):
+            default_stage_programs(max_deviation_s=0.05,
+                                   target_delay_s=0.02)
+        with pytest.raises(ValueError):
+            default_stage_programs(order=5)
+
+    def test_stage_spec_validation(self):
+        with pytest.raises(ValueError):
+            StageSpec(params=prog_pcam(0, 1, 2, 3),
+                      feature_lo=0.5, feature_hi=2.0)
+        with pytest.raises(ValueError):
+            StageSpec(params=prog_pcam(0, 1, 2, 3),
+                      feature_lo=3.0, feature_hi=1.0)
+
+
+class TestPDP:
+    def test_empty_queue_zero_pdp(self):
+        aqm = make_aqm()
+        assert aqm.pdp(FakeQueue(), 0.0) == pytest.approx(0.0)
+
+    def test_pdp_saturates_under_heavy_backlog(self):
+        aqm = make_aqm(adaptation=False)
+        queue = FakeQueue(packets=2000, bytes_=2_000_000, sojourn=0.5)
+        pdp = None
+        for step in range(50):
+            pdp = aqm.pdp(queue, step * 0.01)
+        assert pdp > 0.9
+
+    def test_pdp_monotone_in_backlog_levels(self):
+        aqm = make_aqm(adaptation=False)
+        levels = []
+        for backlog_bytes in (0, 60_000, 120_000, 500_000):
+            aqm.reset()
+            queue = FakeQueue(bytes_=backlog_bytes)
+            for step in range(30):
+                value = aqm.pdp(queue, step * 0.01)
+            levels.append(value)
+        assert levels == sorted(levels)
+        assert levels[0] == pytest.approx(0.0)
+        assert levels[-1] > 0.9
+
+    def test_improving_queue_suppresses_drops(self):
+        # Veto stages: a rapidly draining queue lowers the PDP below
+        # what the same instantaneous backlog would otherwise give.
+        aqm_steady = make_aqm(adaptation=False)
+        aqm_improving = make_aqm(adaptation=False)
+        for step in range(40):
+            t = step * 0.005
+            aqm_steady.pdp(FakeQueue(bytes_=150_000), t)
+            declining = max(0, 400_000 - step * 40_000)
+            aqm_improving.pdp(FakeQueue(bytes_=declining), t)
+        steady = aqm_steady.pdp(FakeQueue(bytes_=150_000), 0.2)
+        improving = aqm_improving.pdp(FakeQueue(bytes_=150_000), 0.2)
+        assert improving < steady
+
+    def test_energy_charged_per_evaluation(self):
+        ledger = EnergyLedger()
+        aqm = make_aqm(ledger=ledger, energy_per_cell_j=1e-17)
+        aqm.pdp(FakeQueue(), 0.0)
+        # 8 stages x 2 cells x 1e-17 J.
+        assert ledger.account("pcam_aqm.search") == pytest.approx(1.6e-16)
+        assert aqm.evaluations == 1
+
+
+class TestDropBehaviour:
+    def test_tiny_backlog_never_dropped(self):
+        aqm = make_aqm()
+        assert not aqm.on_enqueue(Packet(), FakeQueue(packets=1), 0.0)
+
+    def test_heavy_backlog_drops_most_arrivals(self):
+        # Empty priority map: no class discount obscures the raw PDP.
+        aqm = make_aqm(adaptation=False, priority_weights={})
+        queue = FakeQueue(packets=1000, bytes_=1_000_000, sojourn=0.4)
+        outcomes = [aqm.on_enqueue(Packet(), queue, step * 0.01)
+                    for step in range(100)]
+        assert np.mean(outcomes[20:]) > 0.8
+
+    def test_high_priority_dropped_less(self):
+        weights = {0: 0.25, 1: 1.0}
+        results = {}
+        for priority in (0, 1):
+            aqm = make_aqm(adaptation=False, priority_weights=weights,
+                           rng=np.random.default_rng(3))
+            queue = FakeQueue(packets=500, bytes_=400_000, sojourn=0.03)
+            outcomes = [aqm.on_enqueue(Packet(priority=priority),
+                                       queue, step * 0.01)
+                        for step in range(300)]
+            results[priority] = np.mean(outcomes[50:])
+        assert results[0] < results[1]
+
+
+class TestAdaptation:
+    def test_update_pcam_fires_when_delay_out_of_band(self):
+        aqm = make_aqm(adaptation=True, adaptation_interval_s=0.01)
+        queue = FakeQueue(packets=500, bytes_=500_000)
+        for step in range(100):
+            now = step * 0.01
+            aqm.on_dequeue(Packet(), queue, now, 0.08)  # way over band
+            aqm.on_enqueue(Packet(), queue, now)
+        assert aqm.adaptations > 0
+        assert aqm.threshold_shift < 1.0
+
+    def test_no_adaptation_inside_band(self):
+        aqm = make_aqm(adaptation=True, adaptation_interval_s=0.01)
+        queue = FakeQueue(packets=50, bytes_=50_000)
+        for step in range(50):
+            now = step * 0.01
+            aqm.on_dequeue(Packet(), queue, now, 0.02)  # on target
+            aqm.on_enqueue(Packet(), queue, now)
+        assert aqm.adaptations == 0
+        assert aqm.threshold_shift == 1.0
+
+    def test_shift_relaxes_back_when_delay_low(self):
+        aqm = make_aqm(adaptation=True, adaptation_interval_s=0.01)
+        queue = FakeQueue(packets=500, bytes_=500_000)
+        for step in range(60):
+            now = step * 0.01
+            aqm.on_dequeue(Packet(), queue, now, 0.09)
+            aqm.on_enqueue(Packet(), queue, now)
+        tightened = aqm.threshold_shift
+        quiet = FakeQueue(packets=5, bytes_=5_000)
+        for step in range(600):
+            now = 1.0 + step * 0.01
+            aqm.on_dequeue(Packet(), quiet, now, 0.002)
+            aqm.on_enqueue(Packet(), quiet, now)
+        assert aqm.threshold_shift > tightened
+
+    def test_reset_restores_base_program(self):
+        aqm = make_aqm(adaptation=True, adaptation_interval_s=0.01)
+        queue = FakeQueue(packets=500, bytes_=500_000)
+        for step in range(60):
+            now = step * 0.01
+            aqm.on_dequeue(Packet(), queue, now, 0.09)
+            aqm.on_enqueue(Packet(), queue, now)
+        aqm.reset()
+        assert aqm.threshold_shift == 1.0
+        assert aqm.adaptations == 0
+
+
+class TestFigure8Behaviour:
+    def test_holds_delay_inside_programmed_band(self):
+        experiment = DumbbellExperiment(
+            n_flows=6, load=0.9, service_rate_bps=40e6,
+            capacity_packets=1500, duration_s=6.0,
+            rate_fn=overload_profile(1.5, 5.0, 1.6), seed=3)
+        aqm = make_aqm()
+        managed = experiment.run(aqm).recorder.summary()
+        unmanaged = experiment.run(TailDropAQM()).recorder.summary()
+        # Shape of Figure 8: unmanaged delay explodes, managed stays
+        # within the programmed 20 +- 10 ms objective.
+        assert unmanaged.mean_delay_s > 0.1
+        assert managed.mean_delay_s < 0.03
+        assert managed.p95_delay_s < 0.035
+
+    def test_composition_choice_respected(self):
+        aqm = make_aqm(composition="min")
+        assert aqm.pipeline.composition == "min"
+
+    def test_order_zero_uses_only_level_features(self):
+        aqm = make_aqm(order=0)
+        assert aqm.pipeline.stage_names == ("sojourn_time",
+                                            "buffer_size")

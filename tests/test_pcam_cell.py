@@ -1,0 +1,198 @@
+"""The pCAM cell: the paper's five-region transfer function."""
+
+import numpy as np
+import pytest
+
+from repro.core.pcam_cell import (
+    MatchRegion,
+    PCAMCell,
+    PCAMParams,
+    prog_pcam,
+)
+
+# The paper's RQ1 example: stored policy 2.5 V, deterministic match
+# around it, mismatch below 1.5 V, probabilistic in between.
+PAPER_PARAMS = prog_pcam(m1=1.5, m2=2.4, m3=2.6, m4=3.5)
+
+
+class TestParams:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            PCAMParams(m1=2.0, m2=1.0, m3=3.0, m4=4.0, sa=1.0, sb=-1.0)
+        with pytest.raises(ValueError):
+            PCAMParams(m1=1.0, m2=3.0, m3=2.0, m4=4.0, sa=1.0, sb=-1.0)
+
+    def test_equal_m2_m3_allowed(self):
+        # A triangle response (no plateau) is legal.
+        params = PCAMParams.canonical(m1=0.0, m2=1.0, m3=1.0, m4=2.0)
+        assert params.m2 == params.m3
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            PCAMParams.canonical(0, 1, 2, 3, pmax=1.2)
+        with pytest.raises(ValueError):
+            PCAMParams.canonical(0, 1, 2, 3, pmin=-0.1)
+        with pytest.raises(ValueError):
+            PCAMParams.canonical(0, 1, 2, 3, pmax=0.2, pmin=0.5)
+
+    def test_canonical_slopes(self):
+        params = PCAMParams.canonical(0.0, 2.0, 3.0, 4.0)
+        assert params.sa == pytest.approx(0.5)
+        assert params.sb == pytest.approx(-1.0)
+        assert params.is_continuous
+
+    def test_prog_pcam_defaults_to_canonical(self):
+        params = prog_pcam(0.0, 1.0, 2.0, 3.0)
+        assert params.is_continuous
+
+    def test_prog_pcam_custom_slopes_kept(self):
+        params = prog_pcam(0.0, 1.0, 2.0, 3.0, sa=5.0, sb=-5.0)
+        assert params.sa == 5.0
+        assert not params.is_continuous
+
+    def test_shifted_translates_thresholds(self):
+        shifted = PAPER_PARAMS.shifted(0.5)
+        assert shifted.m1 == pytest.approx(2.0)
+        assert shifted.m4 == pytest.approx(4.0)
+        assert shifted.sa == PAPER_PARAMS.sa
+
+    def test_widened_scales_about_centre(self):
+        widened = PAPER_PARAMS.widened(2.0)
+        centre = 0.5 * (PAPER_PARAMS.m2 + PAPER_PARAMS.m3)
+        assert widened.m2 == pytest.approx(
+            centre + (PAPER_PARAMS.m2 - centre) * 2.0)
+        assert widened.m4 > PAPER_PARAMS.m4
+
+    def test_widened_validates_factor(self):
+        with pytest.raises(ValueError):
+            PAPER_PARAMS.widened(0.0)
+
+    def test_window_and_support(self):
+        assert PAPER_PARAMS.match_window == (2.4, 2.6)
+        assert PAPER_PARAMS.support == (1.5, 3.5)
+
+
+class TestFiveRegions:
+    def setup_method(self):
+        self.cell = PCAMCell(PAPER_PARAMS)
+
+    def test_deterministic_mismatch_below_m1(self):
+        assert self.cell.response(0.5) == 0.0
+        assert self.cell.response(1.5) == 0.0
+
+    def test_deterministic_match_inside_window(self):
+        assert self.cell.response(2.4) == 1.0
+        assert self.cell.response(2.5) == 1.0
+        assert self.cell.response(2.6) == 1.0
+
+    def test_deterministic_mismatch_above_m4(self):
+        assert self.cell.response(3.5) == 0.0
+        assert self.cell.response(9.0) == 0.0
+
+    def test_rising_ramp_midpoint(self):
+        midpoint = 0.5 * (1.5 + 2.4)
+        assert self.cell.response(midpoint) == pytest.approx(0.5)
+
+    def test_falling_ramp_midpoint(self):
+        midpoint = 0.5 * (2.6 + 3.5)
+        assert self.cell.response(midpoint) == pytest.approx(0.5)
+
+    def test_response_continuous_at_boundaries(self):
+        for boundary in (1.5, 2.4, 2.6, 3.5):
+            below = self.cell.response(boundary - 1e-9)
+            above = self.cell.response(boundary + 1e-9)
+            assert below == pytest.approx(above, abs=1e-6)
+
+    def test_region_classification(self):
+        assert self.cell.region(1.0) is MatchRegion.MISMATCH_LOW
+        assert self.cell.region(2.0) is MatchRegion.PROBABLE_RISING
+        assert self.cell.region(2.5) is MatchRegion.MATCH
+        assert self.cell.region(3.0) is MatchRegion.PROBABLE_FALLING
+        assert self.cell.region(4.0) is MatchRegion.MISMATCH_HIGH
+
+    def test_deterministic_regions_flagged(self):
+        assert MatchRegion.MATCH.deterministic
+        assert MatchRegion.MISMATCH_LOW.deterministic
+        assert not MatchRegion.PROBABLE_RISING.deterministic
+
+    def test_deterministic_match_view(self):
+        assert self.cell.deterministic_match(2.5) is True
+        assert self.cell.deterministic_match(1.0) is False
+        assert self.cell.deterministic_match(2.0) is None
+
+    def test_vectorised_matches_scalar(self):
+        inputs = np.linspace(1.0, 4.0, 31)
+        array = self.cell.response_array(inputs)
+        scalar = [self.cell.response(float(v)) for v in inputs]
+        np.testing.assert_allclose(array, scalar)
+
+    def test_callable_protocol(self):
+        assert self.cell(2.5) == self.cell.response(2.5)
+
+    def test_evaluation_counter(self):
+        cell = PCAMCell(PAPER_PARAMS)
+        cell.response(1.0)
+        cell.response_array(np.zeros(5))
+        assert cell.evaluations == 6
+
+
+class TestCustomParameters:
+    def test_nonzero_pmin_floor(self):
+        cell = PCAMCell(prog_pcam(0, 1, 2, 3, pmin=0.2, pmax=0.9))
+        assert cell.response(-1.0) == pytest.approx(0.2)
+        assert cell.response(1.5) == pytest.approx(0.9)
+
+    def test_custom_slope_clipped_to_rails(self):
+        # A steeper-than-canonical slope saturates at pmax early.
+        params = prog_pcam(0.0, 2.0, 3.0, 4.0, sa=3.0)
+        cell = PCAMCell(params)
+        assert cell.response(1.8) == 1.0
+
+    def test_unclipped_raw_pseudocode_response(self):
+        params = prog_pcam(0.0, 2.0, 3.0, 4.0, sa=3.0)
+        raw = PCAMCell(params, clip_to_rails=False)
+        assert raw.response(1.8) > 1.0
+
+    def test_reprogramming_changes_response(self):
+        cell = PCAMCell(prog_pcam(0, 1, 2, 3))
+        before = cell.response(2.5)
+        cell.program(prog_pcam(2.4, 2.45, 2.55, 2.6))
+        after = cell.response(2.5)
+        assert before < 1.0
+        assert after == 1.0
+
+
+class TestNonlinearExtension:
+    """Future-work mode: non-linear match functions (Sec. 8)."""
+
+    @pytest.mark.parametrize("shape", ["sigmoid", "gaussian"])
+    def test_deterministic_regions_preserved(self, shape):
+        cell = PCAMCell(PAPER_PARAMS, nonlinearity=shape)
+        assert cell.response(2.5) == pytest.approx(1.0, abs=1e-6)
+        assert cell.response(1.2) == pytest.approx(0.0, abs=1e-6)
+
+    @pytest.mark.parametrize("shape", ["sigmoid", "gaussian"])
+    def test_ramps_monotone(self, shape):
+        cell = PCAMCell(PAPER_PARAMS, nonlinearity=shape)
+        rising = cell.response_array(np.linspace(1.5, 2.4, 21))
+        assert np.all(np.diff(rising) >= -1e-9)
+
+    def test_sigmoid_differs_from_linear(self):
+        linear = PCAMCell(PAPER_PARAMS)
+        sigmoid = PCAMCell(PAPER_PARAMS, nonlinearity="sigmoid")
+        x = 1.7
+        assert sigmoid.response(x) != pytest.approx(linear.response(x),
+                                                    abs=1e-3)
+
+    def test_requires_canonical_slopes(self):
+        params = prog_pcam(0, 1, 2, 3, sa=9.0)
+        with pytest.raises(ValueError):
+            PCAMCell(params, nonlinearity="sigmoid")
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            PCAMCell(PAPER_PARAMS, nonlinearity="cubic")
+
+
+def test_repr_shows_thresholds():
+    assert "2.4" in repr(PCAMCell(PAPER_PARAMS))

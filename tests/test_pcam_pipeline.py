@@ -1,0 +1,132 @@
+"""Series composition of pCAM stages (Figure 4b)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pcam_cell import PCAMCell, prog_pcam
+from repro.core.pcam_pipeline import COMPOSITIONS, PCAMPipeline
+
+P1 = prog_pcam(0.0, 1.0, 2.0, 3.0)
+P2 = prog_pcam(-1.0, 0.0, 1.0, 2.0)
+
+
+def make_pipeline(composition="product"):
+    return PCAMPipeline.from_params({"a": P1, "b": P2},
+                                    composition=composition)
+
+
+class TestEvaluation:
+    def test_product_of_stage_outputs(self):
+        pipeline = make_pipeline()
+        a = PCAMCell(P1).response(0.5)
+        b = PCAMCell(P2).response(0.5)
+        assert pipeline.evaluate({"a": 0.5, "b": 0.5}) == \
+            pytest.approx(a * b)
+
+    def test_sequence_input_in_stage_order(self):
+        pipeline = make_pipeline()
+        assert pipeline.evaluate([0.5, 0.5]) == \
+            pytest.approx(pipeline.evaluate({"a": 0.5, "b": 0.5}))
+
+    def test_missing_feature_rejected(self):
+        with pytest.raises(KeyError):
+            make_pipeline().evaluate({"a": 1.0})
+
+    def test_wrong_length_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            make_pipeline().evaluate([1.0])
+
+    def test_any_zero_stage_kills_product(self):
+        pipeline = make_pipeline()
+        # Stage b mismatches hard at 5.0 -> product 0 regardless of a.
+        assert pipeline.evaluate({"a": 1.5, "b": 5.0}) == 0.0
+
+    def test_trace_reports_per_stage(self):
+        pipeline = make_pipeline()
+        total, outputs = pipeline.evaluate_trace({"a": 0.5, "b": 0.5})
+        assert len(outputs) == 2
+        assert outputs[0].name == "a"
+        product = outputs[0].probability * outputs[1].probability
+        assert total == pytest.approx(product)
+
+
+class TestCompositions:
+    def test_all_compositions_available(self):
+        assert set(COMPOSITIONS) == {"product", "min", "geometric",
+                                     "mean"}
+
+    def test_min_composition(self):
+        pipeline = make_pipeline("min")
+        a = PCAMCell(P1).response(0.5)
+        b = PCAMCell(P2).response(0.5)
+        assert pipeline.evaluate([0.5, 0.5]) == pytest.approx(min(a, b))
+
+    def test_mean_composition(self):
+        pipeline = make_pipeline("mean")
+        a = PCAMCell(P1).response(0.5)
+        b = PCAMCell(P2).response(0.5)
+        assert pipeline.evaluate([0.5, 0.5]) == \
+            pytest.approx(0.5 * (a + b))
+
+    def test_geometric_composition(self):
+        pipeline = make_pipeline("geometric")
+        a = PCAMCell(P1).response(0.5)
+        b = PCAMCell(P2).response(0.5)
+        assert pipeline.evaluate([0.5, 0.5]) == \
+            pytest.approx(np.sqrt(a * b))
+
+    def test_product_is_most_conservative(self):
+        # product <= geometric <= mean, min <= others (AM-GM family).
+        features = {"a": 0.6, "b": 0.4}
+        product = make_pipeline("product").evaluate(features)
+        geometric = make_pipeline("geometric").evaluate(features)
+        mean = make_pipeline("mean").evaluate(features)
+        assert product <= geometric + 1e-12 <= mean + 1e-12
+
+    def test_unknown_composition_rejected(self):
+        with pytest.raises(ValueError):
+            make_pipeline("median")
+
+
+class TestManagement:
+    def test_stage_names_preserve_order(self):
+        assert make_pipeline().stage_names == ("a", "b")
+
+    def test_stage_access_and_reprogram(self):
+        pipeline = make_pipeline()
+        before = pipeline.evaluate({"a": 0.5, "b": 5.0})
+        pipeline.program_stage("b", prog_pcam(4.0, 4.9, 5.1, 6.0))
+        after = pipeline.evaluate({"a": 0.5, "b": 5.0})
+        assert before == 0.0
+        assert after > 0.0
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(KeyError):
+            make_pipeline().stage("z")
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            PCAMPipeline({})
+
+    def test_len_and_repr(self):
+        pipeline = make_pipeline()
+        assert len(pipeline) == 2
+        assert "product" in repr(pipeline)
+
+    def test_evaluate_with_energy_ideal_stages_free(self):
+        probability, energy = make_pipeline().evaluate_with_energy(
+            {"a": 0.5, "b": 0.5})
+        assert energy == 0.0
+        assert probability == pytest.approx(
+            make_pipeline().evaluate({"a": 0.5, "b": 0.5}))
+
+    def test_device_backed_pipeline_charges_energy(self, rng):
+        from repro.device.variability import VariabilityModel
+        pipeline = PCAMPipeline.from_params(
+            {"a": prog_pcam(0.5, 1.0, 2.0, 2.5)},
+            device_backed=True,
+            variability=VariabilityModel.ideal(), rng=rng)
+        probability, energy = pipeline.evaluate_with_energy([1.5])
+        assert energy > 0.0
+        assert probability == pytest.approx(1.0, abs=0.05)
+        assert pipeline.programming_energy_j() > 0.0

@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for the pCAM core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pcam_cell import PCAMCell, PCAMParams, prog_pcam
+from repro.core.pcam_pipeline import PCAMPipeline
+
+
+@st.composite
+def canonical_params(draw):
+    """Random valid canonical parameter sets."""
+    m1 = draw(st.floats(-10.0, 10.0, allow_nan=False))
+    gap1 = draw(st.floats(0.05, 5.0))
+    gap2 = draw(st.floats(0.0, 5.0))
+    gap3 = draw(st.floats(0.05, 5.0))
+    pmin = draw(st.floats(0.0, 0.4))
+    pmax = draw(st.floats(0.6, 1.0))
+    return PCAMParams.canonical(m1=m1, m2=m1 + gap1, m3=m1 + gap1 + gap2,
+                                m4=m1 + gap1 + gap2 + gap3,
+                                pmax=pmax, pmin=pmin)
+
+
+@given(params=canonical_params(),
+       x=st.floats(-50.0, 50.0, allow_nan=False))
+def test_output_always_within_rails(params, x):
+    cell = PCAMCell(params)
+    output = cell.response(x)
+    assert params.pmin - 1e-9 <= output <= params.pmax + 1e-9
+
+
+@given(params=canonical_params())
+def test_plateau_hits_pmax(params):
+    cell = PCAMCell(params)
+    centre = 0.5 * (params.m2 + params.m3)
+    assert cell.response(centre) == np.float64(params.pmax)
+
+
+@given(params=canonical_params(),
+       offset=st.floats(0.01, 100.0))
+def test_outside_support_is_pmin(params, offset):
+    cell = PCAMCell(params)
+    assert cell.response(params.m1 - offset) == np.float64(params.pmin)
+    assert cell.response(params.m4 + offset) == np.float64(params.pmin)
+
+
+@given(params=canonical_params())
+def test_rising_ramp_monotone_nondecreasing(params):
+    cell = PCAMCell(params)
+    xs = np.linspace(params.m1, params.m2, 33)
+    outputs = cell.response_array(xs)
+    assert np.all(np.diff(outputs) >= -1e-9)
+
+
+@given(params=canonical_params())
+def test_falling_ramp_monotone_nonincreasing(params):
+    cell = PCAMCell(params)
+    xs = np.linspace(params.m3, params.m4, 33)
+    outputs = cell.response_array(xs)
+    assert np.all(np.diff(outputs) <= 1e-9)
+
+
+@given(params=canonical_params(),
+       x=st.floats(-20.0, 20.0, allow_nan=False),
+       delta=st.floats(-5.0, 5.0, allow_nan=False))
+def test_shift_equivariance(params, x, delta):
+    """Translating thresholds translates the response."""
+    cell = PCAMCell(params)
+    shifted = PCAMCell(params.shifted(delta))
+    # Equal up to floating-point rearrangement of the ramp intercepts.
+    assert abs(shifted.response(x + delta) - cell.response(x)) < 1e-7
+
+
+@given(params=canonical_params(),
+       x=st.floats(-20.0, 20.0, allow_nan=False),
+       n_stages=st.integers(1, 5))
+@settings(max_examples=50)
+def test_series_product_is_power_of_single(params, x, n_stages):
+    """Identical stages in series: output = single ** n (Figure 4b)."""
+    single = PCAMCell(params).response(x)
+    pipeline = PCAMPipeline.from_params(
+        {f"s{i}": params for i in range(n_stages)})
+    combined = pipeline.evaluate([x] * n_stages)
+    assert combined == np.float64(single ** n_stages) or \
+        abs(combined - single ** n_stages) < 1e-9
+
+
+@given(params=canonical_params(),
+       x=st.floats(-20.0, 20.0, allow_nan=False))
+def test_pipeline_product_never_exceeds_weakest_stage(params, x):
+    pipeline = PCAMPipeline.from_params({"a": params, "b": params})
+    product = pipeline.evaluate([x, x])
+    single = PCAMCell(params).response(x)
+    assert product <= single + 1e-9
+
+
+@given(params=canonical_params(),
+       x=st.floats(-20.0, 20.0, allow_nan=False))
+def test_deterministic_view_consistent_with_response(params, x):
+    """Digital view True iff analog response equals pmax region."""
+    cell = PCAMCell(params)
+    verdict = cell.deterministic_match(x)
+    response = cell.response(x)
+    if verdict is True:
+        assert response == np.float64(params.pmax)
+    elif verdict is False:
+        assert response == np.float64(params.pmin)
+    else:
+        assert params.pmin <= response <= params.pmax

@@ -1,0 +1,95 @@
+"""Schottky-junction physics building blocks."""
+
+import math
+
+import pytest
+
+from repro.device.physics import (
+    ROOM_TEMPERATURE,
+    SchottkyJunction,
+    barrier_for_state,
+    image_force_lowering,
+    thermal_voltage,
+)
+
+
+def test_thermal_voltage_at_room_temperature():
+    # kT/q at ~293 K is ~25 mV.
+    assert thermal_voltage() == pytest.approx(0.02526, rel=1e-3)
+
+
+def test_thermal_voltage_rejects_nonpositive_temperature():
+    with pytest.raises(ValueError):
+        thermal_voltage(0.0)
+
+
+class TestSchottkyJunction:
+    def make(self, **overrides):
+        defaults = dict(barrier_ev=0.7, ideality=1.5)
+        defaults.update(overrides)
+        return SchottkyJunction(**defaults)
+
+    def test_zero_bias_zero_current(self):
+        assert self.make().current(0.0) == 0.0
+
+    def test_forward_current_grows_with_bias(self):
+        junction = self.make()
+        assert junction.current(0.5) > junction.current(0.2) > 0.0
+
+    def test_rectification_reverse_much_smaller(self):
+        junction = self.make()
+        forward = junction.current(0.5)
+        reverse = abs(junction.current(-0.5))
+        assert reverse < forward / 100.0
+
+    def test_higher_barrier_lower_current(self):
+        low = self.make(barrier_ev=0.5)
+        high = self.make(barrier_ev=0.9)
+        assert high.current(0.4) < low.current(0.4)
+
+    def test_saturation_current_positive_and_barrier_sensitive(self):
+        low = self.make(barrier_ev=0.5)
+        high = self.make(barrier_ev=0.9)
+        assert 0.0 < high.saturation_current < low.saturation_current
+
+    def test_series_resistance_caps_forward_current(self):
+        # At strong forward bias, I approaches V/Rs.
+        junction = self.make(barrier_ev=0.3,
+                             series_resistance_ohm=1000.0)
+        current = junction.current(2.0)
+        assert current < 2.0 / 1000.0 * 1.05
+
+    def test_differential_resistance_decreases_forward(self):
+        junction = self.make()
+        assert (junction.differential_resistance(0.6)
+                < junction.differential_resistance(0.3))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SchottkyJunction(barrier_ev=-0.1)
+        with pytest.raises(ValueError):
+            SchottkyJunction(barrier_ev=0.7, ideality=0.5)
+        with pytest.raises(ValueError):
+            SchottkyJunction(barrier_ev=0.7, area_m2=0.0)
+
+
+def test_image_force_lowering_monotone_in_field():
+    assert image_force_lowering(0.0) == 0.0
+    assert (image_force_lowering(1e8)
+            > image_force_lowering(1e6) > 0.0)
+
+
+def test_image_force_lowering_rejects_negative_field():
+    with pytest.raises(ValueError):
+        image_force_lowering(-1.0)
+
+
+def test_barrier_for_state_interpolates_linearly():
+    assert barrier_for_state(0.0, 0.4, 0.9) == pytest.approx(0.9)
+    assert barrier_for_state(1.0, 0.4, 0.9) == pytest.approx(0.4)
+    assert barrier_for_state(0.5, 0.4, 0.9) == pytest.approx(0.65)
+
+
+def test_barrier_for_state_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        barrier_for_state(1.5, 0.4, 0.9)

@@ -1,0 +1,96 @@
+"""The programming abstractions (paper Sec. 5 pseudocode)."""
+
+import pytest
+
+from repro.core.match_action import StoredActionMemory
+from repro.core.pcam_cell import prog_pcam
+from repro.core.programming import (
+    PipelineProgram,
+    TableProgram,
+    update_pcam,
+)
+
+
+class TestPipelineProgram:
+    def test_builds_pipeline_in_declaration_order(self):
+        program = (PipelineProgram()
+                   .stage("sojourn", prog_pcam(0, 1, 2, 3))
+                   .stage("d_sojourn", prog_pcam(-1, 0, 1, 2)))
+        pipeline = program.build()
+        assert pipeline.stage_names == ("sojourn", "d_sojourn")
+
+    def test_duplicate_stage_rejected(self):
+        program = PipelineProgram().stage("a", prog_pcam(0, 1, 2, 3))
+        with pytest.raises(ValueError):
+            program.stage("a", prog_pcam(0, 1, 2, 3))
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineProgram().build()
+
+    def test_unnamed_stage_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineProgram().stage("", prog_pcam(0, 1, 2, 3))
+
+    def test_custom_composition(self):
+        program = (PipelineProgram(composition="min")
+                   .stage("a", prog_pcam(0, 1, 2, 3)))
+        assert program.build().composition == "min"
+
+
+class TestUpdatePcam:
+    def test_updates_pipeline_stage(self):
+        pipeline = (PipelineProgram()
+                    .stage("a", prog_pcam(0, 1, 2, 3))).build()
+        update_pcam(pipeline, "a", prog_pcam(10, 11, 12, 13))
+        assert pipeline.stage("a").params.m1 == 10
+
+    def test_updates_table_stage(self):
+        table = (TableProgram("analogAQM")
+                 .output(PipelineProgram()
+                         .stage("a", prog_pcam(0, 1, 2, 3)))).build()
+        update_pcam(table, "a", prog_pcam(5, 6, 7, 8))
+        assert table.pipeline.stage("a").params.m3 == 7
+
+    def test_unknown_stage_rejected(self):
+        pipeline = (PipelineProgram()
+                    .stage("a", prog_pcam(0, 1, 2, 3))).build()
+        with pytest.raises(KeyError):
+            update_pcam(pipeline, "missing", prog_pcam(0, 1, 2, 3))
+
+
+class TestTableProgram:
+    def test_full_table_construction(self):
+        actions = StoredActionMemory()
+        actions.store(0.5, 1.01, "escalate")
+        table = (TableProgram("analogAQM")
+                 .output(PipelineProgram()
+                         .stage("sojourn", prog_pcam(0, 1, 2, 3))
+                         .stage("buffer", prog_pcam(0, 1, 2, 3)))
+                 .action(lambda t, o, f: "acted")
+                 .stored_actions(actions)
+                 ).build()
+        assert table.name == "analogAQM"
+        assert table.reads == ("sojourn", "buffer")
+        result = table.process({"sojourn": 1.5, "buffer": 1.5})
+        assert result.action_taken == "acted"
+        assert result.fetched_action == "escalate"
+
+    def test_output_required(self):
+        with pytest.raises(ValueError):
+            TableProgram("t").build()
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            TableProgram("")
+
+    def test_device_backed_build(self, rng):
+        from repro.device.variability import VariabilityModel
+        table = (TableProgram("t")
+                 .output(PipelineProgram()
+                         .stage("a", prog_pcam(0.5, 1.0, 2.0, 2.5)))
+                 ).build(device_backed=True,
+                         variability=VariabilityModel.ideal(), rng=rng)
+        result = table.process({"a": 1.5})
+        assert result.output == pytest.approx(1.0, abs=0.05)
+        assert result.energy_j > 0.0

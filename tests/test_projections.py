@@ -1,0 +1,49 @@
+"""Switch-scale power projections."""
+
+import pytest
+
+from repro.energy.projections import (
+    SwitchProfile,
+    TOFINO2_CLASS,
+    power_comparison,
+    projected_power_w,
+)
+
+
+def test_bits_per_second():
+    profile = SwitchProfile("x", packets_per_second=1e9,
+                            cam_bits=100, tables_per_packet=2)
+    assert profile.bits_per_second == pytest.approx(2e11)
+
+
+def test_projected_power_linear_in_energy():
+    assert projected_power_w(2e-15) == pytest.approx(
+        2.0 * projected_power_w(1e-15))
+
+
+def test_tofino_class_digital_power_order_of_magnitude():
+    # 0.58 fJ/bit over 18 Mb x 4 tables at 3.2 G searches/s lands in
+    # the tens-of-watts regime of real lookup stages.
+    power = projected_power_w(0.58e-15, TOFINO2_CLASS)
+    assert 10.0 < power < 1000.0
+
+
+def test_comparison_factor_matches_energy_ratio():
+    result = power_comparison(analog_j_per_bit=1e-17,
+                              digital_j_per_bit=0.58e-15)
+    assert result["factor"] == pytest.approx(58.0)
+    assert result["saving_w"] == pytest.approx(
+        result["digital_w"] - result["analog_w"])
+
+
+def test_zero_analog_power_infinite_factor():
+    assert power_comparison(0.0, 1e-15)["factor"] == float("inf")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SwitchProfile("x", packets_per_second=0.0, cam_bits=10)
+    with pytest.raises(ValueError):
+        SwitchProfile("x", packets_per_second=1.0, cam_bits=0)
+    with pytest.raises(ValueError):
+        projected_power_w(-1.0)

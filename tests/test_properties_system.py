@@ -1,0 +1,117 @@
+"""Property-based tests across the substrates (hypothesis)."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.calibration import FeatureScaler
+from repro.device.memristor import NbSTOMemristor
+from repro.device.variability import VariabilityModel
+from repro.energy.ledger import EnergyLedger
+from repro.netfunc.aqm.derivatives import ExponentialSmoother
+from repro.simnet.metrics import time_binned_mean
+from repro.tcam.tcam import TCAM, TernaryPattern, key_from_int
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e6, max_value=1e6)
+
+
+@given(charges=st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]),
+              st.floats(0.0, 1e-9)), max_size=30))
+def test_ledger_total_equals_sum_of_accounts(charges):
+    ledger = EnergyLedger()
+    for account, energy in charges:
+        ledger.charge(account, energy)
+    assert abs(ledger.total - sum(e for _, e in charges)) < 1e-18
+    assert abs(ledger.total
+               - sum(v for _, v in ledger.breakdown().items())) < 1e-18
+
+
+@given(state=st.floats(0.0, 1.0),
+       voltage=st.floats(0.05, 4.0))
+def test_memristor_read_energy_nonnegative_and_monotone_window(
+        state, voltage):
+    device = NbSTOMemristor(state=state,
+                            variability=VariabilityModel.ideal())
+    read = device.read(voltage, 1e-9, noisy=False)
+    assert read.energy_j >= 0.0
+    # More conductive state never reads cheaper at same voltage.
+    higher = NbSTOMemristor(state=min(1.0, state + 0.1),
+                            variability=VariabilityModel.ideal())
+    assert higher.read(voltage, 1e-9, noisy=False).energy_j >= \
+        read.energy_j * (1 - 1e-9)
+
+
+@given(state=st.floats(0.0, 1.0))
+def test_memristor_resistance_within_window(state):
+    device = NbSTOMemristor(state=state,
+                            variability=VariabilityModel.ideal())
+    params = device.params
+    resistance = device.resistance()
+    assert params.r_on * (1 - 1e-9) <= resistance \
+        <= params.r_off * (1 + 1e-9)
+
+
+@given(bits=st.lists(st.sampled_from("01x"), min_size=1, max_size=24))
+def test_pattern_parse_str_round_trip(bits):
+    text = "".join(bits)
+    assert str(TernaryPattern.parse(text)) == text
+
+
+@given(width=st.integers(1, 16), value=st.integers(0),
+       key=st.integers(0))
+@settings(max_examples=80)
+def test_fully_specified_pattern_matches_only_itself(width, value, key):
+    value %= 1 << width
+    key %= 1 << width
+    pattern = TernaryPattern.from_value(value, width)
+    assert pattern.matches(key_from_int(key, width)) == (value == key)
+
+
+@given(width=st.integers(1, 12), value=st.integers(0),
+       keys=st.lists(st.integers(0), min_size=1, max_size=8))
+@settings(max_examples=60)
+def test_all_wildcard_entry_matches_everything(width, value, keys):
+    tcam = TCAM(width)
+    tcam.add("x" * width)
+    for key in keys:
+        assert tcam.search(key % (1 << width)).hit
+
+
+@given(lo=finite, span=st.floats(1e-3, 1e3), feature=finite)
+def test_feature_scaler_output_within_rails(lo, span, feature):
+    scaler = FeatureScaler(lo, lo + span, -1.8, 3.8)
+    voltage = scaler.to_voltage(feature)
+    assert -1.8 - 1e-9 <= voltage <= 3.8 + 1e-9
+
+
+@given(lo=finite, span=st.floats(1e-3, 1e3),
+       fraction=st.floats(0.0, 1.0))
+def test_feature_scaler_round_trip_inside_range(lo, span, fraction):
+    scaler = FeatureScaler(lo, lo + span, -1.8, 3.8)
+    feature = lo + fraction * span
+    recovered = scaler.from_voltage(scaler.to_voltage(feature))
+    assert abs(recovered - feature) < 1e-6 * max(1.0, abs(feature))
+
+
+@given(samples=st.lists(
+    st.tuples(st.floats(0.0, 100.0), st.floats(-1e3, 1e3)),
+    min_size=1, max_size=40))
+def test_smoother_output_bounded_by_input_range(samples):
+    ordered = sorted(samples, key=lambda pair: pair[0])
+    smoother = ExponentialSmoother(tau_s=0.5)
+    values = [value for _, value in ordered]
+    for time, value in ordered:
+        output = smoother.update(time, value)
+        assert min(values) - 1e-9 <= output <= max(values) + 1e-9
+
+
+@given(n=st.integers(1, 60), bin_width=st.floats(0.01, 10.0))
+@settings(max_examples=50)
+def test_time_binned_mean_preserves_global_mean_of_uniform_values(
+        n, bin_width):
+    times = np.linspace(0.0, 10.0, n)
+    values = np.full(n, 3.5)
+    _, means = time_binned_mean(times, values, bin_width)
+    filled = means[~np.isnan(means)]
+    assert np.allclose(filled, 3.5)

@@ -1,0 +1,112 @@
+"""The event-driven bottleneck queue."""
+
+import pytest
+
+from repro.netfunc.aqm.base import AQMAlgorithm
+from repro.packet import Packet
+from repro.simnet.engine import Simulator
+from repro.simnet.queue_sim import BottleneckQueue
+
+
+def make_queue(sim=None, rate_bps=8e6, **kwargs):
+    sim = sim or Simulator()
+    return sim, BottleneckQueue(sim, service_rate_bps=rate_bps, **kwargs)
+
+
+def test_single_packet_served_after_transmission_time():
+    sim, queue = make_queue(rate_bps=8e6)
+    queue.enqueue(Packet(size_bytes=1000))  # 1 ms at 8 Mbps
+    sim.run()
+    assert queue.recorder.delivered == 1
+    assert queue.recorder.departure_times[0] == pytest.approx(1e-3)
+
+
+def test_fifo_service_and_sojourn_accumulation():
+    sim, queue = make_queue(rate_bps=8e6)
+    queue.enqueue(Packet(size_bytes=1000))
+    queue.enqueue(Packet(size_bytes=1000))
+    sim.run()
+    sojourns = queue.recorder.sojourn_times
+    assert sojourns[0] == pytest.approx(1e-3)
+    assert sojourns[1] == pytest.approx(2e-3)
+
+
+def test_overflow_tail_drop():
+    sim, queue = make_queue(capacity_packets=2)
+    for _ in range(5):
+        queue.enqueue(Packet())
+    # One packet is in service, two wait (the capacity), two overflow.
+    assert queue.overflow_drops == 2
+    assert queue.admitted == 3
+
+
+def test_aqm_enqueue_drop_counted():
+    class DropEverything(AQMAlgorithm):
+        def on_enqueue(self, packet, queue, now):
+            return True
+
+    sim, queue = make_queue(aqm=DropEverything())
+    queue.enqueue(Packet())
+    assert queue.aqm_drops == 1
+    assert queue.recorder.dropped == 1
+    assert queue.backlog_packets == 0
+
+
+def test_aqm_dequeue_drop_skips_packet():
+    class DropFirstAtHead(AQMAlgorithm):
+        def __init__(self):
+            self.count = 0
+
+        def on_dequeue(self, packet, queue, now, sojourn_s):
+            self.count += 1
+            return self.count == 1
+
+    sim, queue = make_queue(aqm=DropFirstAtHead())
+    queue.enqueue(Packet(size_bytes=1000))
+    queue.enqueue(Packet(size_bytes=1000))
+    sim.run()
+    assert queue.recorder.delivered == 1
+    assert queue.aqm_drops == 1
+
+
+def test_backlog_bytes_tracked():
+    sim, queue = make_queue()
+    queue.enqueue(Packet(size_bytes=700))
+    queue.enqueue(Packet(size_bytes=300))
+    # First packet entered service immediately; the second waits.
+    assert queue.backlog_bytes == 300
+    assert queue.backlog_packets == 1
+
+
+def test_last_sojourn_visible_to_aqm():
+    observed = []
+
+    class Peek(AQMAlgorithm):
+        def on_enqueue(self, packet, queue, now):
+            observed.append(queue.last_sojourn_s)
+            return False
+
+    sim = Simulator()
+    queue = BottleneckQueue(sim, service_rate_bps=8e6, aqm=Peek())
+    queue.enqueue(Packet(size_bytes=1000))
+    sim.run_until(0.002)
+    queue.enqueue(Packet(size_bytes=1000))
+    assert observed[0] == 0.0
+    assert observed[1] == pytest.approx(1e-3)
+
+
+def test_periodic_queue_sampling():
+    sim = Simulator()
+    queue = BottleneckQueue(sim, service_rate_bps=8e3,
+                            sample_interval_s=0.01)
+    queue.enqueue(Packet(size_bytes=1000))  # 1 s service time
+    sim.run_until(0.05)
+    assert len(queue.recorder.sample_times) == 5
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        BottleneckQueue(sim, service_rate_bps=0.0)
+    with pytest.raises(ValueError):
+        BottleneckQueue(sim, service_rate_bps=1e6, capacity_packets=0)

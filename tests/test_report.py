@@ -1,0 +1,44 @@
+"""The consolidated reproduction report."""
+
+import pytest
+
+from repro.analysis.report import ReproductionReport, run_report
+
+
+class TestReportStructure:
+    def test_checks_and_verdict(self):
+        report = ReproductionReport()
+        report.section("demo")
+        report.add("a line")
+        report.check("claim A", "value", True)
+        report.check("claim B", "value", True)
+        assert report.all_passed
+        text = report.render()
+        assert "claim A" in text and "[OK ]" in text
+        assert "every checked claim reproduced" in text
+
+    def test_failed_check_flips_verdict(self):
+        report = ReproductionReport()
+        report.check("claim", "value", False)
+        assert not report.all_passed
+        assert "FAIL" in report.render()
+        assert "DID NOT HOLD" in report.render()
+
+
+@pytest.mark.slow
+class TestFullRun:
+    def test_quick_report_reproduces_all_claims(self, small_dataset):
+        progress_lines = []
+        report = run_report(dataset=small_dataset, quick=True,
+                            progress=progress_lines.append)
+        assert report.all_passed
+        assert len(report.checks) == 10
+        assert progress_lines  # progress callback used
+        text = report.render()
+        assert "Table 1" in text
+        assert "Figure 8" in text
+
+
+def test_module_entry_point_exists():
+    from repro.analysis import report
+    assert callable(report.main)

@@ -1,0 +1,125 @@
+"""AIMD responsive flows and ECN."""
+
+import numpy as np
+import pytest
+
+from repro.netfunc.aqm.base import TailDropAQM
+from repro.netfunc.aqm.pcam_aqm import PCAMAQM
+from repro.packet import Packet
+from repro.simnet.engine import Simulator
+from repro.simnet.queue_sim import BottleneckQueue
+from repro.simnet.responsive import AIMDFlowGenerator, FeedbackRouter
+
+
+def run_scenario(aqm, *, ecn=False, n_flows=4, duration=8.0,
+                 rate_bps=20e6, capacity=800, seed=0):
+    sim = Simulator()
+    router = FeedbackRouter()
+    queue = BottleneckQueue(sim, service_rate_bps=rate_bps,
+                            capacity_packets=capacity, aqm=aqm,
+                            delivery_listener=router.on_delivery,
+                            drop_listener=router.on_drop)
+    flows = [AIMDFlowGenerator(router, rtt_s=0.04, flow_id=i,
+                               ecn_capable=ecn,
+                               rng=np.random.default_rng(seed + i))
+             for i in range(n_flows)]
+    for flow in flows:
+        flow.attach(sim, queue.enqueue)
+    sim.run_until(duration)
+    return queue, flows
+
+
+class TestFeedbackRouter:
+    def test_routes_by_flow_id(self):
+        router = FeedbackRouter()
+        seen = []
+        router.register(3, lambda p: seen.append(("d", p.flow_id)),
+                        lambda p: seen.append(("x", p.flow_id)))
+        router.on_delivery(Packet(flow_id=3))
+        router.on_drop(Packet(flow_id=3))
+        router.on_delivery(Packet(flow_id=9))  # unregistered: ignored
+        assert seen == [("d", 3), ("x", 3)]
+
+    def test_duplicate_registration_rejected(self):
+        router = FeedbackRouter()
+        router.register(1, lambda p: None, lambda p: None)
+        with pytest.raises(ValueError):
+            router.register(1, lambda p: None, lambda p: None)
+
+
+class TestAIMDDynamics:
+    def test_window_grows_without_congestion(self):
+        queue, flows = run_scenario(TailDropAQM(), n_flows=1,
+                                    duration=3.0, rate_bps=100e6)
+        assert flows[0].cwnd > 10.0
+        assert flows[0].losses == 0
+
+    def test_drops_halve_the_window(self):
+        router = FeedbackRouter()
+        flow = AIMDFlowGenerator(router, rtt_s=0.04, flow_id=0,
+                                 initial_window=64.0,
+                                 rng=np.random.default_rng(1))
+        flow._sim = Simulator()
+        flow._on_drop(Packet(flow_id=0))
+        assert flow.cwnd == pytest.approx(32.0)
+
+    def test_at_most_one_backoff_per_rtt(self):
+        router = FeedbackRouter()
+        flow = AIMDFlowGenerator(router, rtt_s=0.04, flow_id=0,
+                                 initial_window=64.0,
+                                 rng=np.random.default_rng(1))
+        flow._sim = Simulator()
+        flow._on_drop(Packet(flow_id=0))
+        flow._on_drop(Packet(flow_id=0))  # same instant: ignored
+        assert flow.cwnd == pytest.approx(32.0)
+
+    def test_flows_fill_the_link(self):
+        queue, _ = run_scenario(TailDropAQM(), duration=6.0)
+        delivered_bps = (queue.recorder.delivered * 1000 * 8) / 6.0
+        assert delivered_bps > 0.8 * 20e6
+
+    def test_bufferbloat_without_aqm(self):
+        queue, _ = run_scenario(TailDropAQM(), duration=6.0)
+        # AIMD fills the buffer: standing queue near capacity.
+        assert queue.recorder.summary().mean_delay_s > 0.1
+
+    def test_pcam_aqm_removes_bufferbloat(self):
+        bloated, _ = run_scenario(TailDropAQM(), duration=6.0)
+        managed, _ = run_scenario(
+            PCAMAQM(rng=np.random.default_rng(9)), duration=6.0)
+        bloat = bloated.recorder.summary().mean_delay_s
+        lean = managed.recorder.summary().mean_delay_s
+        assert lean < 0.2 * bloat
+        # Throughput stays healthy despite the early drops.
+        assert managed.recorder.delivered > \
+            0.75 * bloated.recorder.delivered
+
+    def test_validation(self):
+        router = FeedbackRouter()
+        with pytest.raises(ValueError):
+            AIMDFlowGenerator(router, rtt_s=0.0)
+        with pytest.raises(ValueError):
+            AIMDFlowGenerator(FeedbackRouter(), initial_window=0.5)
+
+
+class TestECN:
+    def test_marks_replace_drops_for_capable_flows(self):
+        aqm = PCAMAQM(ecn_enabled=True, rng=np.random.default_rng(9))
+        queue, flows = run_scenario(aqm, ecn=True, duration=6.0)
+        assert aqm.ecn_marks > 0
+        assert queue.aqm_drops == 0
+        # Senders still back off: delay stays controlled.
+        assert queue.recorder.summary().mean_delay_s < 0.03
+        assert sum(flow.marks_seen for flow in flows) > 0
+
+    def test_non_capable_packets_still_dropped(self):
+        aqm = PCAMAQM(ecn_enabled=True, rng=np.random.default_rng(9))
+        queue, _ = run_scenario(aqm, ecn=False, duration=6.0)
+        assert aqm.ecn_marks == 0
+        assert queue.aqm_drops > 0
+
+    def test_ecn_disabled_ignores_ect(self):
+        aqm = PCAMAQM(ecn_enabled=False, rng=np.random.default_rng(9))
+        queue, _ = run_scenario(aqm, ecn=True, duration=6.0)
+        assert aqm.ecn_marks == 0
+        assert queue.aqm_drops > 0

@@ -1,0 +1,62 @@
+"""Retention drift of programmed pCAM cells and the refresh scrub."""
+
+import numpy as np
+import pytest
+
+from repro.core.device_cell import DevicePCAMCell
+from repro.core.pcam_cell import prog_pcam
+from repro.device.variability import VariabilityModel
+
+PARAMS = prog_pcam(m1=1.5, m2=2.4, m3=2.6, m4=3.5)
+
+
+def drifting_cell(rate=0.001, seed=3):
+    return DevicePCAMCell(
+        PARAMS,
+        variability=VariabilityModel(read_sigma=0.0, device_sigma=0.0,
+                                     drift_rate_per_s=rate,
+                                     drift_target=0.0),
+        rng=np.random.default_rng(seed))
+
+
+def test_fresh_cell_in_spec():
+    cell = drifting_cell()
+    assert cell.response(2.5) == pytest.approx(1.0, abs=0.02)
+    assert cell.response(1.0) == pytest.approx(0.0, abs=0.02)
+
+
+def test_drift_degrades_the_match_window():
+    cell = drifting_cell(rate=0.002)
+    before = cell.response(2.5)
+    cell.relax(600.0)  # ten minutes unpowered
+    after = cell.response(2.5)
+    # Thresholds crept toward the HRS attractor: the stored-policy
+    # voltage no longer matches deterministically.
+    assert before == pytest.approx(1.0, abs=0.02)
+    assert after < before
+
+
+def test_refresh_restores_the_window():
+    cell = drifting_cell(rate=0.002)
+    cell.relax(600.0)
+    degraded = cell.response(2.5)
+    energy = cell.refresh()
+    restored = cell.response(2.5)
+    assert energy > 0.0
+    assert restored == pytest.approx(1.0, abs=0.02)
+    assert restored > degraded
+
+
+def test_short_idle_periods_harmless():
+    cell = drifting_cell(rate=0.001)
+    cell.relax(1.0)
+    assert cell.response(2.5) == pytest.approx(1.0, abs=0.05)
+
+
+def test_non_volatile_device_never_drifts():
+    cell = DevicePCAMCell(
+        PARAMS, variability=VariabilityModel.ideal(),
+        rng=np.random.default_rng(1))
+    baseline = cell.response(2.5)
+    cell.relax(1e6)
+    assert cell.response(2.5) == pytest.approx(baseline, abs=1e-9)

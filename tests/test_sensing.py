@@ -1,0 +1,52 @@
+"""Match-line sense amplifier."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.sensing import SenseAmplifier
+
+
+def test_ideal_sense_is_identity(rng):
+    amp = SenseAmplifier.ideal()
+    assert amp.sense(1e-6, rng) == pytest.approx(1e-6)
+
+
+def test_gain_error_scales(rng):
+    amp = SenseAmplifier(gain_error=0.05)
+    assert amp.sense(1e-6, rng) == pytest.approx(1.05e-6)
+
+
+def test_offset_adds(rng):
+    amp = SenseAmplifier(offset_a=1e-9)
+    assert amp.sense(0.0, rng) == pytest.approx(1e-9)
+
+
+def test_noise_randomises(rng):
+    amp = SenseAmplifier(noise_a_rms=1e-7)
+    values = {amp.sense(1e-6, rng) for _ in range(8)}
+    assert len(values) > 1
+
+
+def test_normalise_clamps_to_unit_interval(rng):
+    amp = SenseAmplifier.ideal()
+    assert amp.normalise(2e-6, 1e-6, rng) == 1.0
+    assert amp.normalise(-1e-6, 1e-6, rng) == 0.0
+    assert amp.normalise(5e-7, 1e-6, rng) == pytest.approx(0.5)
+
+
+def test_normalise_rejects_bad_full_scale(rng):
+    with pytest.raises(ValueError):
+        SenseAmplifier.ideal().normalise(1e-6, 0.0, rng)
+
+
+def test_threshold_comparison(rng):
+    amp = SenseAmplifier.ideal()
+    assert amp.threshold(2e-6, 1e-6, rng) is True
+    assert amp.threshold(5e-7, 1e-6, rng) is False
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SenseAmplifier(noise_a_rms=-1.0)
+    with pytest.raises(ValueError):
+        SenseAmplifier(energy_per_sense_j=-1.0)

@@ -1,0 +1,98 @@
+"""The Figure 2 analog state machine."""
+
+import numpy as np
+import pytest
+
+from repro.device.state_machine import (
+    AnalogStateMachine,
+    DeviceStateMachine,
+)
+
+TABLE = np.array([[0.2, 0.4, 0.8],
+                  [0.3, 0.5, 0.9]])
+
+
+class TestIdealStateMachine:
+    def test_geometry(self):
+        machine = AnalogStateMachine(TABLE)
+        assert machine.n_machines == 2
+        assert machine.n_states == 3
+
+    def test_analog_compute_is_state_times_input(self):
+        machine = AnalogStateMachine(TABLE)
+        machine.select(0, 2)
+        assert machine.compute(2.5).output == pytest.approx(0.8 * 2.5)
+
+    def test_same_input_different_states_differ(self):
+        # The defining memristor property shown in Figure 2.
+        machine = AnalogStateMachine(TABLE)
+        machine.select(0, 0)
+        low = machine.compute(1.0).output
+        machine.select(0, 2)
+        high = machine.compute(1.0).output
+        assert low != high
+
+    def test_reprogramming_changes_outputs(self):
+        machine = AnalogStateMachine(TABLE.copy())
+        machine.select(1, 1)
+        before = machine.compute(1.0).output
+        machine.reprogram(1, np.array([0.1, 0.2, 0.3]))
+        after = machine.compute(1.0).output
+        assert before == pytest.approx(0.5)
+        assert after == pytest.approx(0.2)
+
+    def test_reprogram_validates_shape(self):
+        machine = AnalogStateMachine(TABLE.copy())
+        with pytest.raises(ValueError):
+            machine.reprogram(0, np.array([0.1, 0.2]))
+
+    def test_select_bounds_checked(self):
+        machine = AnalogStateMachine(TABLE)
+        with pytest.raises(IndexError):
+            machine.select(5)
+        with pytest.raises(IndexError):
+            machine.select(0, 9)
+
+    def test_transfer_vectorised(self):
+        machine = AnalogStateMachine(TABLE)
+        machine.select(0, 1)
+        inputs = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(machine.transfer(inputs), 0.4 * inputs)
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            AnalogStateMachine(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            AnalogStateMachine(np.array([1.0, 2.0]))
+
+
+class TestDeviceStateMachine:
+    def test_compute_approximates_ideal(self, rng):
+        machine = DeviceStateMachine(TABLE, rng=rng)
+        machine.select(0, 2)
+        result = machine.compute(2.0)
+        assert result.output == pytest.approx(0.8 * 2.0, rel=0.08)
+        assert result.energy_j > 0.0
+
+    def test_state_change_changes_output(self, rng):
+        machine = DeviceStateMachine(TABLE, rng=rng)
+        machine.select(0, 0)
+        low = machine.compute(1.5).output
+        machine.set_state(2)
+        high = machine.compute(1.5).output
+        assert high > low
+
+    def test_programming_energy_accumulates(self, rng):
+        machine = DeviceStateMachine(TABLE, rng=rng)
+        before = machine.programming_energy_j
+        machine.select(1, 1)
+        assert machine.programming_energy_j > before
+
+    def test_rejects_states_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            DeviceStateMachine(np.array([[0.5, 1.5]]))
+
+    def test_geometry_forwarded(self, rng):
+        machine = DeviceStateMachine(TABLE, rng=rng)
+        assert machine.n_machines == 2
+        assert machine.n_states == 3

@@ -1,0 +1,154 @@
+"""Behavioural TCAM: ternary matching, priorities, energy."""
+
+import numpy as np
+import pytest
+
+from repro.energy.ledger import ACCOUNT_COMPUTE, ACCOUNT_MOVEMENT
+from repro.tcam.tcam import TCAM, TernaryPattern, key_from_int
+
+
+class TestTernaryPattern:
+    def test_parse_and_str_round_trip(self):
+        pattern = TernaryPattern.parse("10x1")
+        assert str(pattern) == "10x1"
+        assert pattern.width == 4
+
+    def test_parse_accepts_star_wildcard(self):
+        assert str(TernaryPattern.parse("1*0")) == "1x0"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TernaryPattern.parse("10z1")
+        with pytest.raises(ValueError):
+            TernaryPattern.parse("")
+
+    def test_from_value_msb_first(self):
+        pattern = TernaryPattern.from_value(0b1010, 4)
+        assert str(pattern) == "1010"
+
+    def test_from_value_with_mask(self):
+        pattern = TernaryPattern.from_value(0b1000, 4, mask=0b1100)
+        assert str(pattern) == "10xx"
+
+    def test_from_value_validates(self):
+        with pytest.raises(ValueError):
+            TernaryPattern.from_value(16, 4)
+        with pytest.raises(ValueError):
+            TernaryPattern.from_value(1, 0)
+
+    def test_matches_semantics(self):
+        pattern = TernaryPattern.parse("1x0")
+        assert pattern.matches(key_from_int(0b110, 3))
+        assert pattern.matches(key_from_int(0b100, 3))
+        assert not pattern.matches(key_from_int(0b101, 3))
+        assert not pattern.matches(key_from_int(0b010, 3))
+
+    def test_matches_width_checked(self):
+        with pytest.raises(ValueError):
+            TernaryPattern.parse("10").matches(key_from_int(1, 3))
+
+
+class TestKeyFromInt:
+    def test_msb_first_encoding(self):
+        key = key_from_int(0b101, 3)
+        np.testing.assert_array_equal(key, [True, False, True])
+
+    def test_range_validated(self):
+        with pytest.raises(ValueError):
+            key_from_int(8, 3)
+
+
+class TestSearch:
+    def make(self) -> TCAM:
+        tcam = TCAM(4)
+        tcam.add("1xxx")    # entry 0
+        tcam.add("10xx")    # entry 1
+        tcam.add("0000")    # entry 2
+        return tcam
+
+    def test_all_matches_reported(self):
+        tcam = self.make()
+        result = tcam.search(0b1011)
+        assert result.matched_indices == (0, 1)
+
+    def test_priority_lowest_wins(self):
+        tcam = self.make()
+        assert tcam.search(0b1011).best_index == 0
+
+    def test_explicit_priority_overrides_order(self):
+        tcam = TCAM(4)
+        tcam.add("1xxx", priority=10)
+        tcam.add("10xx", priority=1)
+        assert tcam.search(0b1011).best_index == 1
+
+    def test_miss(self):
+        tcam = self.make()
+        result = tcam.search(0b0001)
+        assert not result.hit
+        assert result.best_index is None
+        assert result.matched_indices == ()
+
+    def test_digital_output_only(self):
+        # The central TCAM limitation: no partial-match output exists.
+        tcam = self.make()
+        result = tcam.search(0b0001)
+        assert isinstance(result.hit, bool)
+
+    def test_integer_and_array_keys_agree(self):
+        tcam = self.make()
+        by_int = tcam.search(0b1010)
+        by_array = tcam.search(key_from_int(0b1010, 4))
+        assert by_int.matched_indices == by_array.matched_indices
+
+    def test_key_width_validated(self):
+        with pytest.raises(ValueError):
+            self.make().search(key_from_int(1, 3))
+
+    def test_remove_entry(self):
+        tcam = self.make()
+        tcam.remove(0)
+        result = tcam.search(0b1011)
+        assert result.matched_indices == (0,)  # old entry 1 shifted
+        with pytest.raises(IndexError):
+            tcam.remove(10)
+
+
+class TestEnergyModel:
+    def test_search_energy_scales_with_array_size(self):
+        small = TCAM(8)
+        large = TCAM(8)
+        small.add("1" * 8)
+        for _ in range(10):
+            large.add("1" * 8)
+        assert (large.search(0).energy_j
+                == pytest.approx(10 * small.search(0).energy_j))
+
+    def test_movement_dominates_digital_search(self):
+        tcam = TCAM(16)
+        tcam.add("x" * 16)
+        tcam.search(0)
+        movement = tcam.ledger.account(ACCOUNT_MOVEMENT)
+        compute = tcam.ledger.account(ACCOUNT_COMPUTE)
+        assert movement == pytest.approx(9 * compute)
+
+    def test_search_counter(self):
+        tcam = TCAM(4)
+        tcam.add("xxxx")
+        tcam.search(0)
+        tcam.search(1)
+        assert tcam.searches == 2
+
+    def test_latency_reported(self):
+        tcam = TCAM(4, search_latency_s=2e-9)
+        tcam.add("xxxx")
+        assert tcam.search(0).latency_s == 2e-9
+
+    def test_pattern_width_validated(self):
+        with pytest.raises(ValueError):
+            TCAM(4).add("10101")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TCAM(0)
+        with pytest.raises(ValueError):
+            TCAM(4, movement_fraction=1.5)

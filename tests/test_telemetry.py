@@ -1,0 +1,82 @@
+"""Data-plane telemetry."""
+
+import pytest
+
+from repro.dataplane.telemetry import (
+    TelemetryCollector,
+    int_metadata,
+    stamp_packet,
+)
+from repro.packet import Packet
+
+
+class TestINTStamping:
+    def test_trail_accumulates_in_order(self):
+        packet = Packet()
+        stamp_packet(packet, "ingress", 3, 0.001)
+        stamp_packet(packet, "egress0", 12, 0.002)
+        trail = int_metadata(packet)
+        assert [record["component"] for record in trail] == \
+            ["ingress", "egress0"]
+        assert trail[1]["queue_depth"] == 12
+
+    def test_unstamped_packet_empty_trail(self):
+        assert int_metadata(Packet()) == []
+
+    def test_trail_copy_not_aliased(self):
+        packet = Packet()
+        stamp_packet(packet, "a", 1, 0.0)
+        trail = int_metadata(packet)
+        trail.append({"component": "fake"})
+        assert len(int_metadata(packet)) == 1
+
+
+class TestTelemetryCollector:
+    def test_table_counters(self):
+        collector = TelemetryCollector()
+        collector.record_lookup("acl", hit=True, verdict="permit")
+        collector.record_lookup("acl", hit=True, verdict="deny")
+        collector.record_lookup("acl", hit=False)
+        stats = collector.table("acl")
+        assert stats.lookups == 3
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(2 / 3)
+        assert stats.verdicts["permit"] == 1
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(KeyError):
+            TelemetryCollector().table("ghost")
+
+    def test_hit_rate_empty_table(self):
+        from repro.dataplane.telemetry import TableStats
+        assert TableStats().hit_rate == 0.0
+
+    def test_events_and_gauges(self):
+        collector = TelemetryCollector()
+        collector.record_event("aqm_drop", 3)
+        collector.record_event("aqm_drop")
+        collector.set_gauge("delay_ewma_s", 0.021)
+        assert collector.event_count("aqm_drop") == 4
+        assert collector.event_count("never") == 0
+        assert collector.gauge("delay_ewma_s") == pytest.approx(0.021)
+        assert collector.gauge("missing", default=-1.0) == -1.0
+
+    def test_negative_event_count_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetryCollector().record_event("x", -1)
+
+    def test_snapshot_serialisable(self):
+        import json
+        collector = TelemetryCollector()
+        collector.record_lookup("lpm", hit=True, verdict="port0")
+        collector.set_gauge("pdp", 0.3)
+        collector.record_event("mark")
+        text = json.dumps(collector.snapshot())
+        assert "lpm" in text and "pdp" in text and "mark" in text
+
+    def test_reset(self):
+        collector = TelemetryCollector()
+        collector.record_lookup("t", hit=True)
+        collector.reset()
+        assert collector.tables == {}

@@ -1,0 +1,76 @@
+"""The dumbbell experiment harness."""
+
+import pytest
+
+from repro.netfunc.aqm.base import TailDropAQM
+from repro.simnet.topology import DumbbellExperiment, overload_profile
+
+
+def test_overload_profile_window():
+    profile = overload_profile(2.0, 4.0, 1.5)
+    assert profile(1.0) == 1.0
+    assert profile(2.0) == 1.5
+    assert profile(3.9) == 1.5
+    assert profile(4.0) == 1.0
+
+
+def test_overload_profile_validation():
+    with pytest.raises(ValueError):
+        overload_profile(4.0, 2.0)
+    with pytest.raises(ValueError):
+        overload_profile(1.0, 2.0, overload_factor=0.0)
+
+
+def test_underloaded_queue_has_small_delay():
+    experiment = DumbbellExperiment(n_flows=4, load=0.5,
+                                    service_rate_bps=40e6,
+                                    duration_s=2.0, seed=1)
+    result = experiment.run(TailDropAQM())
+    assert result.recorder.delivered > 1000
+    assert result.mean_delay_ms < 5.0
+    assert result.recorder.dropped == 0
+
+
+def test_overloaded_queue_delay_grows():
+    experiment = DumbbellExperiment(n_flows=4, load=1.5,
+                                    service_rate_bps=20e6,
+                                    capacity_packets=4000,
+                                    duration_s=3.0, seed=1)
+    result = experiment.run(TailDropAQM())
+    delays = result.recorder.sojourn_times
+    early = sum(delays[:200]) / 200
+    late = sum(delays[-200:]) / 200
+    assert late > 10 * early
+
+
+def test_per_flow_rate_splits_load():
+    experiment = DumbbellExperiment(n_flows=10, load=1.0,
+                                    service_rate_bps=80e6,
+                                    packet_size_bytes=1000)
+    assert experiment.per_flow_rate_pps == pytest.approx(1000.0)
+
+
+def test_seed_reproducibility():
+    experiment = DumbbellExperiment(n_flows=2, load=0.8,
+                                    duration_s=1.0, seed=9)
+    a = experiment.run(TailDropAQM())
+    b = experiment.run(TailDropAQM())
+    assert a.recorder.delivered == b.recorder.delivered
+    assert a.recorder.sojourn_times == b.recorder.sojourn_times
+
+
+def test_priorities_stamped_on_flows():
+    experiment = DumbbellExperiment(n_flows=2, load=0.5,
+                                    duration_s=0.5,
+                                    priorities=(0, 1), seed=2)
+    result = experiment.run(TailDropAQM())
+    assert set(result.recorder.delivered_priorities) == {0, 1}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DumbbellExperiment(n_flows=0)
+    with pytest.raises(ValueError):
+        DumbbellExperiment(load=0.0)
+    with pytest.raises(ValueError):
+        DumbbellExperiment(n_flows=3, priorities=(0, 1))

@@ -1,0 +1,120 @@
+"""Arrival-trace capture and replay."""
+
+import numpy as np
+import pytest
+
+from repro.netfunc.aqm.base import TailDropAQM
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import PoissonFlowGenerator
+from repro.simnet.queue_sim import BottleneckQueue
+from repro.simnet.trace import (
+    ArrivalTrace,
+    TraceRecorder,
+    TraceReplayGenerator,
+)
+
+
+def capture_trace(duration=1.0, rate=2000.0, seed=5):
+    sim = Simulator()
+    recorder = TraceRecorder(sim)
+    PoissonFlowGenerator(rate_pps=rate, flow_id=3, priority=1,
+                         rng=np.random.default_rng(seed)
+                         ).attach(sim, recorder)
+    sim.run_until(duration)
+    return recorder.trace()
+
+
+class TestArrivalTrace:
+    def test_statistics(self):
+        trace = capture_trace()
+        assert len(trace) > 1000
+        assert trace.mean_rate_pps == pytest.approx(2000.0, rel=0.15)
+        assert trace.offered_load_bps == pytest.approx(
+            2000.0 * 1000 * 8, rel=0.15)
+
+    def test_empty_trace_statistics(self):
+        empty = ArrivalTrace(times_s=np.zeros(0),
+                             sizes_bytes=np.zeros(0, dtype=int),
+                             flow_ids=np.zeros(0, dtype=int),
+                             priorities=np.zeros(0, dtype=int))
+        assert empty.duration_s == 0.0
+        assert empty.mean_rate_pps == 0.0
+        assert empty.offered_load_bps == 0.0
+
+    def test_save_load_round_trip(self, tmp_path):
+        trace = capture_trace(duration=0.2)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = ArrivalTrace.load(path)
+        np.testing.assert_array_equal(loaded.times_s, trace.times_s)
+        np.testing.assert_array_equal(loaded.flow_ids, trace.flow_ids)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(times_s=np.array([0.0, 1.0]),
+                         sizes_bytes=np.array([100]),
+                         flow_ids=np.array([0, 0]),
+                         priorities=np.array([0, 0]))
+        with pytest.raises(ValueError):
+            ArrivalTrace(times_s=np.array([1.0, 0.5]),
+                         sizes_bytes=np.array([100, 100]),
+                         flow_ids=np.array([0, 0]),
+                         priorities=np.array([0, 0]))
+
+
+class TestRecorderPassThrough:
+    def test_forwarding_to_downstream_sink(self):
+        sim = Simulator()
+        queue = BottleneckQueue(sim, service_rate_bps=80e6)
+        recorder = TraceRecorder(sim, queue.enqueue)
+        PoissonFlowGenerator(rate_pps=500.0,
+                             rng=np.random.default_rng(1)
+                             ).attach(sim, recorder)
+        sim.run_until(0.5)
+        assert len(recorder) > 100
+        assert queue.recorder.delivered + queue.backlog_packets + 1 >= \
+            len(recorder)
+
+
+class TestReplay:
+    def test_replay_is_bit_identical(self):
+        trace = capture_trace(duration=0.5)
+        sim = Simulator()
+        replayed = TraceRecorder(sim)
+        TraceReplayGenerator(trace).attach(sim, replayed)
+        sim.run()
+        copy = replayed.trace()
+        np.testing.assert_allclose(copy.times_s, trace.times_s)
+        np.testing.assert_array_equal(copy.sizes_bytes,
+                                      trace.sizes_bytes)
+        np.testing.assert_array_equal(copy.priorities, trace.priorities)
+
+    def test_same_trace_fair_policy_comparison(self):
+        trace = capture_trace(duration=0.5, rate=8000.0)
+
+        def run_once():
+            sim = Simulator()
+            queue = BottleneckQueue(sim, service_rate_bps=20e6,
+                                    aqm=TailDropAQM())
+            TraceReplayGenerator(trace).attach(sim, queue.enqueue)
+            sim.run()
+            return queue.recorder.summary()
+
+        first = run_once()
+        second = run_once()
+        assert first.delivered == second.delivered
+        assert first.mean_delay_s == pytest.approx(second.mean_delay_s)
+
+    def test_time_offset_shifts_replay(self):
+        trace = capture_trace(duration=0.1)
+        sim = Simulator()
+        recorder = TraceRecorder(sim)
+        TraceReplayGenerator(trace, time_offset_s=1.0).attach(
+            sim, recorder)
+        sim.run()
+        assert recorder.trace().times_s[0] >= 1.0
+
+    def test_offset_validated(self):
+        trace = capture_trace(duration=0.05)
+        with pytest.raises(ValueError):
+            TraceReplayGenerator(trace, time_offset_s=-1.0)
