@@ -1,0 +1,110 @@
+"""Scalar vs batched pCAM evaluation throughput.
+
+Not a paper artifact — this pins the engineering payoff of the batch
+fast path: evaluating a 10k-packet feature matrix through the full
+PDP pipeline in one NumPy pass versus looping the scalar reference.
+Run with ``-s`` to see the packets-per-second table.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pcam_array import PCAMArray
+from repro.core.pcam_cell import PCAMParams, prog_pcam
+from repro.core.pcam_pipeline import PCAMPipeline
+
+N_PACKETS = 10_000
+
+
+@pytest.fixture(scope="module")
+def pipeline() -> PCAMPipeline:
+    """The AQM-shaped pipeline: eight stages, product composition."""
+    params = {f"s{i}": prog_pcam(0.0, 1.0, 2.0, 3.0) for i in range(8)}
+    return PCAMPipeline.from_params(params)
+
+
+@pytest.fixture(scope="module")
+def feature_batch(pipeline) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(0)
+    return {name: rng.uniform(-0.5, 3.5, N_PACKETS)
+            for name in pipeline.stage_names}
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall-clock of one call [s]."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _report(label: str, scalar_s: float, batch_s: float,
+            n: int = N_PACKETS) -> float:
+    speedup = scalar_s / batch_s
+    print(f"\n=== {label} ({n} packets) ===")
+    print(f"{'path':>10}{'wall [s]':>14}{'packets/s':>16}")
+    print(f"{'scalar':>10}{scalar_s:>14.4f}{n / scalar_s:>16,.0f}")
+    print(f"{'batch':>10}{batch_s:>14.4f}{n / batch_s:>16,.0f}")
+    print(f"speedup: {speedup:.1f}x")
+    return speedup
+
+
+def test_pipeline_batch_at_least_10x_scalar(pipeline, feature_batch):
+    """The acceptance bar: >= 10x on a 10k-packet feature matrix."""
+    columns = feature_batch
+
+    def scalar_loop():
+        return [pipeline.evaluate({name: float(values[i])
+                                   for name, values in columns.items()})
+                for i in range(N_PACKETS)]
+
+    def batch_pass():
+        return pipeline.evaluate_batch(columns)
+
+    reference = np.array(scalar_loop())
+    result = batch_pass()
+    assert np.allclose(result, reference, rtol=1e-9)
+
+    speedup = _report("PCAMPipeline.evaluate_batch",
+                      _time(scalar_loop, repeats=1), _time(batch_pass))
+    assert speedup >= 10.0
+
+
+def test_array_search_batch_throughput():
+    array = PCAMArray(["delay", "load"])
+    for shift in np.linspace(0.0, 0.4, 8):
+        array.add({
+            "delay": PCAMParams.canonical(0.1 + shift, 0.3 + shift,
+                                          0.6 + shift, 0.9 + shift),
+            "load": PCAMParams.canonical(0.0, 0.2, 0.5, 0.8)})
+    rng = np.random.default_rng(1)
+    queries = {"delay": rng.uniform(0.0, 1.3, N_PACKETS),
+               "load": rng.uniform(0.0, 1.0, N_PACKETS)}
+
+    def scalar_loop():
+        return [array.search({name: float(values[i])
+                              for name, values in queries.items()})
+                for i in range(N_PACKETS)]
+
+    def batch_pass():
+        return array.search_batch(queries)
+
+    batch = batch_pass()
+    sample = array.search({name: float(values[0])
+                           for name, values in queries.items()})
+    assert np.allclose(batch.probabilities[0], sample.probabilities,
+                       rtol=1e-9)
+    speedup = _report("PCAMArray.search_batch",
+                      _time(scalar_loop, repeats=1), _time(batch_pass))
+    assert speedup >= 10.0
+
+
+def test_benchmark_harness_pipeline_batch(pipeline, feature_batch,
+                                          benchmark):
+    """pytest-benchmark row for regression tracking of the fast path."""
+    result = benchmark(lambda: pipeline.evaluate_batch(feature_batch))
+    assert result.shape == (N_PACKETS,)

@@ -39,12 +39,21 @@ from repro.core.match_action import (
     StoredActionMemory,
     TableResult,
 )
-from repro.core.pcam_array import ArraySearchResult, PCAMArray, PCAMWord
+from repro.core.pcam_array import (
+    ArraySearchResult,
+    BatchSearchResult,
+    PCAMArray,
+    PCAMWord,
+)
 from repro.core.pcam_cell import MatchRegion, PCAMCell, PCAMParams, prog_pcam
 from repro.core.pcam_pipeline import (
+    BATCH_COMPOSITIONS,
     COMPOSITIONS,
+    MissingFeatureError,
     PCAMPipeline,
+    PipelineFeatureError,
     StageOutput,
+    UnknownFeatureError,
 )
 from repro.core.programming import (
     PipelineProgram,
@@ -56,6 +65,8 @@ __all__ = [
     "AnalogErrorBudget",
     "AnalogMatchActionTable",
     "ArraySearchResult",
+    "BATCH_COMPOSITIONS",
+    "BatchSearchResult",
     "COMPOSITIONS",
     "CognitiveCompiler",
     "CompilationError",
@@ -68,16 +79,19 @@ __all__ = [
     "FeatureScaler",
     "FunctionKind",
     "MatchRegion",
+    "MissingFeatureError",
     "NetworkFunctionSpec",
     "PCAMArray",
     "PCAMCell",
     "PCAMParams",
     "PCAMPipeline",
     "PCAMWord",
+    "PipelineFeatureError",
     "PipelineProgram",
     "Placement",
     "PrecisionClass",
     "StageOutput",
+    "UnknownFeatureError",
     "StoredActionMemory",
     "TableProgram",
     "TableResult",

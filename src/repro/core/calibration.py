@@ -78,6 +78,19 @@ class FeatureScaler:
                         / (self.dac.v_max - self.dac.v_min))
         return self.dac.quantize(dac_fraction)
 
+    def to_voltage_array(self, features: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`to_voltage` over a feature array."""
+        clipped = np.clip(np.asarray(features, dtype=float),
+                          self.feature_lo, self.feature_hi)
+        fraction = ((clipped - self.feature_lo)
+                    / (self.feature_hi - self.feature_lo))
+        voltages = self.v_lo + fraction * (self.v_hi - self.v_lo)
+        if self.dac is None:
+            return voltages
+        dac_fraction = ((voltages - self.dac.v_min)
+                        / (self.dac.v_max - self.dac.v_min))
+        return self.dac.quantize_array(dac_fraction)
+
     def from_voltage(self, voltage: float) -> float:
         """Inverse mapping (no quantization on the way back)."""
         fraction = (voltage - self.v_lo) / (self.v_hi - self.v_lo)

@@ -233,11 +233,28 @@ class DevicePCAMCell:
         programming energy spent [J]."""
         return self.program(self._ideal.params)
 
+    def evaluate_array(self, values: np.ndarray
+                       ) -> tuple[np.ndarray, float]:
+        """Evaluate a batch of inputs: (probabilities, total energy [J]).
+
+        Each input is matched with fresh device noise — the physical
+        array re-reads its threshold devices on every applied search
+        voltage, so the per-read loop *is* the hardware behaviour; the
+        batch entry point exists so device-backed pipelines share the
+        ideal path's API.
+        """
+        x = np.asarray(values, dtype=float)
+        probabilities = np.empty(x.size)
+        energy = 0.0
+        for index, value in enumerate(x.ravel()):
+            result = self.evaluate(float(value))
+            probabilities[index] = result.probability
+            energy += result.energy_j
+        return probabilities.reshape(x.shape), energy
+
     def response_array(self, values: np.ndarray) -> np.ndarray:
         """Evaluate each input with fresh device noise."""
-        x = np.asarray(values, dtype=float)
-        return np.array([self.evaluate(float(v)).probability
-                         for v in x.ravel()]).reshape(x.shape)
+        return self.evaluate_array(values)[0]
 
     def ideal_response_array(self, values: np.ndarray) -> np.ndarray:
         """The programmed (noise-free) response for error analysis."""

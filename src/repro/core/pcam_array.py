@@ -22,7 +22,8 @@ import numpy as np
 
 from repro.core.pcam_cell import PCAMCell, PCAMParams
 
-__all__ = ["PCAMWord", "PCAMArray", "ArraySearchResult"]
+__all__ = ["PCAMWord", "PCAMArray", "ArraySearchResult",
+           "BatchSearchResult"]
 
 
 class PCAMWord:
@@ -53,11 +54,27 @@ class PCAMWord:
 
     def match(self, query: Mapping[str, float]) -> float:
         """Word match probability: product over the per-field cells."""
-        probability = 1.0
+        batch = {field: np.array([float(query[field])])
+                 for field in self._cells if field in query}
+        return float(self.match_batch(batch)[0])
+
+    def match_batch(self, queries: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Vectorised match: per-field arrays -> (batch,) probabilities.
+
+        ``queries`` maps each field to an array of per-query values;
+        every field is pushed through its cell's vectorised transfer
+        function and the per-field responses are multiplied, exactly
+        as :meth:`match` does one query at a time.
+        """
+        probability: np.ndarray | None = None
         for field, cell in self._cells.items():
-            if field not in query:
+            if field not in queries:
                 raise KeyError(f"query missing field {field!r}")
-            probability *= cell.response(float(query[field]))
+            values = np.atleast_1d(np.asarray(queries[field], dtype=float))
+            response = cell.response_array(values)
+            probability = (response if probability is None
+                           else probability * response)
+        assert probability is not None
         return probability
 
     def deterministic_match(self, query: Mapping[str, float]) -> bool:
@@ -84,6 +101,25 @@ class ArraySearchResult:
     def hit(self) -> bool:
         """True when at least one word matched deterministically."""
         return bool(self.deterministic_indices)
+
+
+@dataclass(frozen=True)
+class BatchSearchResult:
+    """Outcome of searching a batch of queries against all words.
+
+    ``probabilities`` has shape (n_queries, n_words); ``best_indices``
+    is -1 for queries searched against an empty array.
+    """
+
+    probabilities: np.ndarray
+    best_indices: np.ndarray
+    best_probabilities: np.ndarray
+    deterministic_mask: np.ndarray
+    energy_j: float
+    latency_s: float
+
+    def __len__(self) -> int:
+        return int(self.probabilities.shape[0])
 
 
 class PCAMArray:
@@ -156,18 +192,60 @@ class PCAMArray:
                 probabilities=np.zeros(0), best_index=None,
                 best_probability=0.0, deterministic_indices=(),
                 energy_j=0.0, latency_s=self.search_latency_s)
-        probabilities = np.array(
-            [word.match(query) for word in self._words])
-        best = int(np.argmax(probabilities))
+        batch = {field: np.array([float(query[field])])
+                 for field in self.fields if field in query}
+        result = self.search_batch(batch)
+        probabilities = result.probabilities[0]
+        best = int(result.best_indices[0])
         deterministic = tuple(
-            int(i) for i in
-            np.flatnonzero(probabilities >= self.match_threshold))
-        cells = sum(len(word) for word in self._words)
-        self._searches += 1
+            int(i) for i in np.flatnonzero(result.deterministic_mask[0]))
         return ArraySearchResult(
             probabilities=probabilities,
             best_index=best,
-            best_probability=float(probabilities[best]),
+            best_probability=float(result.best_probabilities[0]),
             deterministic_indices=deterministic,
-            energy_j=cells * self.energy_per_cell_j,
+            energy_j=result.energy_j,
             latency_s=self.search_latency_s)
+
+    def match_batch(self, queries: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Match probabilities of a query batch against every word.
+
+        Returns a (n_queries, n_words) matrix: row ``i`` holds query
+        ``i``'s match probability against each stored word — the
+        software analogue of applying a burst of search voltages to
+        the array's match lines.
+        """
+        batch_size = self._batch_length(queries)
+        if not self._words:
+            return np.zeros((batch_size, 0))
+        return np.stack([word.match_batch(queries)
+                         for word in self._words], axis=1)
+
+    def search_batch(self, queries: Mapping[str, np.ndarray]
+                     ) -> BatchSearchResult:
+        """Search a whole query batch; one cycle's worth per query."""
+        probabilities = self.match_batch(queries)
+        n_queries, n_words = probabilities.shape
+        if n_words:
+            best = np.argmax(probabilities, axis=1)
+            best_probabilities = probabilities[
+                np.arange(n_queries), best]
+        else:
+            best = np.full(n_queries, -1, dtype=int)
+            best_probabilities = np.zeros(n_queries)
+        cells = sum(len(word) for word in self._words)
+        self._searches += n_queries
+        return BatchSearchResult(
+            probabilities=probabilities,
+            best_indices=best,
+            best_probabilities=best_probabilities,
+            deterministic_mask=probabilities >= self.match_threshold,
+            energy_j=n_queries * cells * self.energy_per_cell_j,
+            latency_s=self.search_latency_s)
+
+    def _batch_length(self, queries: Mapping[str, np.ndarray]) -> int:
+        missing = [field for field in self.fields if field not in queries]
+        if missing:
+            raise KeyError(f"query missing field {missing[0]!r}")
+        return max((np.atleast_1d(np.asarray(queries[field])).shape[0]
+                    for field in self.fields), default=1)

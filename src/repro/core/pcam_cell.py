@@ -60,8 +60,13 @@ class MatchRegion(enum.Enum):
 class PCAMParams:
     """The eight programmable parameters of one pCAM cell.
 
-    Invariants: ``m1 < m2 <= m3 < m4`` and ``pmin < pmax``.  Outputs
+    Invariants: ``m1 <= m2 <= m3 <= m4`` and ``pmin <= pmax``.  Outputs
     are probabilities, so ``0 <= pmin`` and ``pmax <= 1``.
+
+    Degenerate programmings are legal: ``m1 == m2`` or ``m3 == m4``
+    collapses the corresponding probabilistic ramp to a zero-width
+    step (the region is empty, no ramp is ever evaluated), and
+    ``pmin == pmax`` pins the cell to a constant output.
     """
 
     m1: float
@@ -74,13 +79,13 @@ class PCAMParams:
     pmin: float = 0.0
 
     def __post_init__(self) -> None:
-        if not (self.m1 < self.m2 <= self.m3 < self.m4):
+        if not (self.m1 <= self.m2 <= self.m3 <= self.m4):
             raise ValueError(
-                f"thresholds must satisfy M1 < M2 <= M3 < M4: "
+                f"thresholds must satisfy M1 <= M2 <= M3 <= M4: "
                 f"{self.m1}, {self.m2}, {self.m3}, {self.m4}")
-        if not self.pmin < self.pmax:
+        if not self.pmin <= self.pmax:
             raise ValueError(
-                f"pmin must be below pmax: {self.pmin}, {self.pmax}")
+                f"pmin must not exceed pmax: {self.pmin}, {self.pmax}")
         if self.pmin < 0.0 or self.pmax > 1.0:
             raise ValueError(
                 f"probabilities must lie in [0, 1]: "
@@ -89,20 +94,28 @@ class PCAMParams:
     @classmethod
     def canonical(cls, m1: float, m2: float, m3: float, m4: float,
                   pmax: float = 1.0, pmin: float = 0.0) -> "PCAMParams":
-        """Parameters with the continuity-preserving slopes."""
-        sa = (pmax - pmin) / (m2 - m1)
-        sb = (pmin - pmax) / (m4 - m3)
+        """Parameters with the continuity-preserving slopes.
+
+        A zero-width ramp has no interior points, so its slope is
+        immaterial; 0.0 is used instead of dividing by zero.
+        """
+        sa = (pmax - pmin) / (m2 - m1) if m2 > m1 else 0.0
+        sb = (pmin - pmax) / (m4 - m3) if m4 > m3 else 0.0
         return cls(m1=m1, m2=m2, m3=m3, m4=m4, sa=sa, sb=sb,
                    pmax=pmax, pmin=pmin)
 
     @property
     def canonical_sa(self) -> float:
         """The rising slope that makes the response continuous."""
+        if self.m2 <= self.m1:
+            return 0.0
         return (self.pmax - self.pmin) / (self.m2 - self.m1)
 
     @property
     def canonical_sb(self) -> float:
         """The falling slope that makes the response continuous."""
+        if self.m4 <= self.m3:
+            return 0.0
         return (self.pmin - self.pmax) / (self.m4 - self.m3)
 
     @property
@@ -235,8 +248,13 @@ class PCAMCell:
         self._evaluations += x.size
 
         if self.nonlinearity == "linear":
-            rising = p.sa * x + (p.m2 * p.pmin - p.m1 * p.pmax) / (p.m2 - p.m1)
-            falling = p.sb * x + (p.m4 * p.pmax - p.m3 * p.pmin) / (p.m4 - p.m3)
+            # A zero-width ramp region is empty — np.select never picks
+            # its branch — so substitute a unit denominator rather than
+            # dividing by zero.
+            rise_span = (p.m2 - p.m1) if p.m2 > p.m1 else 1.0
+            fall_span = (p.m4 - p.m3) if p.m4 > p.m3 else 1.0
+            rising = p.sa * x + (p.m2 * p.pmin - p.m1 * p.pmax) / rise_span
+            falling = p.sb * x + (p.m4 * p.pmax - p.m3 * p.pmin) / fall_span
         else:
             rising = self._shaped_ramp(x, p.m1, p.m2, ascending=True)
             falling = self._shaped_ramp(x, p.m3, p.m4, ascending=False)
@@ -258,7 +276,12 @@ class PCAMCell:
                      ascending: bool) -> np.ndarray:
         """Non-linear ramp between ``lo`` and ``hi`` (future-work mode)."""
         p = self.params
-        t = np.clip((x - lo) / (hi - lo), 0.0, 1.0)
+        span = hi - lo
+        if span <= 0.0:
+            # Empty ramp region: the caller never selects these values.
+            t = np.zeros_like(x)
+        else:
+            t = np.clip((x - lo) / span, 0.0, 1.0)
         if not ascending:
             t = 1.0 - t
         if self.nonlinearity == "sigmoid":

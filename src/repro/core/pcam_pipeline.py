@@ -10,12 +10,23 @@ A :class:`PCAMPipeline` holds named stages — each an ideal
 feature vector to a single probability.  The paper's composition is
 the product; ``min``, geometric-mean and arithmetic-mean compositions
 are provided for the ablation benches (DESIGN.md section 5, item 3).
+
+Batch evaluation
+----------------
+The analog array matches every applied input in a single cycle, so
+the software model must not pay a Python-interpreter round trip per
+packet.  :meth:`PCAMPipeline.evaluate_batch` (and the batch variants
+of the trace/energy entry points) evaluate a whole feature matrix
+through :meth:`PCAMCell.response_array` in one NumPy pass.  The
+scalar entry points delegate to the batch kernels with size-1 arrays,
+so there is exactly one evaluation code path; equivalence is pinned
+by ``tests/test_batch_equivalence.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Protocol, Sequence
+from typing import Callable, Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -23,18 +34,57 @@ from repro.core.device_cell import DevicePCAMCell
 from repro.core.pcam_cell import PCAMCell, PCAMParams
 
 __all__ = [
+    "BATCH_COMPOSITIONS",
     "COMPOSITIONS",
     "MatchStage",
+    "MissingFeatureError",
     "PCAMPipeline",
+    "PipelineFeatureError",
     "StageOutput",
+    "UnknownFeatureError",
 ]
 
 
+class PipelineFeatureError(Exception):
+    """A feature vector does not line up with the pipeline's stages."""
+
+
+class MissingFeatureError(PipelineFeatureError, KeyError):
+    """A feature mapping lacks values for one or more stages."""
+
+    def __init__(self, missing: Sequence[str],
+                 stage_names: Sequence[str]) -> None:
+        self.missing = tuple(missing)
+        self.stage_names = tuple(stage_names)
+        super().__init__(
+            f"missing features for stages {sorted(self.missing)}; "
+            f"pipeline stages are {list(self.stage_names)}")
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class UnknownFeatureError(PipelineFeatureError, ValueError):
+    """A feature mapping names keys no pipeline stage matches."""
+
+    def __init__(self, unknown: Sequence[str],
+                 stage_names: Sequence[str]) -> None:
+        self.unknown = tuple(unknown)
+        self.stage_names = tuple(stage_names)
+        super().__init__(
+            f"unknown feature keys {sorted(self.unknown)}; "
+            f"pipeline stages are {list(self.stage_names)}")
+
+
 class MatchStage(Protocol):
-    """Anything that maps a scalar feature to a match probability."""
+    """Anything that maps scalar features to match probabilities."""
 
     def response(self, value: float) -> float:
         """Match probability for a scalar feature."""
+        ...
+
+    def response_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised match probabilities for a feature array."""
         ...
 
     def program(self, params: PCAMParams) -> object:
@@ -45,6 +95,36 @@ class MatchStage(Protocol):
     def params(self) -> PCAMParams:
         """The stage's current eight-parameter set."""
         ...
+
+
+# ----------------------------------------------------------------------
+# Composition rules.  The batch forms reduce a (n_stages, batch) matrix
+# along axis 0; the scalar forms are retained for API compatibility and
+# reduce a 1-D per-stage vector exactly the way one batch column does.
+# ----------------------------------------------------------------------
+def _batch_product(probabilities: np.ndarray) -> np.ndarray:
+    return np.prod(probabilities, axis=0)
+
+
+def _batch_min(probabilities: np.ndarray) -> np.ndarray:
+    return np.min(probabilities, axis=0)
+
+
+def _batch_geometric(probabilities: np.ndarray) -> np.ndarray:
+    return np.prod(probabilities, axis=0) ** (1.0 / probabilities.shape[0])
+
+
+def _batch_mean(probabilities: np.ndarray) -> np.ndarray:
+    return np.mean(probabilities, axis=0)
+
+
+#: Batch composition rules over a (n_stages, batch) probability matrix.
+BATCH_COMPOSITIONS: Mapping[str, Callable[[np.ndarray], np.ndarray]] = {
+    "product": _batch_product,
+    "min": _batch_min,
+    "geometric": _batch_geometric,
+    "mean": _batch_mean,
+}
 
 
 def _compose_product(probabilities: np.ndarray) -> float:
@@ -105,6 +185,7 @@ class PCAMPipeline:
         self._stages = dict(stages)
         self.composition = composition
         self._compose = COMPOSITIONS[composition]
+        self._compose_batch = BATCH_COMPOSITIONS[composition]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -130,14 +211,20 @@ class PCAMPipeline:
         self.stage(name).program(params)
 
     # ------------------------------------------------------------------
-    # Evaluation
+    # Feature validation
     # ------------------------------------------------------------------
+    def _check_mapping(self, features: Mapping[str, object]) -> None:
+        missing = [name for name in self._stages if name not in features]
+        if missing:
+            raise MissingFeatureError(missing, self.stage_names)
+        unknown = [key for key in features if key not in self._stages]
+        if unknown:
+            raise UnknownFeatureError(unknown, self.stage_names)
+
     def _feature_vector(self, features: Mapping[str, float] |
                         Sequence[float]) -> list[tuple[str, float]]:
         if isinstance(features, Mapping):
-            missing = [name for name in self._stages if name not in features]
-            if missing:
-                raise KeyError(f"missing features for stages: {missing}")
+            self._check_mapping(features)
             return [(name, float(features[name])) for name in self._stages]
         values = list(features)
         if len(values) != len(self._stages):
@@ -145,23 +232,118 @@ class PCAMPipeline:
                 f"expected {len(self._stages)} features, got {len(values)}")
         return list(zip(self._stages, (float(v) for v in values)))
 
+    def _feature_matrix(self, features: Mapping[str, np.ndarray] |
+                        np.ndarray) -> np.ndarray:
+        """Validate a feature batch into a (n_stages, batch) matrix.
+
+        Accepts either a mapping of stage name to 1-D array (scalars
+        broadcast), or a 2-D array of shape (batch, n_stages) with
+        columns in stage order.
+        """
+        if isinstance(features, Mapping):
+            self._check_mapping(features)
+            columns = []
+            for name in self._stages:
+                column = np.asarray(features[name], dtype=float)
+                if column.ndim > 1:
+                    raise ValueError(
+                        f"feature {name!r} must be at most 1-D, "
+                        f"got shape {column.shape}")
+                columns.append(np.atleast_1d(column))
+            try:
+                columns = np.broadcast_arrays(*columns)
+            except ValueError:
+                lengths = {name: np.atleast_1d(
+                    np.asarray(features[name])).shape[0]
+                    for name in self._stages}
+                raise ValueError(
+                    f"feature arrays must share one batch length, "
+                    f"got {lengths}") from None
+            return np.array(columns, dtype=float)
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._stages):
+            raise ValueError(
+                f"feature matrix must have shape (batch, "
+                f"{len(self._stages)}), got {matrix.shape}")
+        return matrix.T.copy()
+
+    def _stage_probabilities(self, matrix: np.ndarray) -> np.ndarray:
+        """(n_stages, batch) probabilities from a feature matrix."""
+        return np.stack([
+            stage.response_array(matrix[index])
+            for index, stage in enumerate(self._stages.values())])
+
+    # ------------------------------------------------------------------
+    # Batch evaluation (the one true code path)
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, features: Mapping[str, np.ndarray] |
+                       np.ndarray) -> np.ndarray:
+        """Composite match probability for a whole feature batch.
+
+        ``features`` maps each stage name to an array of per-packet
+        feature values (or is a (batch, n_stages) matrix); the return
+        is the (batch,)-shaped composite probability — one analog
+        search result per packet, all evaluated in a single NumPy
+        pass.
+        """
+        matrix = self._feature_matrix(features)
+        return self._compose_batch(self._stage_probabilities(matrix))
+
+    def evaluate_trace_batch(self, features: Mapping[str, np.ndarray] |
+                             np.ndarray
+                             ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Batch composite probabilities plus per-stage breakdowns.
+
+        Returns ``(composite, per_stage)`` where ``per_stage`` maps
+        each stage name to its (batch,)-shaped probability array.
+        """
+        matrix = self._feature_matrix(features)
+        probabilities = self._stage_probabilities(matrix)
+        per_stage = {name: probabilities[index]
+                     for index, name in enumerate(self._stages)}
+        return self._compose_batch(probabilities), per_stage
+
+    def evaluate_with_energy_batch(
+            self, features: Mapping[str, np.ndarray] | np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """(batch probabilities, total evaluation energy in joules).
+
+        Ideal stages contribute zero energy; device stages contribute
+        their per-read evaluation energy summed over the batch.
+        """
+        matrix = self._feature_matrix(features)
+        rows = []
+        energy = 0.0
+        for index, stage in enumerate(self._stages.values()):
+            if isinstance(stage, DevicePCAMCell):
+                probabilities, stage_energy = stage.evaluate_array(
+                    matrix[index])
+                rows.append(probabilities)
+                energy += stage_energy
+            else:
+                rows.append(stage.response_array(matrix[index]))
+        return self._compose_batch(np.stack(rows)), energy
+
+    # ------------------------------------------------------------------
+    # Scalar evaluation (delegates to the batch kernels)
+    # ------------------------------------------------------------------
     def evaluate(self, features: Mapping[str, float] |
                  Sequence[float]) -> float:
         """Composite match probability for a full feature vector."""
         pairs = self._feature_vector(features)
-        probabilities = np.array(
-            [self._stages[name].response(value) for name, value in pairs])
-        return self._compose(probabilities)
+        batch = {name: np.array([value]) for name, value in pairs}
+        return float(self.evaluate_batch(batch)[0])
 
     def evaluate_trace(self, features: Mapping[str, float] |
                        Sequence[float]) -> tuple[float, list[StageOutput]]:
         """Composite probability plus the per-stage breakdown."""
         pairs = self._feature_vector(features)
+        batch = {name: np.array([value]) for name, value in pairs}
+        composite, per_stage = self.evaluate_trace_batch(batch)
         outputs = [StageOutput(name=name, feature=value,
-                               probability=self._stages[name].response(value))
+                               probability=float(per_stage[name][0]))
                    for name, value in pairs]
-        probabilities = np.array([o.probability for o in outputs])
-        return self._compose(probabilities), outputs
+        return float(composite[0]), outputs
 
     def programming_energy_j(self) -> float:
         """Total programming energy of device-realised stages [J]."""
@@ -177,17 +359,9 @@ class PCAMPipeline:
         their two-read evaluation energy.
         """
         pairs = self._feature_vector(features)
-        probabilities = []
-        energy = 0.0
-        for name, value in pairs:
-            stage = self._stages[name]
-            if isinstance(stage, DevicePCAMCell):
-                result = stage.evaluate(value)
-                probabilities.append(result.probability)
-                energy += result.energy_j
-            else:
-                probabilities.append(stage.response(value))
-        return self._compose(np.array(probabilities)), energy
+        batch = {name: np.array([value]) for name, value in pairs}
+        probabilities, energy = self.evaluate_with_energy_batch(batch)
+        return float(probabilities[0]), energy
 
     @classmethod
     def from_params(cls, params: Mapping[str, PCAMParams],

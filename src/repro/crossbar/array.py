@@ -137,37 +137,62 @@ class Crossbar:
         read noise, sneak-path leakage per column, and crosstalk
         between adjacent bitlines.  Energy is the sum of per-cell Joule
         dissipation plus sneak losses over the read pulse.
+
+        Delegates to :meth:`matvec_batch` with a batch of one, so the
+        scalar and batched sensing paths are a single kernel (and a
+        shared RNG draws the same noise stream either way).
         """
         v = np.asarray(voltages, dtype=float)
         if v.shape != (self.n_rows,):
             raise ValueError(f"expected {self.n_rows} voltages, got {v.shape}")
+        result = self.matvec_batch(v[None, :], duration_s, noisy=noisy)
+        return MatVecResult(currents_a=result.currents_a[0],
+                            energy_j=result.energy_j,
+                            duration_s=duration_s)
+
+    def matvec_batch(self, voltages: np.ndarray,
+                     duration_s: float = 1e-9, *,
+                     noisy: bool = True) -> MatVecResult:
+        """A burst of analog matrix-vector multiplies in one NumPy pass.
+
+        ``voltages`` has shape (batch, n_rows); the result's
+        ``currents_a`` has shape (batch, n_cols) and ``energy_j`` is
+        the total dissipation of the whole burst.  Each batch item
+        models one read cycle, so noise is drawn independently per
+        item and ``operations`` advances by the batch size.
+        """
+        vb = np.asarray(voltages, dtype=float)
+        if vb.ndim != 2 or vb.shape[1] != self.n_rows:
+            raise ValueError(
+                f"expected (batch, {self.n_rows}) voltages, "
+                f"got {vb.shape}")
         if duration_s <= 0:
             raise ValueError(f"duration must be positive: {duration_s!r}")
 
         attenuation = self.losses.attenuation_matrix(
             self.n_rows, self.n_cols, self._conductances)
-        effective_v = v[:, None] * attenuation
-        cell_currents = effective_v * self._conductances
+        effective_v = vb[:, :, None] * attenuation[None, :, :]
+        cell_currents = effective_v * self._conductances[None, :, :]
         if noisy and self.variability.read_sigma > 0.0:
             noise = self._rng.lognormal(
                 mean=0.0, sigma=self.variability.read_sigma,
                 size=cell_currents.shape)
             cell_currents = cell_currents * noise
 
-        column_currents = cell_currents.sum(axis=0)
+        column_currents = cell_currents.sum(axis=1)
         # Sneak leakage: every driven row leaks into each column via
         # unselected paths.
-        sneak_per_column = sum(
-            self.losses.sneak_current(abs(vi), self.n_rows - 1) for vi in v)
-        column_currents = column_currents + sneak_per_column
+        sneak_per_column = self.losses.sneak_current(
+            np.abs(vb).sum(axis=1), self.n_rows - 1)
+        column_currents = column_currents + sneak_per_column[:, None]
         column_currents = self.losses.apply_crosstalk(column_currents)
 
         cell_energy = float(
             np.abs(effective_v * cell_currents).sum() * duration_s)
         sneak_energy = float(
-            sneak_per_column * self.n_cols
-            * (np.abs(v).max(initial=0.0)) * duration_s)
-        self._operations += 1
+            (sneak_per_column * self.n_cols
+             * np.abs(vb).max(axis=1, initial=0.0)).sum() * duration_s)
+        self._operations += vb.shape[0]
         return MatVecResult(currents_a=column_currents,
                             energy_j=cell_energy + sneak_energy,
                             duration_s=duration_s)
@@ -178,6 +203,15 @@ class Crossbar:
         if v.shape != (self.n_rows,):
             raise ValueError(f"expected {self.n_rows} voltages, got {v.shape}")
         return self._conductances.T @ v
+
+    def ideal_matvec_batch(self, voltages: np.ndarray) -> np.ndarray:
+        """Lossless, noiseless ``V G`` over a (batch, n_rows) matrix."""
+        vb = np.asarray(voltages, dtype=float)
+        if vb.ndim != 2 or vb.shape[1] != self.n_rows:
+            raise ValueError(
+                f"expected (batch, {self.n_rows}) voltages, "
+                f"got {vb.shape}")
+        return vb @ self._conductances
 
     def relative_error(self, voltages: np.ndarray,
                        trials: int = 8) -> float:

@@ -98,13 +98,17 @@ class LineLossModel:
         return drive_voltage * self.sneak_conductance_s * n_unselected
 
     def apply_crosstalk(self, signals: np.ndarray) -> np.ndarray:
-        """Mix each line's signal with its immediate neighbours."""
+        """Mix each line's signal with its immediate neighbours.
+
+        Operates along the last axis, so a (batch, n_lines) matrix of
+        sensed column currents is mixed row-by-row in one pass.
+        """
         values = np.asarray(signals, dtype=float)
-        if self.crosstalk_fraction == 0.0 or values.size < 2:
+        if self.crosstalk_fraction == 0.0 or values.shape[-1] < 2:
             return values.copy()
         mixed = values * (1.0 - 2.0 * self.crosstalk_fraction)
-        mixed[0] += values[0] * self.crosstalk_fraction
-        mixed[-1] += values[-1] * self.crosstalk_fraction
-        mixed[1:] += values[:-1] * self.crosstalk_fraction
-        mixed[:-1] += values[1:] * self.crosstalk_fraction
+        mixed[..., 0] += values[..., 0] * self.crosstalk_fraction
+        mixed[..., -1] += values[..., -1] * self.crosstalk_fraction
+        mixed[..., 1:] += values[..., :-1] * self.crosstalk_fraction
+        mixed[..., :-1] += values[..., 1:] * self.crosstalk_fraction
         return mixed

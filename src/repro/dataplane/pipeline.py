@@ -14,12 +14,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.dataplane.controller import CognitiveNetworkController
 from repro.packet import Packet
 from repro.dataplane.parser import HeaderParser, ParseError
 from repro.dataplane.telemetry import TelemetryCollector, stamp_packet
-from repro.dataplane.traffic_manager import CognitiveTrafficManager
+from repro.dataplane.traffic_manager import (
+    Admission,
+    CognitiveTrafficManager,
+)
 from repro.energy.ledger import EnergyLedger
 from repro.netfunc.aqm.pcam_aqm import PCAMAQM
 from repro.netfunc.firewall import Action, Firewall, FirewallRule
@@ -166,6 +170,76 @@ class AnalogPacketProcessor:
         self.telemetry.record_event("overflow_drop")
         return self._finish(Verdict.DROPPED_OVERFLOW, port=port,
                             packet=packet)
+
+    def process_batch(self, packets: Sequence[Packet], now: float = 0.0,
+                      chunk_size: int = 64) -> list[ProcessResult]:
+        """Run many packets through the pipeline in admission chunks.
+
+        The digital match-action tables (ACL, IP lookup) are consulted
+        per packet — TCAM lookups are single-cycle either way — but
+        egress admission is batched: all survivors of a chunk bound
+        for the same port are judged by that port's AQM in one
+        vectorised pCAM search against the chunk-start queue state.
+        Results are returned in input order; ``chunk_size=1``
+        reproduces :meth:`process` exactly.
+        """
+        if chunk_size < 1:
+            raise ValueError(
+                f"chunk size must be >= 1: {chunk_size!r}")
+        results: list[ProcessResult | None] = [None] * len(packets)
+        for start in range(0, len(packets), chunk_size):
+            chunk = packets[start:start + chunk_size]
+            # Digital MATs first; collect the survivors per port.
+            staged: dict[int, list[tuple[int, Packet]]] = {}
+            for offset, packet in enumerate(chunk):
+                index = start + offset
+                acl = self.firewall.check(packet)
+                self.telemetry.record_lookup(
+                    "firewall",
+                    hit=acl is not self.firewall.default_action,
+                    verdict=acl.value)
+                if acl is Action.DENY:
+                    packet.dropped = True
+                    self.telemetry.record_event("acl_drop")
+                    results[index] = self._finish(Verdict.DROPPED_ACL,
+                                                  packet=packet)
+                    continue
+                dst = packet.field("dst_ip")
+                next_hop = self.lookup.lookup(dst) if dst else None
+                self.telemetry.record_lookup("ip_lookup",
+                                             hit=next_hop is not None,
+                                             verdict=next_hop)
+                if next_hop is None:
+                    packet.dropped = True
+                    self.telemetry.record_event("no_route_drop")
+                    results[index] = self._finish(
+                        Verdict.DROPPED_NO_ROUTE, packet=packet)
+                    continue
+                port = self._ports_by_hop[next_hop]
+                stamp_packet(packet, f"egress{port}",
+                             self.traffic_manager.backlog(port), now)
+                staged.setdefault(port, []).append((index, packet))
+            # Batched egress admission per port.
+            for port, entries in staged.items():
+                outcomes = self.traffic_manager.enqueue_batch(
+                    port, [packet for _, packet in entries], now)
+                self.telemetry.set_gauge(
+                    f"port{port}.backlog",
+                    self.traffic_manager.backlog(port))
+                for (index, packet), outcome in zip(entries, outcomes):
+                    if outcome is Admission.QUEUED:
+                        results[index] = self._finish(
+                            Verdict.QUEUED, port=port, packet=packet)
+                    elif outcome is Admission.AQM_DROP:
+                        self.telemetry.record_event("aqm_drop")
+                        results[index] = self._finish(
+                            Verdict.DROPPED_AQM, port=port, packet=packet)
+                    else:
+                        self.telemetry.record_event("overflow_drop")
+                        results[index] = self._finish(
+                            Verdict.DROPPED_OVERFLOW, port=port,
+                            packet=packet)
+        return [result for result in results if result is not None]
 
     def drain(self, port: int, now: float = 0.0,
               limit: int | None = None) -> list[Packet]:

@@ -8,13 +8,29 @@ block of Figure 6, where the pCAM-based AQM lives.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.packet import Packet
 from repro.dataplane.queues import PacketQueue
 from repro.netfunc.aqm.base import AQMAlgorithm
 
-__all__ = ["CognitiveTrafficManager", "PortStats", "TrafficManager"]
+__all__ = ["Admission", "CognitiveTrafficManager", "PortStats",
+           "TrafficManager"]
+
+
+class Admission(enum.Enum):
+    """Per-packet outcome of a (batched) enqueue attempt."""
+
+    QUEUED = "queued"
+    AQM_DROP = "aqm_drop"
+    OVERFLOW_DROP = "overflow_drop"
+
+    @property
+    def admitted(self) -> bool:
+        """True when the packet made it into a queue."""
+        return self is Admission.QUEUED
 
 
 @dataclass
@@ -72,6 +88,12 @@ class TrafficManager:
         else:
             self.stats[port].overflow_drops += 1
         return admitted
+
+    def enqueue_batch(self, port: int, packets: Sequence[Packet],
+                      now: float = 0.0) -> list[Admission]:
+        """Admit a chunk of packets; per-packet outcomes in order."""
+        return [Admission.QUEUED if self.enqueue(port, packet, now)
+                else Admission.OVERFLOW_DROP for packet in packets]
 
     def dequeue(self, port: int, now: float = 0.0) -> Packet | None:
         """Serve the highest-priority pending packet of a port."""
@@ -154,13 +176,35 @@ class CognitiveTrafficManager(TrafficManager):
 
     def enqueue(self, port: int, packet: Packet, now: float = 0.0) -> bool:
         """Admit a packet after consulting the port's AQM."""
+        return self.enqueue_batch(port, [packet], now)[0].admitted
+
+    def enqueue_batch(self, port: int, packets: Sequence[Packet],
+                      now: float = 0.0) -> list[Admission]:
+        """Admit a chunk after one batched AQM consultation.
+
+        The port's AQM judges the whole chunk against the chunk-start
+        queue state via its vectorised ``on_enqueue_batch`` hook (for
+        the pCAM AQM, a single analog-pipeline search for the entire
+        chunk); survivors are then pushed per packet so capacity is
+        still enforced exactly.  A chunk of one is the scalar path.
+        """
         if not 0 <= port < self.n_ports:
             raise IndexError(f"port {port} out of range")
-        if self._aqms[port].on_enqueue(packet, self._views[port], now):
-            packet.dropped = True
-            self.stats[port].aqm_drops += 1
-            return False
-        return super().enqueue(port, packet, now)
+        if not packets:
+            return []
+        drops = self._aqms[port].on_enqueue_batch(
+            packets, self._views[port], now)
+        outcomes: list[Admission] = []
+        for packet, drop in zip(packets, drops):
+            if drop:
+                packet.dropped = True
+                self.stats[port].aqm_drops += 1
+                outcomes.append(Admission.AQM_DROP)
+            elif super().enqueue(port, packet, now):
+                outcomes.append(Admission.QUEUED)
+            else:
+                outcomes.append(Admission.OVERFLOW_DROP)
+        return outcomes
 
     def dequeue(self, port: int, now: float = 0.0) -> Packet | None:
         """Serve the next packet, honouring AQM head drops."""

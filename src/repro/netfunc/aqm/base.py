@@ -17,7 +17,9 @@ internals.
 from __future__ import annotations
 
 import abc
-from typing import Protocol
+from typing import Protocol, Sequence
+
+import numpy as np
 
 from repro.packet import Packet
 
@@ -63,6 +65,17 @@ class AQMAlgorithm(abc.ABC):
                    now: float) -> bool:
         """Return True to drop the arriving packet."""
         return False
+
+    def on_enqueue_batch(self, packets: Sequence[Packet],
+                         queue: QueueView, now: float) -> np.ndarray:
+        """Per-packet drop verdicts for a chunk of arrivals.
+
+        The default consults :meth:`on_enqueue` packet by packet;
+        batch-capable algorithms (the pCAM AQM) override this with a
+        vectorised evaluation.
+        """
+        return np.array([self.on_enqueue(packet, queue, now)
+                         for packet in packets], dtype=bool)
 
     def on_dequeue(self, packet: Packet, queue: QueueView,
                    now: float, sojourn_s: float) -> bool:

@@ -29,6 +29,7 @@ zeroth-order thresholds when the delay leaves the programmed band.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -288,29 +289,78 @@ class PCAMAQM(AQMAlgorithm):
     # ------------------------------------------------------------------
     # Feature path
     # ------------------------------------------------------------------
-    def _features(self, queue: QueueView, now: float) -> dict[str, float]:
+    def _raw_features(self, queue: QueueView,
+                      now: float) -> dict[str, float]:
+        """Extractor output in feature units (pre-cap, pre-DAC)."""
         backlog_delay = 8.0 * queue.backlog_bytes / queue.service_rate_bps
         # The arriving packet will wait at least the current backlog's
         # drain time; before the first departure the measured sojourn
         # is still zero, so the backlog estimate is the floor.
         sojourn = max(queue.last_sojourn_s, backlog_delay)
-        raw = self._extractor.update(now, sojourn, backlog_delay)
+        return self._extractor.update(now, sojourn, backlog_delay)
+
+    def _features(self, queue: QueueView, now: float) -> dict[str, float]:
+        raw = self._raw_features(queue, now)
         features: dict[str, float] = {}
         for name in self.pipeline.stage_names:
             capped = min(raw[name], self._input_caps[name])
             features[name] = self._scalers[name].to_voltage(capped)
         return features
 
-    def pdp(self, queue: QueueView, now: float) -> float:
-        """Evaluate the pipeline: the raw Packet Drop Probability."""
-        features = self._features(queue, now)
-        pdp = self.pipeline.evaluate(features)
-        self.evaluations += 1
+    def drop_probabilities(self, features: "Mapping[str, np.ndarray]",
+                           priorities: np.ndarray | None = None
+                           ) -> np.ndarray:
+        """Batch Packet Drop Probabilities from feature-unit arrays.
+
+        ``features`` maps each stage name to an array of raw feature
+        values (same units the extractor produces — seconds of sojourn
+        time, etc.); each is capped into its stage's deterministic
+        plateau, DAC-scaled to voltages, and evaluated through the
+        pipeline's batch kernel in one pass.  With ``priorities`` the
+        per-class drop weights are applied element-wise, matching the
+        scalar enqueue path.
+        """
+        names = self.pipeline.stage_names
+        batch: dict[str, np.ndarray] = {}
+        for name in names:
+            if name not in features:
+                raise KeyError(f"missing feature {name!r}")
+            raw = np.atleast_1d(np.asarray(features[name], dtype=float))
+            capped = np.minimum(raw, self._input_caps[name])
+            batch[name] = self._scalers[name].to_voltage_array(capped)
+        pdps = self.pipeline.evaluate_batch(batch)
+        n = int(pdps.shape[0])
+        self.evaluations += n
         self.ledger.charge(
             "pcam_aqm.search",
-            len(self.pipeline) * _CELLS_PER_STAGE * self.energy_per_cell_j)
-        self.last_pdp = pdp
-        return pdp
+            n * len(self.pipeline) * _CELLS_PER_STAGE
+            * self.energy_per_cell_j)
+        self.last_pdp = float(pdps[-1])
+        if priorities is not None:
+            weights = np.array([self.priority_weights.get(int(p), 1.0)
+                                for p in np.atleast_1d(priorities)])
+            pdps = pdps * weights
+        return pdps
+
+    def pdp(self, queue: QueueView, now: float) -> float:
+        """Evaluate the pipeline: the raw Packet Drop Probability."""
+        raw = self._raw_features(queue, now)
+        batch = {name: np.array([raw[name]])
+                 for name in self.pipeline.stage_names}
+        return float(self.drop_probabilities(batch)[0])
+
+    def drop_decisions(self, drop_probabilities: np.ndarray,
+                       rng: np.random.Generator | None = None
+                       ) -> np.ndarray:
+        """Vectorised Bernoulli drop draws, one uniform per packet.
+
+        Consumes exactly one variate per element from the generator's
+        stream, in order — so a batch draw reproduces the decisions a
+        scalar loop would make from the same seeded stream.
+        """
+        p = np.atleast_1d(np.asarray(drop_probabilities, dtype=float))
+        generator = rng if rng is not None else self._rng
+        return generator.random(p.shape[0]) < p
 
     # ------------------------------------------------------------------
     # The update_pCAM() controller
@@ -356,20 +406,40 @@ class PCAMAQM(AQMAlgorithm):
     def on_enqueue(self, packet: Packet, queue: QueueView,
                    now: float) -> bool:
         """Bernoulli drop (or ECN mark) from the analog PDP."""
+        return bool(self.on_enqueue_batch([packet], queue, now)[0])
+
+    def on_enqueue_batch(self, packets: Sequence[Packet],
+                         queue: QueueView, now: float) -> np.ndarray:
+        """Batched admission: one pipeline search for a packet chunk.
+
+        All packets in the chunk are judged against the queue state at
+        chunk start (the scalar loop re-reads the backlog after every
+        admission; a chunk trades that refresh for one vectorised
+        evaluation).  One uniform variate is consumed per packet, in
+        packet order, so seeded runs stay reproducible chunk size
+        aside — and a chunk of one is exactly the scalar path.
+        """
+        n = len(packets)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
         if queue.backlog_packets <= 2:
-            return False
-        pdp = self.pdp(queue, now)
-        weight = self.priority_weights.get(packet.priority, 1.0)
+            return np.zeros(n, dtype=bool)
+        raw = self._raw_features(queue, now)
+        features = {name: np.full(n, raw[name])
+                    for name in self.pipeline.stage_names}
+        priorities = np.array([packet.priority for packet in packets])
+        pdps = self.drop_probabilities(features, priorities=priorities)
         self._maybe_adapt(now)
-        congested = bool(self._rng.random() < pdp * weight)
-        if not congested:
-            return False
-        if self.ecn_enabled and packet.field("ect", False):
-            # Congestion Experienced: signal instead of discarding.
-            packet.fields["ce"] = True
-            self.ecn_marks += 1
-            return False
-        return True
+        congested = self.drop_decisions(pdps)
+        drops = np.array(congested, dtype=bool)
+        if self.ecn_enabled:
+            for index, packet in enumerate(packets):
+                if drops[index] and packet.field("ect", False):
+                    # Congestion Experienced: signal, don't discard.
+                    packet.fields["ce"] = True
+                    self.ecn_marks += 1
+                    drops[index] = False
+        return drops
 
     def on_dequeue(self, packet: Packet, queue: QueueView,
                    now: float, sojourn_s: float) -> bool:

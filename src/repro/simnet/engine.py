@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable
+from typing import Callable, Iterable
 
 __all__ = ["Simulator"]
 
@@ -58,6 +58,30 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time} before now ({self._now})")
         heapq.heappush(self._heap, (time, next(self._sequence), callback))
+
+    def schedule_batch(self, delay: float,
+                       callbacks: Iterable[Callable[[], None]]) -> None:
+        """Schedule a chunk of callbacks as one heap event.
+
+        All callbacks fire at the same timestamp, in submission order,
+        through a single heap entry — one ``heappush``/``heappop`` per
+        chunk instead of per packet.  This is the event-loop half of
+        batched admission: a traffic generator emitting a burst hands
+        the whole burst to the queue in one event, and the queue's
+        batch-capable AQM judges it with one vectorised evaluation.
+        ``processed`` still advances once per callback.
+        """
+        chunk = tuple(callbacks)
+        if not chunk:
+            return
+
+        def fire() -> None:
+            for index, callback in enumerate(chunk):
+                callback()
+                if index:  # the loop counts the event itself once
+                    self._processed += 1
+
+        self.schedule(delay, fire)
 
     def stop(self) -> None:
         """Stop the loop after the current event returns."""

@@ -8,6 +8,9 @@ the last resort), and full metrics instrumentation.
 from __future__ import annotations
 
 from collections import deque
+from typing import Sequence
+
+import numpy as np
 
 from repro.packet import Packet
 from repro.netfunc.aqm.base import AQMAlgorithm, TailDropAQM
@@ -106,6 +109,36 @@ class BottleneckQueue:
         self.admitted += 1
         if not self._busy:
             self._serve_next()
+
+    def enqueue_batch(self, packets: Sequence[Packet]) -> int:
+        """Admit a chunk of simultaneous arrivals; returns how many.
+
+        The AQM is consulted once for the whole chunk through its
+        vectorised :meth:`~repro.netfunc.aqm.base.AQMAlgorithm.
+        on_enqueue_batch` hook — all verdicts are made against the
+        chunk-start queue state (a chunk of one is exactly
+        :meth:`enqueue`).  Capacity is still enforced per packet as
+        survivors are appended.
+        """
+        now = self.sim.now
+        verdicts = np.asarray(
+            self.aqm.on_enqueue_batch(packets, self, now), dtype=bool)
+        admitted = 0
+        for packet, drop in zip(packets, verdicts):
+            if drop:
+                self._drop(packet, aqm=True)
+                continue
+            if len(self._queue) >= self.capacity_packets:
+                self._drop(packet, aqm=False)
+                continue
+            packet.enqueued_at = now
+            self._queue.append(packet)
+            self._backlog_bytes += packet.size_bytes
+            self.admitted += 1
+            admitted += 1
+        if admitted and not self._busy:
+            self._serve_next()
+        return admitted
 
     def _serve_next(self) -> None:
         while self._queue:

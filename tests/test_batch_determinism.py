@@ -1,0 +1,212 @@
+"""Seeded-RNG reproducibility of the batched stochastic paths.
+
+Every stochastic batch kernel draws its variates from the same stream,
+in the same order, as the scalar loop it replaces — so two components
+built from the same seed make identical decisions whether the work
+arrives one packet at a time or as one vectorised chunk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import Crossbar
+from repro.crossbar.losses import LineLossModel
+from repro.dataplane.pipeline import AnalogPacketProcessor
+from repro.device.variability import VariabilityModel
+from repro.netfunc.aqm.pcam_aqm import PCAMAQM
+from repro.packet import Packet
+from repro.simnet.engine import Simulator
+from repro.simnet.queue_sim import BottleneckQueue
+
+
+class StaticView:
+    """A frozen QueueView so batch and scalar see identical state."""
+
+    def __init__(self, backlog_packets=900, packet_bytes=1500,
+                 capacity_packets=1000, service_rate_bps=1e6,
+                 last_sojourn_s=0.5):
+        self.backlog_packets = backlog_packets
+        self.backlog_bytes = backlog_packets * packet_bytes
+        self.capacity_packets = capacity_packets
+        self.service_rate_bps = service_rate_bps
+        self.last_sojourn_s = last_sojourn_s
+
+
+def make_packets(n, priority=None):
+    return [Packet(size_bytes=1500,
+                   priority=(i % 2 if priority is None else priority),
+                   fields={"id": i})
+            for i in range(n)]
+
+
+class TestAQMDeterminism:
+    def test_batch_reproduces_scalar_loop_from_same_seed(self):
+        view = StaticView()
+        batch_aqm = PCAMAQM(rng=np.random.default_rng(42))
+        scalar_aqm = PCAMAQM(rng=np.random.default_rng(42))
+        batch = batch_aqm.on_enqueue_batch(make_packets(64), view, 2.0)
+        scalar = [scalar_aqm.on_enqueue(packet, view, 2.0)
+                  for packet in make_packets(64)]
+        assert list(batch) == scalar
+        assert batch_aqm.evaluations == scalar_aqm.evaluations
+        assert batch_aqm.last_pdp == pytest.approx(scalar_aqm.last_pdp)
+
+    def test_same_seed_same_batch_decisions(self):
+        view = StaticView()
+        first = PCAMAQM(rng=np.random.default_rng(7)) \
+            .on_enqueue_batch(make_packets(50), view, 1.0)
+        second = PCAMAQM(rng=np.random.default_rng(7)) \
+            .on_enqueue_batch(make_packets(50), view, 1.0)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seeds_diverge(self):
+        view = StaticView(backlog_packets=600, last_sojourn_s=0.025)
+        draws = [PCAMAQM(rng=np.random.default_rng(seed))
+                 .on_enqueue_batch(make_packets(200), view, 1.0)
+                 for seed in (1, 2)]
+        assert not np.array_equal(draws[0], draws[1])
+
+    def test_drop_decisions_consume_one_variate_per_packet(self):
+        aqm = PCAMAQM()
+        p = np.array([0.3, 0.7, 0.0, 1.0, 0.5])
+        decisions = aqm.drop_decisions(p, rng=np.random.default_rng(9))
+        expected = np.random.default_rng(9).random(5) < p
+        np.testing.assert_array_equal(decisions, expected)
+
+    def test_drop_decisions_batch_equals_scalar_stream(self):
+        p = np.linspace(0.0, 1.0, 17)
+        aqm = PCAMAQM()
+        batch = aqm.drop_decisions(p, rng=np.random.default_rng(3))
+        scalar_rng = np.random.default_rng(3)
+        scalar = [bool(aqm.drop_decisions(np.array([x]),
+                                          rng=scalar_rng)[0])
+                  for x in p]
+        assert list(batch) == scalar
+
+    def test_empty_chunk_draws_nothing(self):
+        aqm = PCAMAQM(rng=np.random.default_rng(5))
+        result = aqm.on_enqueue_batch([], StaticView(), 1.0)
+        assert result.shape == (0,)
+        # The stream is untouched: the next draw equals a fresh seed's.
+        assert aqm.drop_decisions(np.array([0.5])) == \
+            (np.random.default_rng(5).random(1) < 0.5)
+
+
+class TestCrossbarDeterminism:
+    def make(self, seed):
+        crossbar = Crossbar(
+            8, 6,
+            losses=LineLossModel(wire_resistance_per_cell_ohm=1.0,
+                                 sneak_conductance_s=1e-9,
+                                 crosstalk_fraction=0.02),
+            variability=VariabilityModel(read_sigma=0.05),
+            rng=np.random.default_rng(seed))
+        crossbar.program_normalised(
+            np.random.default_rng(77).random((8, 6)))
+        return crossbar
+
+    def test_batch_matches_scalar_loop_same_stream(self):
+        voltages = np.random.default_rng(3).random((16, 8))
+        batched, scalar = self.make(11), self.make(11)
+        batch = batched.matvec_batch(voltages)
+        results = [scalar.matvec(voltages[i]) for i in range(16)]
+        np.testing.assert_allclose(
+            batch.currents_a,
+            np.stack([r.currents_a for r in results]), rtol=1e-9)
+        assert batch.energy_j == pytest.approx(
+            sum(r.energy_j for r in results), rel=1e-9)
+        assert batched.operations == scalar.operations == 16
+
+    def test_noiseless_batch_bitwise_reproducible(self):
+        voltages = np.random.default_rng(4).random((8, 8))
+        a = self.make(1).matvec_batch(voltages, noisy=False)
+        b = self.make(2).matvec_batch(voltages, noisy=False)
+        np.testing.assert_array_equal(a.currents_a, b.currents_a)
+
+
+class TestChunkedAdmission:
+    def build(self, seed):
+        processor = AnalogPacketProcessor(
+            n_ports=2,
+            aqm_factory=lambda: PCAMAQM(rng=np.random.default_rng(seed)))
+        processor.add_route("10.0.0.0/8", 0)
+        processor.add_route("192.168.0.0/16", 1)
+        return processor
+
+    def traffic(self, n=80):
+        rng = np.random.default_rng(21)
+        packets = []
+        for i in range(n):
+            dst = "10.1.2.3" if rng.random() < 0.7 else "192.168.1.9"
+            packets.append(Packet(
+                size_bytes=1000, priority=int(rng.random() < 0.3),
+                fields={"dst_ip": dst, "src_ip": "1.2.3.4"}))
+        return packets
+
+    def test_chunk_of_one_reproduces_scalar_process(self):
+        batched, scalar = self.build(9), self.build(9)
+        batch = batched.process_batch(self.traffic(), now=0.5,
+                                      chunk_size=1)
+        reference = [scalar.process(packet, now=0.5)
+                     for packet in self.traffic()]
+        assert [r.verdict for r in batch] == \
+            [r.verdict for r in reference]
+        assert [r.port for r in batch] == [r.port for r in reference]
+        assert batched.verdict_counts == scalar.verdict_counts
+
+    def test_chunked_run_is_seed_reproducible(self):
+        first = self.build(13).process_batch(self.traffic(), now=0.5,
+                                             chunk_size=16)
+        second = self.build(13).process_batch(self.traffic(), now=0.5,
+                                              chunk_size=16)
+        assert [r.verdict for r in first] == [r.verdict for r in second]
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            self.build(1).process_batch(self.traffic(4), chunk_size=0)
+
+
+class TestSimnetBatch:
+    def run_queue(self, batched: bool):
+        sim = Simulator()
+        queue = BottleneckQueue(
+            sim, service_rate_bps=1e6, capacity_packets=50,
+            aqm=PCAMAQM(rng=np.random.default_rng(3)))
+        packets = make_packets(120, priority=0)
+        if batched:
+            sim.schedule_batch(
+                0.001,
+                [(lambda chunk=packets[i:i + 30]:
+                  queue.enqueue_batch(chunk))
+                 for i in range(0, 120, 30)])
+        else:
+            for packet in packets:
+                sim.schedule(0.001, lambda p=packet: queue.enqueue(p))
+        sim.run_until(2.0)
+        return queue
+
+    def test_batched_arrivals_conserve_packets(self):
+        queue = self.run_queue(batched=True)
+        assert (queue.admitted + queue.aqm_drops
+                + queue.overflow_drops) == 120
+        assert queue.overflow_drops > 0  # capacity still enforced
+
+    def test_batched_run_reproducible(self):
+        a, b = self.run_queue(True), self.run_queue(True)
+        assert (a.admitted, a.aqm_drops, a.overflow_drops) == \
+            (b.admitted, b.aqm_drops, b.overflow_drops)
+
+    def test_schedule_batch_counts_each_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_batch(0.5, [lambda i=i: fired.append(i)
+                                 for i in range(4)])
+        assert sim.pending == 1  # one heap entry for the whole chunk
+        sim.run_until(1.0)
+        assert fired == [0, 1, 2, 3]
+        assert sim.processed == 4
+
+    def test_schedule_batch_empty_is_noop(self):
+        sim = Simulator()
+        sim.schedule_batch(0.5, [])
+        assert sim.pending == 0

@@ -1,0 +1,148 @@
+"""Degenerate pCAM programmings: zero-width ramps and flat rails.
+
+``M1 == M2`` or ``M3 == M4`` collapses a probabilistic ramp to a
+zero-width step, and ``pmin == pmax`` pins the cell to a constant
+output.  All are legal programmings (a controller narrowing a window
+can reach them), and neither the scalar nor the batch transfer
+function may divide by zero on the way.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.pcam_cell import MatchRegion, PCAMCell, PCAMParams
+from repro.core.pcam_pipeline import PCAMPipeline
+
+PROBE = np.array([-5.0, -1.0, 0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 7.0])
+
+
+def evaluate_strict(cell, values):
+    """Scalar + batch responses with warnings promoted to errors."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        batch = cell.response_array(values)
+        scalar = np.array([cell.response(float(v)) for v in values])
+    return batch, scalar
+
+
+class TestZeroWidthRamps:
+    def test_m1_equals_m2_steps_to_plateau(self):
+        params = PCAMParams.canonical(1.0, 1.0, 2.0, 3.0)
+        assert params.canonical_sa == 0.0
+        cell = PCAMCell(params)
+        batch, scalar = evaluate_strict(cell, PROBE)
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+        # The step sits at M1 == M2; the mismatch side keeps the
+        # boundary point (x <= M1 -> pmin), the plateau is open-left.
+        assert cell.response(1.0) == 0.0
+        assert cell.response(1.001) == 1.0
+        assert cell.response(2.0) == 1.0
+
+    def test_m3_equals_m4_steps_to_floor(self):
+        params = PCAMParams.canonical(0.0, 1.0, 2.0, 2.0)
+        assert params.canonical_sb == 0.0
+        cell = PCAMCell(params)
+        batch, scalar = evaluate_strict(cell, PROBE)
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+        # Mirrored: x >= M4 -> pmin keeps the boundary point.
+        assert cell.response(1.999) == 1.0
+        assert cell.response(2.0) == 0.0
+
+    def test_both_ramps_degenerate_is_a_window_function(self):
+        params = PCAMParams.canonical(1.0, 1.0, 2.0, 2.0)
+        cell = PCAMCell(params)
+        batch, scalar = evaluate_strict(cell, PROBE)
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+        inside = (PROBE > 1.0) & (PROBE < 2.0)
+        np.testing.assert_array_equal(batch, np.where(inside, 1.0, 0.0))
+
+    def test_all_thresholds_equal_has_empty_support(self):
+        params = PCAMParams.canonical(1.5, 1.5, 1.5, 1.5)
+        cell = PCAMCell(params)
+        batch, scalar = evaluate_strict(cell, PROBE)
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+        # Support is the open interval (M1, M4), here empty: the cell
+        # reads pmin everywhere, including at the collapsed point.
+        np.testing.assert_array_equal(batch, np.zeros(PROBE.shape))
+        assert cell.response(1.5) == 0.0
+
+    def test_noncanonical_slopes_with_empty_ramps(self):
+        # Arbitrary programmed slopes must not leak into the empty
+        # regions' output (their branch values are never selected).
+        params = PCAMParams(m1=1.0, m2=1.0, m3=2.0, m4=2.0,
+                            sa=123.0, sb=-456.0)
+        cell = PCAMCell(params)
+        batch, scalar = evaluate_strict(cell, PROBE)
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+        assert np.all((batch == 0.0) | (batch == 1.0))
+
+
+class TestFlatRails:
+    def test_pmin_equals_pmax_is_constant_inside_support(self):
+        params = PCAMParams.canonical(0.0, 1.0, 2.0, 3.0,
+                                      pmax=0.5, pmin=0.5)
+        cell = PCAMCell(params)
+        batch, scalar = evaluate_strict(cell, PROBE)
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+        np.testing.assert_array_equal(batch, np.full(PROBE.shape, 0.5))
+        assert params.canonical_sa == 0.0
+        assert params.canonical_sb == 0.0
+
+    def test_fully_degenerate_cell(self):
+        params = PCAMParams.canonical(1.0, 1.0, 1.0, 1.0,
+                                      pmax=0.25, pmin=0.25)
+        cell = PCAMCell(params)
+        batch, scalar = evaluate_strict(cell, PROBE)
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+        np.testing.assert_array_equal(batch,
+                                      np.full(PROBE.shape, 0.25))
+
+
+class TestDegenerateTransforms:
+    def test_widened_survives_degenerate_windows(self):
+        params = PCAMParams.canonical(1.0, 1.0, 2.0, 2.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            wider = params.widened(2.0)
+        assert wider.m1 <= wider.m2 <= wider.m3 <= wider.m4
+
+    def test_shifted_preserves_degeneracy(self):
+        params = PCAMParams.canonical(1.0, 1.0, 2.0, 3.0)
+        moved = params.shifted(0.5)
+        assert moved.m1 == moved.m2 == 1.5
+        cell = PCAMCell(moved)
+        batch, scalar = evaluate_strict(cell, PROBE)
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+
+    def test_region_classification_degenerate(self):
+        cell = PCAMCell(PCAMParams.canonical(1.0, 1.0, 2.0, 2.0))
+        assert cell.region(1.5) is MatchRegion.MATCH
+        assert cell.region(0.5) is MatchRegion.MISMATCH_LOW
+        assert cell.region(2.5) is MatchRegion.MISMATCH_HIGH
+
+
+class TestDegeneratePipelines:
+    def test_pipeline_with_degenerate_stage_scalar_and_batch(self):
+        pipeline = PCAMPipeline.from_params({
+            "window": PCAMParams.canonical(1.0, 1.0, 2.0, 2.0),
+            "flat": PCAMParams.canonical(0.0, 1.0, 2.0, 3.0,
+                                         pmax=0.5, pmin=0.5)})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            scalar = pipeline.evaluate({"window": 1.5, "flat": 1.5})
+            batch = pipeline.evaluate_batch(
+                {"window": PROBE, "flat": PROBE})
+        assert scalar == pytest.approx(0.5)
+        reference = np.array([
+            pipeline.evaluate({"window": float(v), "flat": float(v)})
+            for v in PROBE])
+        np.testing.assert_allclose(batch, reference, rtol=1e-9)
+
+    def test_reversed_thresholds_still_rejected(self):
+        with pytest.raises(ValueError):
+            PCAMParams.canonical(3.0, 2.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            PCAMParams(0.0, 1.0, 2.0, 3.0, sa=1.0, sb=-1.0,
+                       pmax=0.2, pmin=0.8)

@@ -94,7 +94,7 @@ class TestErrors:
                 pCAM(x: 0, 1, 2) } } }""")
 
     def test_invalid_thresholds_reported(self):
-        with pytest.raises(DSLError, match="M1 < M2"):
+        with pytest.raises(DSLError, match="M1 <= M2"):
             parse_table("""table t { output { pipeline {
                 pCAM(x: 3, 2, 1, 0) } } }""")
 

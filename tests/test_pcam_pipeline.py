@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core.pcam_cell import PCAMCell, prog_pcam
-from repro.core.pcam_pipeline import COMPOSITIONS, PCAMPipeline
+from repro.core.pcam_pipeline import (
+    COMPOSITIONS,
+    MissingFeatureError,
+    PCAMPipeline,
+    PipelineFeatureError,
+    UnknownFeatureError,
+)
 
 P1 = prog_pcam(0.0, 1.0, 2.0, 3.0)
 P2 = prog_pcam(-1.0, 0.0, 1.0, 2.0)
@@ -35,6 +41,49 @@ class TestEvaluation:
     def test_wrong_length_sequence_rejected(self):
         with pytest.raises(ValueError):
             make_pipeline().evaluate([1.0])
+
+    def test_missing_feature_error_names_stages(self):
+        with pytest.raises(MissingFeatureError) as excinfo:
+            make_pipeline().evaluate({"a": 1.0})
+        message = str(excinfo.value)
+        assert "'b'" in message
+        assert "['a', 'b']" in message
+        # Backward compatible with callers catching KeyError, and
+        # catchable via the family base class.
+        assert isinstance(excinfo.value, KeyError)
+        assert isinstance(excinfo.value, PipelineFeatureError)
+
+    def test_missing_feature_error_str_is_not_reprd(self):
+        # KeyError.__str__ would wrap the message in quotes.
+        error = MissingFeatureError(["b"], ("a", "b"))
+        assert str(error) == ("missing features for stages ['b']; "
+                              "pipeline stages are ['a', 'b']")
+
+    def test_unknown_feature_key_rejected(self):
+        with pytest.raises(UnknownFeatureError) as excinfo:
+            make_pipeline().evaluate({"a": 1.0, "b": 0.5, "c": 2.0})
+        message = str(excinfo.value)
+        assert "'c'" in message
+        assert isinstance(excinfo.value, ValueError)
+        assert isinstance(excinfo.value, PipelineFeatureError)
+
+    def test_batch_mapping_raises_same_typed_errors(self):
+        pipeline = make_pipeline()
+        with pytest.raises(MissingFeatureError):
+            pipeline.evaluate_batch({"a": np.zeros(3)})
+        with pytest.raises(UnknownFeatureError):
+            pipeline.evaluate_batch({"a": np.zeros(3),
+                                     "b": np.zeros(3),
+                                     "z": np.zeros(3)})
+
+    def test_batch_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="batch length"):
+            make_pipeline().evaluate_batch({"a": np.zeros(3),
+                                            "b": np.zeros(4)})
+
+    def test_batch_matrix_wrong_width_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            make_pipeline().evaluate_batch(np.zeros((4, 3)))
 
     def test_any_zero_stage_kills_product(self):
         pipeline = make_pipeline()
