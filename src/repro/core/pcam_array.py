@@ -44,6 +44,21 @@ class PCAMWord:
         """The word's field names."""
         return tuple(self._cells)
 
+    @property
+    def cells(self) -> Mapping[str, PCAMCell]:
+        """Read-only view of the word's cells, keyed by field.
+
+        This is the fault-injection surface: robustness tooling walks
+        it to attach :class:`~repro.robustness.models.CellFault`
+        instances to individual cells.
+        """
+        return dict(self._cells)
+
+    def clone_ideal(self) -> "PCAMWord":
+        """A healthy copy programmed with each cell's intended params."""
+        return PCAMWord({field: PCAMCell(cell.intended_params)
+                         for field, cell in self._cells.items()})
+
     def cell(self, field: str) -> PCAMCell:
         """The cell storing one named field."""
         try:
@@ -178,6 +193,26 @@ class PCAMArray:
         if not 0 <= index < len(self._words):
             raise IndexError(f"word {index} out of range")
         return self._words[index]
+
+    @property
+    def words(self) -> tuple[PCAMWord, ...]:
+        """All stored words in row order (fault-injection surface)."""
+        return tuple(self._words)
+
+    def clone_ideal(self) -> "PCAMArray":
+        """A healthy copy of the array: same geometry and thresholds,
+        every cell reprogrammed with its intended parameters.
+
+        The differential oracle searches the clone alongside the
+        (possibly faulted) original to measure match-probability error.
+        """
+        clone = PCAMArray(self.fields,
+                          match_threshold=self.match_threshold,
+                          energy_per_cell_j=self.energy_per_cell_j,
+                          search_latency_s=self.search_latency_s)
+        for word in self._words:
+            clone.add(word.clone_ideal())
+        return clone
 
     def remove(self, index: int) -> None:
         """Delete a stored word by row index."""

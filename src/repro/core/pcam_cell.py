@@ -211,15 +211,59 @@ class PCAMCell:
         self.clip_to_rails = clip_to_rails
         self.nonlinearity = nonlinearity
         self._evaluations = 0
+        self._intended_params = params
+        self._fault = None
 
     @property
     def evaluations(self) -> int:
         """Number of match evaluations performed."""
         return self._evaluations
 
+    @property
+    def intended_params(self) -> PCAMParams:
+        """The parameters the programmer asked for.
+
+        Equal to :attr:`params` on a healthy cell; under an injected
+        fault, :attr:`params` holds what the hardware realises while
+        this keeps the clean program — the reference the differential
+        oracle and the shadow digital oracle compare against.
+        """
+        return self._intended_params
+
+    @property
+    def fault(self):
+        """The injected fault instance, or None on a healthy cell."""
+        return self._fault
+
+    def inject_fault(self, fault) -> None:
+        """Attach a materialised :class:`repro.robustness.models.CellFault`.
+
+        The fault perturbs the realised parameters immediately and its
+        signal-path hooks run on every subsequent evaluation.
+        """
+        self._fault = fault
+        self.params = fault.faulted_params(self._intended_params)
+
+    def clear_fault(self) -> None:
+        """Detach any injected fault and restore the intended program."""
+        self._fault = None
+        self.params = self._intended_params
+
     def program(self, params: PCAMParams) -> None:
-        """Reprogram the cell — the ``update_pCAM()`` entry point."""
-        self.params = params
+        """Reprogram the cell — the ``update_pCAM()`` entry point.
+
+        An injected fault decides what programming achieves: transient
+        faults (drift) are scrubbed, persistent ones (stuck cells)
+        survive, and programming-variance faults resample.
+        """
+        self._intended_params = params
+        if self._fault is not None:
+            realised = self._fault.on_program(params)
+            if not self._fault.active:
+                self._fault = None
+            self.params = realised
+        else:
+            self.params = params
 
     def region(self, value: float) -> MatchRegion:
         """Classify an input into one of the five regions."""
@@ -244,6 +288,8 @@ class PCAMCell:
     def response_array(self, values: np.ndarray) -> np.ndarray:
         """Vectorised transfer function over an input array."""
         x = np.asarray(values, dtype=float)
+        if self._fault is not None:
+            x = self._fault.transform_input(x)
         p = self.params
         self._evaluations += x.size
 
@@ -268,6 +314,8 @@ class PCAMCell:
             choicelist=[np.full_like(x, p.pmin), falling, rising],
             default=p.pmax,
         )
+        if self._fault is not None:
+            output = self._fault.transform_response(x, output)
         if self.clip_to_rails:
             output = np.clip(output, p.pmin, p.pmax)
         return output

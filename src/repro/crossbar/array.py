@@ -69,6 +69,7 @@ class Crossbar:
         self._conductances = np.full((n_rows, n_cols), g_off)
         self._write_energy = 0.0
         self._operations = 0
+        self._fault_plan = None
 
     # ------------------------------------------------------------------
     # Programming
@@ -99,6 +100,8 @@ class Crossbar:
             raise ValueError(
                 f"conductances outside device window "
                 f"[{g_min:.3e}, {g_max:.3e}] S")
+        if self._fault_plan is not None:
+            target = self._fault_plan.pin(target)
         changed = int(np.count_nonzero(
             ~np.isclose(target, self._conductances)))
         self._conductances = target.copy()
@@ -120,6 +123,30 @@ class Crossbar:
     def write_energy_j(self) -> float:
         """Cumulative programming energy [J]."""
         return self._write_energy
+
+    @property
+    def fault_plan(self):
+        """The installed stuck-cell plan, or None when healthy."""
+        return self._fault_plan
+
+    def install_fault_plan(self, plan) -> None:
+        """Pin cells per a :class:`repro.device.faults.CrossbarFaultPlan`.
+
+        The pins are applied immediately and re-applied inside every
+        subsequent :meth:`program` call, so program-and-verify passes
+        can never revive a stuck cell.
+        """
+        if plan.shape != (self.n_rows, self.n_cols):
+            raise ValueError(
+                f"plan shape {plan.shape} != "
+                f"({self.n_rows}, {self.n_cols})")
+        self._fault_plan = plan
+        self._conductances = plan.pin(self._conductances)
+
+    def clear_fault_plan(self) -> None:
+        """Remove the stuck-cell plan (pinned values stay until the
+        next :meth:`program`)."""
+        self._fault_plan = None
 
     @property
     def operations(self) -> int:

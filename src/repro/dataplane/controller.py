@@ -50,6 +50,7 @@ class CognitiveNetworkController:
         self.compiler = compiler or CognitiveCompiler()
         self._functions: dict[str, RegisteredFunction] = {}
         self._placement: Placement | None = None
+        self._supervised: dict[str, object] = {}
         self.reprogram_events = 0
 
     # ------------------------------------------------------------------
@@ -120,6 +121,46 @@ class CognitiveNetworkController:
                 f"attached: {list(registration.pipelines)}") from None
         update_pcam(pipeline, stage, params)
         self.reprogram_events += 1
+
+    # ------------------------------------------------------------------
+    # Graceful-degradation supervision (retry/reprogram backoff)
+    # ------------------------------------------------------------------
+    def supervise(self, name: str, degrader) -> None:
+        """Register a degradable table for controller-driven retries.
+
+        ``degrader`` is anything exposing ``maybe_retry(now) -> bool``
+        and ``degraded`` — in practice a
+        :class:`repro.robustness.degradation.DegradingAQM`.  The
+        controller's periodic :meth:`tick` then owns the
+        reprogram-backoff loop instead of leaving it to the data path.
+        """
+        if name in self._supervised:
+            raise ValueError(f"table {name!r} already supervised")
+        self._supervised[name] = degrader
+
+    @property
+    def supervised(self) -> tuple[str, ...]:
+        """Names of every supervised degradable table."""
+        return tuple(self._supervised)
+
+    def degraded_tables(self) -> tuple[str, ...]:
+        """Supervised tables currently serving from their fallback."""
+        return tuple(name for name, degrader in self._supervised.items()
+                     if degrader.degraded)
+
+    def tick(self, now: float) -> tuple[str, ...]:
+        """Drive the retry/reprogram backoff of every degraded table.
+
+        Each successful retry is an ``update_pCAM`` reprogramming pass
+        and counts toward :attr:`reprogram_events`.  Returns the names
+        of the tables retried this tick.
+        """
+        retried = []
+        for name, degrader in self._supervised.items():
+            if degrader.maybe_retry(now):
+                self.reprogram_events += 1
+                retried.append(name)
+        return tuple(retried)
 
     def _require(self, name: str) -> RegisteredFunction:
         try:

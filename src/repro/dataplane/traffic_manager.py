@@ -14,6 +14,7 @@ from typing import Sequence
 
 from repro.packet import Packet
 from repro.dataplane.queues import PacketQueue
+from repro.dataplane.telemetry import TelemetryCollector
 from repro.netfunc.aqm.base import AQMAlgorithm
 
 __all__ = ["Admission", "CognitiveTrafficManager", "PortStats",
@@ -148,21 +149,41 @@ class _PortQueueView:
 
 
 class CognitiveTrafficManager(TrafficManager):
-    """A traffic manager with an AQM policy at every egress port."""
+    """A traffic manager with an AQM policy at every egress port.
+
+    With a ``telemetry`` collector attached, per-port admission
+    outcomes are recorded as events and any degradation-capable AQM
+    (one exposing a ``telemetry`` attribute, e.g.
+    :class:`repro.robustness.degradation.DegradingAQM`) that has no
+    collector of its own is wired to the shared one, so per-table
+    fallback events surface alongside the admission counters.
+    """
 
     def __init__(self, n_ports: int, aqm_factory, n_priorities: int = 2,
                  queue_capacity: int = 1024,
-                 port_rate_bps: float = 10e9) -> None:
+                 port_rate_bps: float = 10e9,
+                 telemetry: TelemetryCollector | None = None) -> None:
         super().__init__(n_ports, n_priorities, queue_capacity)
         if port_rate_bps <= 0:
             raise ValueError(
                 f"port rate must be positive: {port_rate_bps!r}")
         self.port_rate_bps = port_rate_bps
+        self.telemetry = telemetry
         self._aqms: list[AQMAlgorithm] = [aqm_factory()
                                           for _ in range(n_ports)]
+        if telemetry is not None:
+            for aqm in self._aqms:
+                if hasattr(aqm, "telemetry") and aqm.telemetry is None:
+                    aqm.telemetry = telemetry
         self._views = [_PortQueueView(self, port)
                        for port in range(n_ports)]
         self._last_sojourns = [0.0] * n_ports
+
+    @property
+    def degraded_ports(self) -> tuple[int, ...]:
+        """Ports whose AQM is currently serving from a fallback path."""
+        return tuple(port for port, aqm in enumerate(self._aqms)
+                     if getattr(aqm, "degraded", False))
 
     def aqm(self, port: int) -> AQMAlgorithm:
         """The AQM instance managing one port."""
@@ -204,6 +225,10 @@ class CognitiveTrafficManager(TrafficManager):
                 outcomes.append(Admission.QUEUED)
             else:
                 outcomes.append(Admission.OVERFLOW_DROP)
+        if self.telemetry is not None:
+            for outcome in outcomes:
+                self.telemetry.record_event(
+                    f"port{port}.{outcome.value}")
         return outcomes
 
     def dequeue(self, port: int, now: float = 0.0) -> Packet | None:

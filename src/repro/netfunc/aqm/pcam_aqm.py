@@ -29,7 +29,7 @@ zeroth-order thresholds when the delay leaves the programmed band.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -213,6 +213,12 @@ class PCAMAQM(AQMAlgorithm):
         self.feature_tau_s = feature_tau_s
         self.ecn_enabled = ecn_enabled
         self._rng = rng or np.random.default_rng()
+        #: Observation hook: called with (voltage-domain feature batch,
+        #: raw PDP array) after every pipeline evaluation, before
+        #: priority weighting.  The graceful-degradation shadow oracle
+        #: attaches here; None disables monitoring.
+        self.output_monitor: Callable[[dict[str, np.ndarray], np.ndarray],
+                                      None] | None = None
 
         self._base_specs = (dict(stage_programs)
                             if stage_programs is not None
@@ -336,6 +342,8 @@ class PCAMAQM(AQMAlgorithm):
             n * len(self.pipeline) * _CELLS_PER_STAGE
             * self.energy_per_cell_j)
         self.last_pdp = float(pdps[-1])
+        if self.output_monitor is not None:
+            self.output_monitor(batch, pdps)
         if priorities is not None:
             weights = np.array([self.priority_weights.get(int(p), 1.0)
                                 for p in np.atleast_1d(priorities)])
@@ -361,6 +369,27 @@ class PCAMAQM(AQMAlgorithm):
         p = np.atleast_1d(np.asarray(drop_probabilities, dtype=float))
         generator = rng if rng is not None else self._rng
         return generator.random(p.shape[0]) < p
+
+    def reprogram_intended(self,
+                           write_energy_per_cell_j: float = 1e-12) -> int:
+        """Re-run ``prog_pCAM`` on every stage with its intended params.
+
+        This is the retry action of the graceful-degradation path: a
+        refresh scrub that clears transient faults (drift) and
+        resamples programming variance, while stuck cells stay stuck.
+        Charges the write energy to the ledger and returns the number
+        of stages reprogrammed.
+        """
+        count = 0
+        for name in self.pipeline.stage_names:
+            stage = self.pipeline.stage(name)
+            intended = getattr(stage, "intended_params", stage.params)
+            stage.program(intended)
+            count += 1
+        self.ledger.charge(
+            "pcam_aqm.reprogram",
+            count * _CELLS_PER_STAGE * write_energy_per_cell_j)
+        return count
 
     # ------------------------------------------------------------------
     # The update_pCAM() controller

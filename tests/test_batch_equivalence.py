@@ -14,6 +14,14 @@ from hypothesis import given, settings, strategies as st
 from repro.core.pcam_array import PCAMArray, PCAMWord
 from repro.core.pcam_cell import PCAMCell, PCAMParams
 from repro.core.pcam_pipeline import COMPOSITIONS, PCAMPipeline
+from repro.robustness.models import (
+    CompositeFaultModel,
+    ConductanceDrift,
+    ConverterQuantization,
+    ProgrammingVariance,
+    StuckAtFault,
+    TransientReadNoise,
+)
 
 RTOL = 1e-9
 
@@ -223,3 +231,89 @@ def test_empty_array_batch_search():
     assert result.probabilities.shape == (4, 0)
     assert list(result.best_indices) == [-1] * 4
     assert array.searches == 4
+
+
+# ----------------------------------------------------------------------
+# Under every fault model — the equivalence must survive injection
+# ----------------------------------------------------------------------
+# Stochastic faults draw one variate per evaluated element, in element
+# order, so a faulted batch read must reproduce the stream a scalar
+# loop consumes from an identically materialised fault.
+FAULT_MODELS = [
+    StuckAtFault(state="lrs"),
+    StuckAtFault(state="hrs"),
+    ConductanceDrift(scale=0.4),
+    ProgrammingVariance(sigma=0.15),
+    ConverterQuantization(dac_bits=4, adc_bits=5),
+    TransientReadNoise(sigma=0.08),
+    CompositeFaultModel([ConductanceDrift(scale=0.2),
+                         ConverterQuantization(dac_bits=5, adc_bits=5),
+                         TransientReadNoise(sigma=0.04)]),
+]
+
+
+def _twin_faulted_cells(model, params, seed):
+    """Two cells carrying identically materialised fault instances.
+
+    Stochastic faults hold their own RNG stream, which evaluation
+    consumes — so batch and scalar legs each need a fresh twin rather
+    than sharing one cell.
+    """
+    cells = []
+    for _ in range(2):
+        cell = PCAMCell(params)
+        cell.inject_fault(model.materialise(cell.intended_params,
+                                            np.random.default_rng(seed)))
+        cells.append(cell)
+    return cells
+
+
+@pytest.mark.parametrize("model", FAULT_MODELS, ids=lambda m: m.name)
+def test_faulted_cell_batch_matches_scalar(model):
+    params = PCAMParams.canonical(0.0, 1.0, 2.0, 3.0,
+                                  pmax=0.95, pmin=0.05)
+    values = np.linspace(-1.5, 4.5, 37)
+    batch_cell, scalar_cell = _twin_faulted_cells(model, params, seed=42)
+    batch = batch_cell.response_array(values)
+    reference = np.array([scalar_cell.response(float(v))
+                          for v in values])
+    assert np.allclose(batch, reference, rtol=RTOL, atol=0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), index=st.integers(0, len(FAULT_MODELS) - 1),
+       seed=st.integers(0, 2**32 - 1))
+def test_faulted_cell_batch_matches_scalar_arbitrary_params(data, index,
+                                                            seed):
+    model = FAULT_MODELS[index]
+    params = data.draw(arbitrary_params())
+    values = data.draw(feature_batch(params))
+    batch_cell, scalar_cell = _twin_faulted_cells(model, params, seed)
+    batch = batch_cell.response_array(values)
+    reference = np.array([scalar_cell.response(float(v))
+                          for v in values])
+    assert np.allclose(batch, reference, rtol=RTOL, atol=0.0)
+
+
+@pytest.mark.parametrize("model", FAULT_MODELS, ids=lambda m: m.name)
+def test_faulted_pipeline_batch_matches_scalar(model):
+    stage_params = {
+        "a": PCAMParams.canonical(0.0, 1.0, 2.0, 3.0),
+        "b": PCAMParams.canonical(-1.0, 0.0, 1.0, 2.0),
+        "c": PCAMParams.canonical(0.5, 1.5, 2.5, 3.5, pmin=0.1)}
+    pipelines = []
+    for _ in range(2):
+        pipeline = PCAMPipeline.from_params(stage_params)
+        for offset, name in enumerate(pipeline.stage_names):
+            stage = pipeline.stage(name)
+            stage.inject_fault(model.materialise(
+                stage.intended_params, np.random.default_rng(7 + offset)))
+        pipelines.append(pipeline)
+    rng = np.random.default_rng(9)
+    batch = {name: rng.uniform(-2.0, 4.0, 25) for name in stage_params}
+    result = pipelines[0].evaluate_batch(batch)
+    reference = np.array([
+        pipelines[1].evaluate({name: float(values[i])
+                               for name, values in batch.items()})
+        for i in range(25)])
+    assert np.allclose(result, reference, rtol=RTOL, atol=0.0)

@@ -1,0 +1,145 @@
+"""The fault campaign: determinism, per-layer metrics, fallback proof.
+
+The acceptance criterion lives here: a seeded campaign over the full
+default model set (>= 4 models) on the Figure-6 AQM pipeline must
+complete deterministically, the differential oracle must report
+per-model degradation metrics, and the injected stuck-cell fault must
+demonstrably engage the digital fallback path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.robustness import (
+    CampaignConfig,
+    ConductanceDrift,
+    DegradationEnvelope,
+    FaultCampaign,
+    StuckAtFault,
+    default_fault_models,
+)
+
+#: Small but complete: every default model, real traffic phase.
+SMOKE = dict(n_probes=48, n_steps=32, chunk_size=16)
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return FaultCampaign(CampaignConfig(seed=7, **SMOKE)).run()
+
+
+def test_default_model_set_is_broad_and_unique():
+    models = default_fault_models()
+    assert len(models) >= 4
+    names = [model.name for model in models]
+    assert len(set(names)) == len(names)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(fault_models=())
+    with pytest.raises(ValueError):
+        CampaignConfig(n_probes=0)
+    with pytest.raises(ValueError):
+        CampaignConfig(cell_fraction=1.5)
+    with pytest.raises(ValueError):
+        FaultCampaign(CampaignConfig(), seed=3)  # config XOR overrides
+
+
+def test_campaign_is_deterministic_in_its_seed(smoke_result):
+    again = FaultCampaign(CampaignConfig(seed=7, **SMOKE)).run()
+    assert smoke_result.as_dict() == again.as_dict()
+
+
+def test_different_seed_changes_the_records(smoke_result):
+    other = FaultCampaign(CampaignConfig(seed=8, **SMOKE)).run()
+    assert smoke_result.as_dict() != other.as_dict()
+
+
+def test_oracle_reports_per_model_degradation(smoke_result):
+    assert len(smoke_result.records) == len(default_fault_models())
+    for record in smoke_result.records:
+        assert record.deviation.n_probes == SMOKE["n_probes"]
+        assert record.deviation.scalar_batch_max_diff <= 1e-9
+        assert record.n_injected > 0
+    # The oracle separates the models: a full stuck-at-LRS population
+    # is catastrophic, quantization is benign.
+    stuck = smoke_result.record("stuck_at_lrs")
+    quant = smoke_result.record("quantization_6b_dac_6b_adc")
+    assert stuck.deviation.mean_abs_error > 0.5
+    assert not stuck.within_envelope
+    assert quant.deviation.mean_abs_error < 0.01
+    assert quant.within_envelope
+
+
+def test_stuck_cell_fault_engages_digital_fallback(smoke_result):
+    record = smoke_result.record("stuck_at_lrs")
+    assert record.fallback_engaged
+    assert record.events.get("pcam_aqm.fallback_engaged", 0) >= 1
+    # Retries were attempted and the stuck cells kept failing them.
+    assert record.retries >= 1
+    assert record.recoveries == 0
+
+
+def test_layered_metrics_cover_crossbar_and_array(smoke_result):
+    stuck = smoke_result.record("stuck_at_lrs")
+    drift = smoke_result.record("conductance_drift")
+    assert stuck.crossbar_relative_error is not None
+    assert stuck.crossbar_relative_error > 0.0
+    assert drift.crossbar_relative_error is None  # not a stuck model
+    assert stuck.array_mean_abs_error > 0.0
+
+
+def test_energy_recorded_through_the_ledger(smoke_result):
+    assert smoke_result.baseline_energy_j > 0.0
+    for record in smoke_result.records:
+        assert record.energy_j > 0.0
+        assert record.energy_delta_j == pytest.approx(
+            record.energy_j - smoke_result.baseline_energy_j)
+    # Retrying tables paid reprogramming energy on top of the baseline.
+    assert smoke_result.record("stuck_at_lrs").energy_delta_j > 0.0
+
+
+def test_summary_names_every_model(smoke_result):
+    text = "\n".join(smoke_result.summary_lines())
+    for model in default_fault_models():
+        assert model.name in text
+
+
+def test_record_lookup_raises_on_unknown_model(smoke_result):
+    with pytest.raises(KeyError):
+        smoke_result.record("meteor_strike")
+
+
+def test_traffic_phase_can_be_disabled():
+    result = FaultCampaign(CampaignConfig(
+        seed=1, n_probes=16, include_traffic=False,
+        fault_models=(StuckAtFault("lrs"), ConductanceDrift()))).run()
+    assert result.baseline_energy_j == 0.0
+    for record in result.records:
+        assert record.energy_j == 0.0
+        assert not record.fallback_engaged
+        assert record.events == {}
+
+
+# ----------------------------------------------------------------------
+# Identity sanity (hypothesis): a fault-free campaign deviates nowhere
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_fault_free_campaign_reports_zero_deviation(seed):
+    """cell_fraction=0 injects nothing, so every leg is identical and
+    the oracle must report exact zeros for every model and seed."""
+    config = CampaignConfig(
+        seed=seed, n_probes=12, cell_fraction=0.0, include_traffic=False,
+        fault_models=(StuckAtFault("lrs"), ConductanceDrift()),
+        envelope=DegradationEnvelope(max_mean_abs_error=0.0,
+                                     max_abs_bias=0.0, max_abs_error=0.0))
+    for record in FaultCampaign(config).run().records:
+        assert record.n_injected == 0
+        assert record.deviation.mean_abs_error == 0.0
+        assert record.deviation.bias == 0.0
+        assert record.deviation.max_abs_error == 0.0
+        assert record.within_envelope
+        assert record.array_mean_abs_error == 0.0
