@@ -51,6 +51,7 @@ from repro.device import (
 )
 from repro.energy import EnergyLedger
 from repro.netfunc.aqm import PCAMAQM
+from repro.observability import MetricsRegistry, Observability
 from repro.packet import Packet
 
 __version__ = "1.0.0"
@@ -64,8 +65,10 @@ __all__ = [
     "FunctionKind",
     "MemristorDataset",
     "MemristorParams",
+    "MetricsRegistry",
     "NbSTOMemristor",
     "NetworkFunctionSpec",
+    "Observability",
     "PCAMAQM",
     "PCAMArray",
     "PCAMCell",

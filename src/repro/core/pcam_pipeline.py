@@ -32,6 +32,8 @@ import numpy as np
 
 from repro.core.device_cell import DevicePCAMCell
 from repro.core.pcam_cell import PCAMCell, PCAMParams
+from repro.observability.profiling import profiled
+from repro.observability.tracing import maybe_span
 
 __all__ = [
     "BATCH_COMPOSITIONS",
@@ -186,6 +188,13 @@ class PCAMPipeline:
         self.composition = composition
         self._compose = COMPOSITIONS[composition]
         self._compose_batch = BATCH_COMPOSITIONS[composition]
+        #: Optional observability hooks (set by the hub wiring): a
+        #: :class:`repro.observability.tracing.Tracer` emitting one
+        #: span per batch evaluation with a child per stage, and a
+        #: :class:`repro.observability.profiling.Profiler` receiving
+        #: the ``@profiled`` kernel wall times.  Both default to off.
+        self.tracer = None
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -269,13 +278,20 @@ class PCAMPipeline:
 
     def _stage_probabilities(self, matrix: np.ndarray) -> np.ndarray:
         """(n_stages, batch) probabilities from a feature matrix."""
-        return np.stack([
-            stage.response_array(matrix[index])
-            for index, stage in enumerate(self._stages.values())])
+        if self.tracer is None:
+            return np.stack([
+                stage.response_array(matrix[index])
+                for index, stage in enumerate(self._stages.values())])
+        rows = []
+        for index, (name, stage) in enumerate(self._stages.items()):
+            with self.tracer.span(f"pcam.stage.{name}"):
+                rows.append(stage.response_array(matrix[index]))
+        return np.stack(rows)
 
     # ------------------------------------------------------------------
     # Batch evaluation (the one true code path)
     # ------------------------------------------------------------------
+    @profiled("pcam.evaluate_batch")
     def evaluate_batch(self, features: Mapping[str, np.ndarray] |
                        np.ndarray) -> np.ndarray:
         """Composite match probability for a whole feature batch.
@@ -287,7 +303,9 @@ class PCAMPipeline:
         pass.
         """
         matrix = self._feature_matrix(features)
-        return self._compose_batch(self._stage_probabilities(matrix))
+        with maybe_span(self.tracer, "pcam.evaluate_batch",
+                        batch=int(matrix.shape[1])):
+            return self._compose_batch(self._stage_probabilities(matrix))
 
     def evaluate_trace_batch(self, features: Mapping[str, np.ndarray] |
                              np.ndarray
@@ -298,10 +316,13 @@ class PCAMPipeline:
         each stage name to its (batch,)-shaped probability array.
         """
         matrix = self._feature_matrix(features)
-        probabilities = self._stage_probabilities(matrix)
+        with maybe_span(self.tracer, "pcam.evaluate_batch",
+                        batch=int(matrix.shape[1])):
+            probabilities = self._stage_probabilities(matrix)
+            composite = self._compose_batch(probabilities)
         per_stage = {name: probabilities[index]
                      for index, name in enumerate(self._stages)}
-        return self._compose_batch(probabilities), per_stage
+        return composite, per_stage
 
     def evaluate_with_energy_batch(
             self, features: Mapping[str, np.ndarray] | np.ndarray
@@ -314,15 +335,18 @@ class PCAMPipeline:
         matrix = self._feature_matrix(features)
         rows = []
         energy = 0.0
-        for index, stage in enumerate(self._stages.values()):
-            if isinstance(stage, DevicePCAMCell):
-                probabilities, stage_energy = stage.evaluate_array(
-                    matrix[index])
-                rows.append(probabilities)
-                energy += stage_energy
-            else:
-                rows.append(stage.response_array(matrix[index]))
-        return self._compose_batch(np.stack(rows)), energy
+        with maybe_span(self.tracer, "pcam.evaluate_batch",
+                        batch=int(matrix.shape[1])):
+            for index, (name, stage) in enumerate(self._stages.items()):
+                with maybe_span(self.tracer, f"pcam.stage.{name}"):
+                    if isinstance(stage, DevicePCAMCell):
+                        probabilities, stage_energy = stage.evaluate_array(
+                            matrix[index])
+                        rows.append(probabilities)
+                        energy += stage_energy
+                    else:
+                        rows.append(stage.response_array(matrix[index]))
+            return self._compose_batch(np.stack(rows)), energy
 
     # ------------------------------------------------------------------
     # Scalar evaluation (delegates to the batch kernels)

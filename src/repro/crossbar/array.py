@@ -22,6 +22,8 @@ import numpy as np
 from repro.crossbar.losses import LineLossModel
 from repro.device.memristor import MemristorParams
 from repro.device.variability import VariabilityModel
+from repro.observability.profiling import profiled
+from repro.observability.tracing import maybe_span
 
 
 @dataclass(frozen=True)
@@ -70,6 +72,10 @@ class Crossbar:
         self._write_energy = 0.0
         self._operations = 0
         self._fault_plan = None
+        #: Optional observability hooks: a tracer spanning each batched
+        #: read and a profiler timing the ``@profiled`` kernel.
+        self.tracer = None
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Programming
@@ -177,6 +183,7 @@ class Crossbar:
                             energy_j=result.energy_j,
                             duration_s=duration_s)
 
+    @profiled("crossbar.matvec_batch")
     def matvec_batch(self, voltages: np.ndarray,
                      duration_s: float = 1e-9, *,
                      noisy: bool = True) -> MatVecResult:
@@ -195,7 +202,13 @@ class Crossbar:
                 f"got {vb.shape}")
         if duration_s <= 0:
             raise ValueError(f"duration must be positive: {duration_s!r}")
+        with maybe_span(self.tracer, "crossbar.matvec_batch",
+                        batch=int(vb.shape[0]), rows=self.n_rows,
+                        cols=self.n_cols):
+            return self._matvec_batch_kernel(vb, duration_s, noisy)
 
+    def _matvec_batch_kernel(self, vb: np.ndarray, duration_s: float,
+                             noisy: bool) -> MatVecResult:
         attenuation = self.losses.attenuation_matrix(
             self.n_rows, self.n_cols, self._conductances)
         effective_v = vb[:, :, None] * attenuation[None, :, :]

@@ -51,7 +51,42 @@ class CognitiveNetworkController:
         self._functions: dict[str, RegisteredFunction] = {}
         self._placement: Placement | None = None
         self._supervised: dict[str, object] = {}
+        self._observability = None
         self.reprogram_events = 0
+
+    # ------------------------------------------------------------------
+    # Observability (the run-time observation feed of Sec. 5)
+    # ------------------------------------------------------------------
+    def attach_observability(self, observability) -> None:
+        """Give the controller the shared observability hub to poll.
+
+        ``observability`` is a
+        :class:`repro.observability.hub.Observability`;
+        :class:`~repro.dataplane.pipeline.AnalogPacketProcessor`
+        attaches its hub automatically when built with one.
+        """
+        self._observability = observability
+
+    @property
+    def observability(self):
+        """The attached hub, or None."""
+        return self._observability
+
+    def poll_metrics(self) -> dict:
+        """One snapshot of every observed metric (the adaptation feed).
+
+        This is the "run-time observations" input of the paper's
+        cognitive loop: table hit/miss statistics, energy-account
+        totals, degradation fallback/retry counts and per-stage
+        latency histograms, in one JSON-able mapping.  Raises
+        :class:`RuntimeError` when no hub is attached.
+        """
+        if self._observability is None:
+            raise RuntimeError(
+                "no observability hub attached; build the processor "
+                "with observability=Observability() or call "
+                "attach_observability()")
+        return self._observability.snapshot()
 
     # ------------------------------------------------------------------
     # Registration & compilation

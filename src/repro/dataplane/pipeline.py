@@ -28,6 +28,8 @@ from repro.energy.ledger import EnergyLedger
 from repro.netfunc.aqm.pcam_aqm import PCAMAQM
 from repro.netfunc.firewall import Action, Firewall, FirewallRule
 from repro.netfunc.lookup import IPLookup
+from repro.observability.hub import Observability
+from repro.observability.tracing import maybe_span
 from repro.tcam.mtcam import MemristorTCAM
 
 __all__ = ["AnalogPacketProcessor", "ProcessResult", "Verdict"]
@@ -72,6 +74,15 @@ class AnalogPacketProcessor:
         Builds the per-port AQM; defaults to the pCAM-based AQM.
     port_rate_bps:
         Egress line rate used by the AQM's delay estimator.
+    observability:
+        Optional :class:`~repro.observability.hub.Observability` hub.
+        When given, the pipeline's telemetry collector and energy
+        ledger are folded onto the hub's registry, degradation-capable
+        AQMs are bound as fallback/retry metrics, the shared tracer is
+        threaded through every stage (parser -> tables -> traffic
+        manager -> queues -> pCAM pipeline), and the batch kernels
+        report to the hub's profiler.  Without a hub every hook stays
+        inert.
     """
 
     def __init__(self, n_ports: int = 4, *,
@@ -79,7 +90,8 @@ class AnalogPacketProcessor:
                  aqm_factory=None,
                  port_rate_bps: float = 10e9,
                  queue_capacity: int = 4096,
-                 controller: CognitiveNetworkController | None = None
+                 controller: CognitiveNetworkController | None = None,
+                 observability: Observability | None = None
                  ) -> None:
         if n_ports < 1:
             raise ValueError(f"need at least one port: {n_ports!r}")
@@ -96,16 +108,40 @@ class AnalogPacketProcessor:
                                  tcam=firewall_tcam, ledger=self.ledger)
         self.lookup = IPLookup(tcam=lookup_tcam, ledger=self.ledger)
         factory = aqm_factory or (lambda: PCAMAQM(ledger=self.ledger))
+        self.observability = observability
+        tracer = observability.tracer if observability else None
         self.traffic_manager = CognitiveTrafficManager(
             n_ports, aqm_factory=factory,
             queue_capacity=queue_capacity,
-            port_rate_bps=port_rate_bps)
+            port_rate_bps=port_rate_bps,
+            tracer=tracer)
         self.controller = controller or CognitiveNetworkController()
         self.telemetry = TelemetryCollector()
         self._ports_by_hop: dict[str, int] = {}
         self.processed = 0
         self.verdict_counts: dict[Verdict, int] = {
             verdict: 0 for verdict in Verdict}
+        if observability is not None:
+            self._wire_observability(observability)
+
+    def _wire_observability(self, obs: Observability) -> None:
+        """Bind every pipeline component to the shared hub."""
+        obs.watch_telemetry(self.telemetry)
+        obs.watch_ledger(self.ledger)
+        for port in range(self.traffic_manager.n_ports):
+            aqm = self.traffic_manager.aqm(port)
+            if hasattr(aqm, "maybe_retry") and hasattr(
+                    aqm, "fallback_events"):
+                table = getattr(aqm, "table", "pcam_aqm")
+                obs.watch_degradation(aqm, table=f"port{port}.{table}")
+            # The analog pipeline may sit directly on the AQM or one
+            # level down inside a degradation wrapper.
+            pipeline = getattr(aqm, "pipeline", None) or getattr(
+                getattr(aqm, "analog", None), "pipeline", None)
+            if pipeline is not None:
+                pipeline.tracer = obs.tracer
+                pipeline.profiler = obs.profiler
+        self.controller.attach_observability(obs)
 
     # ------------------------------------------------------------------
     # Configuration
@@ -128,15 +164,29 @@ class AnalogPacketProcessor:
     def process_frame(self, frame: bytes, now: float = 0.0
                       ) -> ProcessResult:
         """Parse a wire-format Ethernet frame and process it."""
-        try:
-            packet = self.parser.parse_frame(frame, created_at=now)
-        except ParseError:
-            return self._finish(Verdict.DROPPED_PARSE)
+        obs = self.observability
+        if obs is not None:
+            obs.set_time(now)
+        with maybe_span(obs and obs.tracer, "dataplane.parse"):
+            try:
+                packet = self.parser.parse_frame(frame, created_at=now)
+            except ParseError:
+                return self._finish(Verdict.DROPPED_PARSE)
         return self.process(packet, now)
 
     def process(self, packet: Packet, now: float = 0.0) -> ProcessResult:
         """Run one parsed packet through the match-action pipeline."""
-        acl = self.firewall.check(packet)
+        obs = self.observability
+        if obs is not None:
+            obs.set_time(now)
+        tracer = obs.tracer if obs else None
+        with maybe_span(tracer, "dataplane.process"):
+            return self._process(packet, now, tracer)
+
+    def _process(self, packet: Packet, now: float,
+                 tracer=None) -> ProcessResult:
+        with maybe_span(tracer, "dataplane.firewall"):
+            acl = self.firewall.check(packet)
         self.telemetry.record_lookup(
             "firewall",
             hit=acl is not self.firewall.default_action,
@@ -146,7 +196,8 @@ class AnalogPacketProcessor:
             self.telemetry.record_event("acl_drop")
             return self._finish(Verdict.DROPPED_ACL, packet=packet)
         dst = packet.field("dst_ip")
-        next_hop = self.lookup.lookup(dst) if dst else None
+        with maybe_span(tracer, "dataplane.ip_lookup"):
+            next_hop = self.lookup.lookup(dst) if dst else None
         self.telemetry.record_lookup("ip_lookup",
                                      hit=next_hop is not None,
                                      verdict=next_hop)
@@ -186,11 +237,26 @@ class AnalogPacketProcessor:
         if chunk_size < 1:
             raise ValueError(
                 f"chunk size must be >= 1: {chunk_size!r}")
+        obs = self.observability
+        if obs is not None:
+            obs.set_time(now)
+        tracer = obs.tracer if obs else None
         results: list[ProcessResult | None] = [None] * len(packets)
         for start in range(0, len(packets), chunk_size):
             chunk = packets[start:start + chunk_size]
-            # Digital MATs first; collect the survivors per port.
-            staged: dict[int, list[tuple[int, Packet]]] = {}
+            with maybe_span(tracer, "dataplane.process_batch",
+                            chunk=len(chunk)):
+                self._process_chunk(chunk, start, now, results, tracer)
+        return [result for result in results if result is not None]
+
+    def _process_chunk(self, chunk: Sequence[Packet], start: int,
+                       now: float,
+                       results: list[ProcessResult | None],
+                       tracer=None) -> None:
+        # Digital MATs first; collect the survivors per port.
+        staged: dict[int, list[tuple[int, Packet]]] = {}
+        with maybe_span(tracer, "dataplane.digital_mats",
+                        chunk=len(chunk)):
             for offset, packet in enumerate(chunk):
                 index = start + offset
                 acl = self.firewall.check(packet)
@@ -219,27 +285,26 @@ class AnalogPacketProcessor:
                 stamp_packet(packet, f"egress{port}",
                              self.traffic_manager.backlog(port), now)
                 staged.setdefault(port, []).append((index, packet))
-            # Batched egress admission per port.
-            for port, entries in staged.items():
-                outcomes = self.traffic_manager.enqueue_batch(
-                    port, [packet for _, packet in entries], now)
-                self.telemetry.set_gauge(
-                    f"port{port}.backlog",
-                    self.traffic_manager.backlog(port))
-                for (index, packet), outcome in zip(entries, outcomes):
-                    if outcome is Admission.QUEUED:
-                        results[index] = self._finish(
-                            Verdict.QUEUED, port=port, packet=packet)
-                    elif outcome is Admission.AQM_DROP:
-                        self.telemetry.record_event("aqm_drop")
-                        results[index] = self._finish(
-                            Verdict.DROPPED_AQM, port=port, packet=packet)
-                    else:
-                        self.telemetry.record_event("overflow_drop")
-                        results[index] = self._finish(
-                            Verdict.DROPPED_OVERFLOW, port=port,
-                            packet=packet)
-        return [result for result in results if result is not None]
+        # Batched egress admission per port.
+        for port, entries in staged.items():
+            outcomes = self.traffic_manager.enqueue_batch(
+                port, [packet for _, packet in entries], now)
+            self.telemetry.set_gauge(
+                f"port{port}.backlog",
+                self.traffic_manager.backlog(port))
+            for (index, packet), outcome in zip(entries, outcomes):
+                if outcome is Admission.QUEUED:
+                    results[index] = self._finish(
+                        Verdict.QUEUED, port=port, packet=packet)
+                elif outcome is Admission.AQM_DROP:
+                    self.telemetry.record_event("aqm_drop")
+                    results[index] = self._finish(
+                        Verdict.DROPPED_AQM, port=port, packet=packet)
+                else:
+                    self.telemetry.record_event("overflow_drop")
+                    results[index] = self._finish(
+                        Verdict.DROPPED_OVERFLOW, port=port,
+                        packet=packet)
 
     def drain(self, port: int, now: float = 0.0,
               limit: int | None = None) -> list[Packet]:

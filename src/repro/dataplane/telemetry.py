@@ -35,8 +35,13 @@ def stamp_packet(packet: Packet, component_id: str,
 
 
 def int_metadata(packet: Packet) -> list[dict]:
-    """The telemetry trail accumulated by a packet (possibly empty)."""
-    return list(packet.fields.get(INT_FIELD, []))
+    """The telemetry trail accumulated by a packet (possibly empty).
+
+    Records are copied per hop, not just the list: callers may freely
+    mutate the returned dicts (sinks annotate them) without corrupting
+    the packet's in-band trail.
+    """
+    return [dict(record) for record in packet.fields.get(INT_FIELD, [])]
 
 
 @dataclass

@@ -16,6 +16,7 @@ from repro.packet import Packet
 from repro.dataplane.queues import PacketQueue
 from repro.dataplane.telemetry import TelemetryCollector
 from repro.netfunc.aqm.base import AQMAlgorithm
+from repro.observability.tracing import Tracer, maybe_span
 
 __all__ = ["Admission", "CognitiveTrafficManager", "PortStats",
            "TrafficManager"]
@@ -162,13 +163,16 @@ class CognitiveTrafficManager(TrafficManager):
     def __init__(self, n_ports: int, aqm_factory, n_priorities: int = 2,
                  queue_capacity: int = 1024,
                  port_rate_bps: float = 10e9,
-                 telemetry: TelemetryCollector | None = None) -> None:
+                 telemetry: TelemetryCollector | None = None,
+                 tracer: Tracer | None = None) -> None:
         super().__init__(n_ports, n_priorities, queue_capacity)
         if port_rate_bps <= 0:
             raise ValueError(
                 f"port rate must be positive: {port_rate_bps!r}")
         self.port_rate_bps = port_rate_bps
         self.telemetry = telemetry
+        #: Optional span tracer covering AQM consults and queue admits.
+        self.tracer = tracer
         self._aqms: list[AQMAlgorithm] = [aqm_factory()
                                           for _ in range(n_ports)]
         if telemetry is not None:
@@ -213,18 +217,22 @@ class CognitiveTrafficManager(TrafficManager):
             raise IndexError(f"port {port} out of range")
         if not packets:
             return []
-        drops = self._aqms[port].on_enqueue_batch(
-            packets, self._views[port], now)
-        outcomes: list[Admission] = []
-        for packet, drop in zip(packets, drops):
-            if drop:
-                packet.dropped = True
-                self.stats[port].aqm_drops += 1
-                outcomes.append(Admission.AQM_DROP)
-            elif super().enqueue(port, packet, now):
-                outcomes.append(Admission.QUEUED)
-            else:
-                outcomes.append(Admission.OVERFLOW_DROP)
+        with maybe_span(self.tracer, "tm.enqueue", port=port,
+                        n=len(packets)):
+            with maybe_span(self.tracer, "tm.aqm", port=port):
+                drops = self._aqms[port].on_enqueue_batch(
+                    packets, self._views[port], now)
+            outcomes: list[Admission] = []
+            with maybe_span(self.tracer, "tm.queue", port=port):
+                for packet, drop in zip(packets, drops):
+                    if drop:
+                        packet.dropped = True
+                        self.stats[port].aqm_drops += 1
+                        outcomes.append(Admission.AQM_DROP)
+                    elif super().enqueue(port, packet, now):
+                        outcomes.append(Admission.QUEUED)
+                    else:
+                        outcomes.append(Admission.OVERFLOW_DROP)
         if self.telemetry is not None:
             for outcome in outcomes:
                 self.telemetry.record_event(
@@ -233,6 +241,10 @@ class CognitiveTrafficManager(TrafficManager):
 
     def dequeue(self, port: int, now: float = 0.0) -> Packet | None:
         """Serve the next packet, honouring AQM head drops."""
+        with maybe_span(self.tracer, "tm.dequeue", port=port):
+            return self._dequeue(port, now)
+
+    def _dequeue(self, port: int, now: float) -> Packet | None:
         while True:
             packet = super().dequeue(port, now)
             if packet is None:

@@ -47,7 +47,15 @@ class EnergyLedger:
         self._events += 1
 
     def merge(self, other: "EnergyLedger") -> None:
-        """Fold another ledger's accounts into this one."""
+        """Fold another ledger's accounts into this one.
+
+        Merging a ledger into itself is a guarded no-op: campaign code
+        that folds per-layer ledgers into a grand total can hit the
+        aliased case, and ``Counter.update(self)`` would silently
+        double every account and event.
+        """
+        if other is self:
+            return
         self._accounts.update(other._accounts)
         self._events += other._events
 

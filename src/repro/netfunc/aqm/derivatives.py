@@ -30,6 +30,10 @@ class ExponentialSmoother:
         self.tau_s = tau_s
         self._value: float | None = None
         self._last_time: float | None = None
+        # State of the most recent blend, kept so a coincident sample
+        # can replace it (see replace()).
+        self._prev_state: float | None = None
+        self._last_alpha = 0.0
 
     @property
     def value(self) -> float:
@@ -49,14 +53,41 @@ class ExponentialSmoother:
                 f"{self._last_time}")
         if dt > 0:
             alpha = 1.0 - math.exp(-dt / self.tau_s)
+            self._prev_state = self._value
+            self._last_alpha = alpha
             self._value += alpha * (sample - self._value)
             self._last_time = time_s
+        return self._value
+
+    def replace(self, time_s: float, sample: float) -> float:
+        """Last-writer-wins correction at the current timestamp.
+
+        Re-runs the most recent blend as if its sample had been
+        ``sample`` — the defined behaviour for coincident samples
+        (``dt == 0``), where :meth:`update` deliberately leaves the
+        state untouched (a zero-width interval has alpha 0).  A
+        replace before any history behaves like a first sample.
+        """
+        if self._value is None or self._last_time is None:
+            return self.update(time_s, sample)
+        if time_s != self._last_time:
+            raise ValueError(
+                f"replace() must target the last sample time "
+                f"{self._last_time}, got {time_s}")
+        if self._prev_state is None:
+            # Correcting the seed sample itself.
+            self._value = sample
+        else:
+            self._value = self._prev_state + self._last_alpha * (
+                sample - self._prev_state)
         return self._value
 
     def reset(self) -> None:
         """Forget all history (fresh smoothing state)."""
         self._value = None
         self._last_time = None
+        self._prev_state = None
+        self._last_alpha = 0.0
 
 
 class DerivativeChain:
@@ -77,22 +108,41 @@ class DerivativeChain:
         self._last_time: float | None = None
 
     def update(self, time_s: float, sample: float) -> list[float]:
-        """Feed one sample; returns [value, d1, ..., d_order]."""
-        outputs: list[float] = []
-        value = self._smoothers[0].update(time_s, sample)
-        outputs.append(value)
+        """Feed one sample; returns [value, d1, ..., d_order].
+
+        The first sample seeds *every* stage smoother (with a 0.0
+        derivative), so the second sample's raw finite difference is
+        blended through the stage low-pass instead of seeding it
+        directly — the analog stages are never bypassed.  Coincident
+        samples (``dt == 0``) are last-writer-wins: the newest sample
+        replaces the level fed to the chain at that instant (and the
+        stored previous value the next interval differentiates
+        against); the derivative stages hold, because a zero-width
+        interval carries no slope information.
+        """
         if self._last_time is None:
+            value = self._smoothers[0].update(time_s, sample)
+            outputs = [value]
             self._last_time = time_s
             self._previous[0] = value
             for index in range(1, self.order + 1):
-                self._previous[index] = 0.0
-                outputs.append(0.0)
+                seeded = self._smoothers[index].update(time_s, 0.0)
+                self._previous[index] = seeded
+                outputs.append(seeded)
             return outputs
         dt = time_s - self._last_time
-        if dt <= 0:
-            # Coincident sample: derivatives unchanged.
+        if dt < 0:
+            raise ValueError(
+                f"samples must be time-ordered: {time_s} < "
+                f"{self._last_time}")
+        if dt == 0:
+            # Last-writer-wins on the level; derivatives hold.
+            value = self._smoothers[0].replace(time_s, sample)
+            self._previous[0] = value
             return [value] + [self._smoothers[i].value
                               for i in range(1, self.order + 1)]
+        value = self._smoothers[0].update(time_s, sample)
+        outputs = [value]
         previous_value = value
         for index in range(1, self.order + 1):
             previous = self._previous[index - 1]

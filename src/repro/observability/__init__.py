@@ -1,0 +1,73 @@
+"""Unified observability: metrics registry, tracing, profiling hooks.
+
+The cognitive controller adapts the analog tables from run-time
+observations (paper Sec. 5), which requires a data plane observable
+end-to-end.  This package is that layer:
+
+* :mod:`~repro.observability.registry` — counters, gauges and
+  fixed-bucket histograms behind one :class:`MetricsRegistry`;
+* :mod:`~repro.observability.tracing` — :class:`Tracer`/:class:`Span`
+  context managers with sim-clock timestamps, threaded through the
+  data-plane stages, :meth:`PCAMPipeline.evaluate_batch` and
+  :meth:`Crossbar.matvec_batch`;
+* :mod:`~repro.observability.profiling` — the ``@profiled`` decorator
+  feeding per-site wall-time histograms;
+* :mod:`~repro.observability.adapters` — pull collectors folding the
+  existing :class:`TelemetryCollector`, :class:`EnergyLedger` and
+  degradation telemetry onto the shared registry;
+* :mod:`~repro.observability.export` — Prometheus text and JSON
+  exports (both round-trip), plus the exposition lint CI gates on;
+* :mod:`~repro.observability.hub` — :class:`Observability`, the one
+  handle the data plane and the controller share.
+"""
+
+from repro.observability.adapters import (
+    bind_degradation,
+    bind_ledger,
+    bind_telemetry,
+)
+from repro.observability.export import (
+    lint_prometheus,
+    parse_prometheus_text,
+    to_json,
+    to_prometheus_text,
+)
+from repro.observability.hub import Observability
+from repro.observability.profiling import (
+    Profiler,
+    get_default_profiler,
+    profiled,
+    set_default_profiler,
+)
+from repro.observability.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.tracing import SimClock, Span, Tracer, maybe_span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Profiler",
+    "SimClock",
+    "Span",
+    "Tracer",
+    "bind_degradation",
+    "bind_ledger",
+    "bind_telemetry",
+    "get_default_profiler",
+    "lint_prometheus",
+    "maybe_span",
+    "parse_prometheus_text",
+    "profiled",
+    "set_default_profiler",
+    "to_json",
+    "to_prometheus_text",
+]

@@ -1,0 +1,210 @@
+"""Exporters for the metrics registry: Prometheus text and JSON.
+
+The Prometheus text format is the interchange surface a scrape
+endpoint would serve; the JSON snapshot is the controller's poll
+format.  Both round-trip: :func:`parse_prometheus_text` recovers every
+sample from the text form, and
+:meth:`~repro.observability.registry.MetricsRegistry.from_snapshot`
+rebuilds a registry from the JSON form.  :func:`lint_prometheus`
+validates an exposition (CI runs it against the demo's output).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.observability.registry import MetricsRegistry
+
+__all__ = [
+    "lint_prometheus",
+    "parse_prometheus_text",
+    "to_json",
+    "to_prometheus_text",
+]
+
+
+def _format_value(value: float) -> str:
+    """Shortest faithful decimal: integers render without the '.0'."""
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _render_labels(labels: Mapping[str, str],
+                   extra: tuple[str, str] | None = None) -> str:
+    pairs = [(k, str(v)) for k, v in labels.items()]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(value)}"'
+                     for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def to_prometheus_text(registry: "MetricsRegistry") -> str:
+    """The registry as a Prometheus text exposition (runs collectors)."""
+    registry.collect()
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key in sorted(family.instruments):
+            instrument = family.instruments[key]
+            labels = dict(key)
+            if family.kind == "histogram":
+                cumulative = instrument.cumulative_counts()
+                bounds = [_format_value(b) for b in family.bounds]
+                bounds.append("+Inf")
+                for bound, count in zip(bounds, cumulative):
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_render_labels(labels, ('le', bound))} {count}")
+                lines.append(f"{family.name}_sum{_render_labels(labels)} "
+                             f"{_format_value(instrument.sum)}")
+                lines.append(f"{family.name}_count{_render_labels(labels)} "
+                             f"{instrument.count}")
+            else:
+                lines.append(f"{family.name}{_render_labels(labels)} "
+                             f"{_format_value(instrument.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: "MetricsRegistry", indent: int | None = None) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Parsing (round-trips and the CI lint)
+# ----------------------------------------------------------------------
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    rest = text
+    while rest:
+        name, _, rest = rest.partition("=")
+        if not rest.startswith('"'):
+            raise ValueError(f"malformed label value near {rest!r}")
+        rest = rest[1:]
+        value = []
+        while True:
+            if not rest:
+                raise ValueError("unterminated label value")
+            char, rest = rest[0], rest[1:]
+            if char == "\\":
+                escape, rest = rest[0], rest[1:]
+                value.append({"n": "\n", '"': '"', "\\": "\\"}[escape])
+            elif char == '"':
+                break
+            else:
+                value.append(char)
+        labels[name.strip()] = "".join(value)
+        rest = rest.lstrip(",")
+    return labels
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse an exposition into ``{"types": ..., "samples": [...]}``.
+
+    ``types`` maps family name to its declared type; ``samples`` is a
+    list of ``(name, labels, value)`` triples in file order.  Raises
+    :class:`ValueError` on malformed lines.
+    """
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if name in types:
+                raise ValueError(f"duplicate TYPE line for {name!r}")
+            types[name] = kind.strip()
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            labels_text, _, value_text = rest.rpartition("} ")
+            labels = _parse_labels(labels_text)
+        else:
+            name, _, value_text = line.rpartition(" ")
+            labels = {}
+        value_text = value_text.strip()
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        samples.append((name.strip(), labels, value))
+    return {"types": types, "helps": helps, "samples": samples}
+
+
+def _family_of(sample_name: str, types: Mapping[str, str]) -> str | None:
+    """The declaring family for a sample name, honouring histogram
+    suffixes."""
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[:-len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Validate an exposition; returns a list of problems (empty = ok).
+
+    Checks the properties CI gates on: every sample belongs to a
+    family with a TYPE line, no family declares its TYPE twice, no
+    (name, labels) sample appears twice, and histogram families carry
+    their ``_sum``/``_count`` series.
+    """
+    problems: list[str] = []
+    try:
+        parsed = parse_prometheus_text(text)
+    except ValueError as error:
+        return [f"unparseable exposition: {error}"]
+    types = parsed["types"]
+    seen: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+    families_seen: set[str] = set()
+    for name, labels, _value in parsed["samples"]:
+        family = _family_of(name, types)
+        if family is None:
+            problems.append(f"sample {name!r} has no TYPE line")
+            continue
+        families_seen.add(family)
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen:
+            problems.append(
+                f"duplicate sample {name!r} with labels {dict(labels)}")
+        seen.add(key)
+    for name, kind in types.items():
+        if kind not in ("counter", "gauge", "histogram"):
+            problems.append(f"family {name!r} has unknown type {kind!r}")
+        if kind == "histogram" and name in families_seen:
+            series = {s for s, _, _ in parsed["samples"]
+                      if _family_of(s, types) == name}
+            for suffix in ("_sum", "_count", "_bucket"):
+                if f"{name}{suffix}" not in series:
+                    problems.append(
+                        f"histogram {name!r} missing {name}{suffix} series")
+    return problems

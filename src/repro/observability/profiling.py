@@ -1,0 +1,111 @@
+"""Profiling hooks: a ``@profiled`` decorator for hot kernels.
+
+Batch kernels (:meth:`PCAMPipeline.evaluate_batch`,
+:meth:`Crossbar.matvec_batch`) carry a ``@profiled("site")``
+decorator.  It is inert — one attribute probe and one global check per
+call — until a :class:`Profiler` is installed, either on the owning
+instance (``pipeline.profiler = ...``, what the
+:class:`~repro.observability.hub.Observability` hub wires up) or
+process-wide via :func:`set_default_profiler`.  Once installed, every
+call observes its wall time into the shared
+``profiled_wall_seconds{site=...}`` histogram.
+
+Sim-time breakdowns come from tracing spans (the tracer clock); the
+profiler is deliberately wall-only, because the question it answers is
+"where does the *host* spend its time", the ROADMAP's hot-path lens.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Sequence, TypeVar
+
+from repro.observability.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Profiler",
+    "get_default_profiler",
+    "profiled",
+    "set_default_profiler",
+]
+
+F = TypeVar("F", bound=Callable)
+
+#: Metric family every profiled site reports into.
+PROFILE_METRIC = "profiled_wall_seconds"
+
+
+class Profiler:
+    """Routes ``@profiled`` wall times into a registry histogram."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S
+                 ) -> None:
+        self.registry = registry
+        self._buckets = tuple(buckets)
+        self._histograms: dict[str, Histogram] = {}
+
+    def record(self, site: str, wall_s: float) -> None:
+        """Observe one call's wall time for a named site."""
+        histogram = self._histograms.get(site)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                PROFILE_METRIC,
+                "Wall-clock time of @profiled kernel calls.",
+                {"site": site}, buckets=self._buckets)
+            self._histograms[site] = histogram
+        histogram.observe(wall_s)
+
+    def site_histogram(self, site: str) -> Histogram | None:
+        """The histogram backing one site (None before its first call)."""
+        return self._histograms.get(site)
+
+
+_default_profiler: Profiler | None = None
+
+
+def set_default_profiler(profiler: Profiler | None) -> None:
+    """Install (or clear, with None) the process-wide fallback profiler."""
+    global _default_profiler
+    _default_profiler = profiler
+
+
+def get_default_profiler() -> Profiler | None:
+    """The process-wide fallback profiler, if any."""
+    return _default_profiler
+
+
+def profiled(site: str) -> Callable[[F], F]:
+    """Decorate a function/method so its wall time is histogrammed.
+
+    Resolution order per call: the first positional argument's
+    ``profiler`` attribute (so an instrumented instance reports to its
+    hub), then the process default, else the call runs unobserved at
+    the cost of two cheap checks.
+    """
+    if not site:
+        raise ValueError("profiled() needs a non-empty site name")
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            profiler = getattr(args[0], "profiler", None) if args else None
+            if profiler is None:
+                profiler = _default_profiler
+            if profiler is None:
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                profiler.record(site, time.perf_counter() - start)
+
+        wrapper.__profiled_site__ = site
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

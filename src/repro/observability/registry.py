@@ -1,0 +1,362 @@
+"""The shared metrics registry: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` is the single snapshot surface the
+cognitive controller polls (paper Sec. 5: the controller "programs and
+adapts the analog tables from run-time observations").  Instruments
+are cheap enough to live on hot paths: a counter increment is one
+float add, a histogram observation is one bisect plus two adds, and
+hot-path code holds the instrument object directly instead of looking
+it up per event.
+
+Sources that keep their own state (the data-plane
+:class:`~repro.dataplane.telemetry.TelemetryCollector`, the
+:class:`~repro.energy.ledger.EnergyLedger`, the graceful-degradation
+wrappers) are folded in lazily through *collectors* — callbacks run
+before every snapshot/export — so existing components need no
+per-event plumbing (see :mod:`repro.observability.adapters`).
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Wall/sim latency buckets [s] — spans 1 us .. 1 s, one decade apart.
+DEFAULT_LATENCY_BUCKETS_S: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _label_key(labels: Mapping[str, str] | None
+               ) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    for name in labels:
+        if not _LABEL_NAME.match(name):
+            raise ValueError(f"invalid label name: {name!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (events, packets, joules)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str,
+                 labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0: {amount!r}")
+        self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite the running total (adapter/pull-collector use only).
+
+        Pull adapters mirror an absolute count kept elsewhere (table
+        lookups, ledger joules); monotonicity is the source's problem.
+        """
+        self._value = float(value)
+
+
+class Gauge:
+    """The latest sample of a continuously-varying quantity."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str,
+                 labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Latest sample."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Publish a fresh sample."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Adjust the gauge down by ``amount``."""
+        self._value -= amount
+
+
+class Histogram:
+    """A fixed-bucket histogram (bounds frozen at creation).
+
+    Buckets are upper bounds in ascending order plus an implicit
+    +Inf overflow bucket; per-bucket counts are stored raw and
+    cumulated only at export time, so an observation is one bisect
+    and two adds — cheap enough for per-batch hot paths.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float],
+                 labels: tuple[tuple[str, str], ...] = ()) -> None:
+        cleaned = tuple(float(b) for b in bounds)
+        if not cleaned:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(cleaned, cleaned[1:])):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing: {cleaned}")
+        self.name = name
+        self.labels = labels
+        self.bounds = cleaned
+        self._counts = [0] * (len(cleaned) + 1)  # last = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Raw (non-cumulative) per-bucket counts, overflow last."""
+        return tuple(self._counts)
+
+    def cumulative_counts(self) -> tuple[int, ...]:
+        """Prometheus-style cumulative counts, ``+Inf`` last."""
+        out = []
+        running = 0
+        for count in self._counts:
+            running += count
+            out.append(running)
+        return tuple(out)
+
+
+class _Family:
+    """All instruments sharing one metric name (and type)."""
+
+    __slots__ = ("name", "kind", "help", "bounds", "instruments")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 bounds: tuple[float, ...] | None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.bounds = bounds
+        self.instruments: dict[tuple[tuple[str, str], ...],
+                               Counter | Gauge | Histogram] = {}
+
+
+class MetricsRegistry:
+    """Get-or-create instrument factory plus the snapshot surface.
+
+    ``counter()``/``gauge()``/``histogram()`` return the existing
+    instrument for a (name, labels) pair or create it; asking for the
+    same name with a different type (or different histogram buckets)
+    is an error, which is what keeps one registry export coherent.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[["MetricsRegistry"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Instrument creation
+    # ------------------------------------------------------------------
+    def _family(self, name: str, kind: str, help_text: str,
+                bounds: tuple[float, ...] | None = None) -> _Family:
+        if not _METRIC_NAME.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text, bounds)
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"not {kind}")
+        if kind == "histogram" and bounds != family.bounds:
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{family.bounds}, not {bounds}")
+        if help_text and not family.help:
+            family.help = help_text
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Mapping[str, str] | None = None) -> Counter:
+        """Get or create a counter."""
+        family = self._family(name, "counter", help)
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            instrument = Counter(name, key)
+            family.instruments[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "",
+              labels: Mapping[str, str] | None = None) -> Gauge:
+        """Get or create a gauge."""
+        family = self._family(name, "gauge", help)
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            instrument = Gauge(name, key)
+            family.instruments[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Mapping[str, str] | None = None,
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S
+                  ) -> Histogram:
+        """Get or create a fixed-bucket histogram."""
+        bounds = tuple(float(b) for b in buckets)
+        family = self._family(name, "histogram", help, bounds)
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            instrument = Histogram(name, bounds, key)
+            family.instruments[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Pull collectors
+    # ------------------------------------------------------------------
+    def register_collector(
+            self, collect: Callable[["MetricsRegistry"], None]) -> None:
+        """Run ``collect(registry)`` before every snapshot/export.
+
+        Adapters use this to mirror externally-kept state (telemetry
+        counters, ledger accounts, degradation events) into the
+        registry without touching the source's hot path.
+        """
+        self._collectors.append(collect)
+
+    def collect(self) -> None:
+        """Run every registered collector once."""
+        for collect in self._collectors:
+            collect(self)
+
+    # ------------------------------------------------------------------
+    # Snapshot surface
+    # ------------------------------------------------------------------
+    def families(self) -> Iterable[_Family]:
+        """Metric families in name order (post-collect not implied)."""
+        return (self._families[name] for name in sorted(self._families))
+
+    def snapshot(self) -> dict:
+        """The canonical JSON-serialisable view of every metric.
+
+        Runs the pull collectors first, so the one returned mapping
+        carries table hit/miss stats, energy-account totals,
+        degradation events and the latency histograms together — the
+        single poll surface for the controller.
+        """
+        self.collect()
+        metrics = []
+        for family in self.families():
+            samples = []
+            for key in sorted(family.instruments):
+                instrument = family.instruments[key]
+                labels = dict(key)
+                if family.kind == "histogram":
+                    samples.append({
+                        "labels": labels,
+                        "counts": list(instrument.bucket_counts()),
+                        "sum": instrument.sum,
+                        "count": instrument.count,
+                    })
+                else:
+                    samples.append({"labels": labels,
+                                    "value": instrument.value})
+            entry: dict = {"name": family.name, "type": family.kind,
+                           "help": family.help, "samples": samples}
+            if family.kind == "histogram":
+                entry["buckets"] = list(family.bounds)
+            metrics.append(entry)
+        return {"metrics": metrics}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output (round-trip)."""
+        registry = cls()
+        for entry in snapshot["metrics"]:
+            name, kind = entry["name"], entry["type"]
+            help_text = entry.get("help", "")
+            for sample in entry["samples"]:
+                labels = sample.get("labels") or None
+                if kind == "counter":
+                    registry.counter(name, help_text, labels).set_total(
+                        sample["value"])
+                elif kind == "gauge":
+                    registry.gauge(name, help_text, labels).set(
+                        sample["value"])
+                elif kind == "histogram":
+                    histogram = registry.histogram(
+                        name, help_text, labels,
+                        buckets=entry["buckets"])
+                    histogram._counts = list(sample["counts"])
+                    histogram._sum = float(sample["sum"])
+                    histogram._count = int(sample["count"])
+                else:
+                    raise ValueError(f"unknown metric type {kind!r}")
+            if not entry["samples"]:
+                # Preserve empty families so round-trips are lossless.
+                if kind == "histogram":
+                    registry._family(name, kind, help_text,
+                                     tuple(entry["buckets"]))
+                else:
+                    registry._family(name, kind, help_text)
+        return registry
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of the full registry."""
+        from repro.observability.export import to_prometheus_text
+        return to_prometheus_text(self)
+
+    def reset(self) -> None:
+        """Drop every instrument and collector."""
+        self._families.clear()
+        self._collectors.clear()
+
+    def __len__(self) -> int:
+        return sum(len(family.instruments)
+                   for family in self._families.values())
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry(families={len(self._families)}, "
+                f"instruments={len(self)})")

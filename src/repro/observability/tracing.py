@@ -1,0 +1,227 @@
+"""Span-based tracing with sim-clock timestamps.
+
+The data plane is simulated, so a span carries *two* durations: the
+simulation-clock interval (``start_s``/``end_s``, read from the
+tracer's clock — a :class:`SimClock` the pipeline advances with each
+packet's ``now``) and the host wall time actually spent computing it
+(``wall_s``).  Nesting follows the call stack: the pipeline opens a
+root span per packet/batch, each stage (parser, tables, traffic
+manager, queues, pCAM pipeline, crossbar kernel) opens a child, so
+one packet or one batch is traceable end-to-end.
+
+With a registry attached, every finished span feeds the shared
+``span_wall_seconds``/``span_sim_seconds`` histograms labelled by span
+name — the per-stage latency breakdown of the snapshot surface.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.observability.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+
+__all__ = ["SimClock", "Span", "Tracer", "maybe_span"]
+
+
+class SimClock:
+    """A settable simulation clock (seconds).
+
+    The data plane calls :meth:`set` with each packet's ``now`` so
+    span timestamps land on the simulation timeline rather than the
+    host's.
+    """
+
+    __slots__ = ("now_s",)
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self.now_s = float(start_s)
+
+    def set(self, now_s: float) -> None:
+        """Move the clock to an absolute simulation time."""
+        self.now_s = float(now_s)
+
+    def advance(self, dt_s: float) -> None:
+        """Advance the clock by a simulation interval."""
+        if dt_s < 0:
+            raise ValueError(f"cannot rewind the clock: {dt_s!r}")
+        self.now_s += dt_s
+
+    def __call__(self) -> float:
+        return self.now_s
+
+    def __repr__(self) -> str:
+        return f"SimClock(now_s={self.now_s!r})"
+
+
+@dataclass
+class Span:
+    """One traced operation on the simulation timeline."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_s: float
+    attributes: dict = field(default_factory=dict)
+    end_s: float | None = None
+    wall_s: float | None = None
+
+    @property
+    def duration_s(self) -> float:
+        """Sim-clock duration (0.0 while the span is still open)."""
+        return 0.0 if self.end_s is None else self.end_s - self.start_s
+
+    def to_dict(self) -> dict:
+        """Serialisable view (trace export)."""
+        return {"name": self.name, "span_id": self.span_id,
+                "parent_id": self.parent_id, "start_s": self.start_s,
+                "end_s": self.end_s, "wall_s": self.wall_s,
+                "attributes": dict(self.attributes)}
+
+
+class Tracer:
+    """Creates nested spans and retains the most recent finished ones.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current (simulation)
+        time; defaults to a fresh :class:`SimClock`.
+    registry:
+        Optional :class:`MetricsRegistry`; every finished span then
+        observes its wall and sim durations into per-span-name
+        histograms.
+    max_spans:
+        Ring-buffer depth for finished spans (old spans fall off so a
+        long soak cannot grow memory without bound).
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 registry: MetricsRegistry | None = None,
+                 max_spans: int = 4096) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1: {max_spans!r}")
+        self.clock = clock if clock is not None else SimClock()
+        self.registry = registry
+        self._stack: list[Span] = []
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._next_id = 1
+        self.started = 0
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Span]:
+        """Open a span; nests under the innermost active span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        opened = Span(name=name, span_id=self._next_id, parent_id=parent,
+                      start_s=self.clock(), attributes=attributes)
+        self._next_id += 1
+        self.started += 1
+        self._stack.append(opened)
+        wall_start = time.perf_counter()
+        try:
+            yield opened
+        finally:
+            wall = time.perf_counter() - wall_start
+            self._stack.pop()
+            opened.end_s = self.clock()
+            opened.wall_s = wall
+            self._finished.append(opened)
+            if self.registry is not None:
+                labels = {"span": name}
+                self.registry.histogram(
+                    "span_wall_seconds",
+                    "Wall-clock time spent inside each span.",
+                    labels, buckets=DEFAULT_LATENCY_BUCKETS_S,
+                ).observe(wall)
+                self.registry.histogram(
+                    "span_sim_seconds",
+                    "Simulation-clock time covered by each span.",
+                    labels, buckets=DEFAULT_LATENCY_BUCKETS_S,
+                ).observe(opened.duration_s)
+
+    @property
+    def active(self) -> tuple[Span, ...]:
+        """Open spans, outermost first."""
+        return tuple(self._stack)
+
+    # ------------------------------------------------------------------
+    # Finished-span views
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> tuple[Span, ...]:
+        """Finished spans in completion order (children before parents)."""
+        return tuple(self._finished)
+
+    def spans(self, name: str | None = None) -> tuple[Span, ...]:
+        """Finished spans, optionally filtered by exact name."""
+        if name is None:
+            return self.finished
+        return tuple(span for span in self._finished if span.name == name)
+
+    def children_of(self, parent: Span) -> tuple[Span, ...]:
+        """Finished spans directly nested under ``parent``."""
+        return tuple(span for span in self._finished
+                     if span.parent_id == parent.span_id)
+
+    def to_dicts(self) -> list[dict]:
+        """Finished spans as serialisable dicts (trace export)."""
+        return [span.to_dict() for span in self._finished]
+
+    def format_tree(self, limit: int | None = None) -> str:
+        """Render the finished spans as an indented forest.
+
+        Roots appear in start order; ``limit`` keeps only the last N
+        finished spans (after tree assembly) to bound demo output.
+        """
+        spans = list(self._finished)
+        if limit is not None:
+            spans = spans[-limit:]
+        present = {span.span_id for span in spans}
+        children: dict[int | None, list[Span]] = {}
+        for span in spans:
+            parent = (span.parent_id
+                      if span.parent_id in present else None)
+            children.setdefault(parent, []).append(span)
+        lines: list[str] = []
+
+        def walk(parent: int | None, depth: int) -> None:
+            for span in sorted(children.get(parent, []),
+                               key=lambda s: (s.start_s, s.span_id)):
+                wall = 0.0 if span.wall_s is None else span.wall_s
+                lines.append(
+                    f"{'  ' * depth}{span.name} "
+                    f"[sim {span.start_s:.6f}s +{span.duration_s:.6f}s, "
+                    f"wall {wall * 1e6:.1f}us]")
+                walk(span.span_id, depth + 1)
+
+        walk(None, 0)
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop finished spans (open spans are left to unwind)."""
+        self._finished.clear()
+        self.started = 0
+
+
+#: A reusable no-op context manager for unobserved hot paths.
+_NULL_SPAN = nullcontext()
+
+
+def maybe_span(tracer: Tracer | None, name: str, **attributes):
+    """``tracer.span(...)`` when a tracer is attached, else a no-op.
+
+    Lets instrumented hot paths stay branch-cheap: without a tracer
+    the cost is one truth test and a shared null context manager.
+    """
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attributes)

@@ -133,3 +133,116 @@ class TestFeatureExtractor:
         features = extractor.update(0.0, 0.05, 1.0)
         assert features["sojourn_time"] == pytest.approx(0.05)
         assert features["d_sojourn"] == 0.0
+
+
+class TestSmootherReplace:
+    def test_replace_reruns_the_last_blend(self):
+        import math
+        smoother = ExponentialSmoother(tau_s=0.1)
+        smoother.update(0.0, 0.0)
+        smoother.update(1.0, 10.0)
+        replaced = smoother.replace(1.0, 20.0)
+        alpha = 1.0 - math.exp(-1.0 / 0.1)
+        assert replaced == pytest.approx(alpha * 20.0)
+        assert smoother.value == replaced
+
+    def test_replace_matches_a_fresh_run_with_the_final_sample(self):
+        witness = ExponentialSmoother(tau_s=0.1)
+        witness.update(0.0, 1.0)
+        witness.update(0.5, 8.0)
+        corrected = ExponentialSmoother(tau_s=0.1)
+        corrected.update(0.0, 1.0)
+        corrected.update(0.5, 3.0)
+        corrected.replace(0.5, 8.0)
+        assert corrected.value == pytest.approx(witness.value)
+
+    def test_replace_before_history_acts_as_first_sample(self):
+        smoother = ExponentialSmoother(tau_s=0.1)
+        assert smoother.replace(0.0, 4.0) == 4.0
+        assert smoother.value == 4.0
+
+    def test_replace_of_the_seed_sample(self):
+        smoother = ExponentialSmoother(tau_s=0.1)
+        smoother.update(0.0, 5.0)
+        assert smoother.replace(0.0, 7.0) == 7.0
+
+    def test_replace_at_wrong_time_rejected(self):
+        smoother = ExponentialSmoother(tau_s=0.1)
+        smoother.update(1.0, 1.0)
+        with pytest.raises(ValueError):
+            smoother.replace(2.0, 1.0)
+
+    def test_reset_clears_replace_state(self):
+        smoother = ExponentialSmoother(tau_s=0.1)
+        smoother.update(0.0, 1.0)
+        smoother.update(1.0, 2.0)
+        smoother.reset()
+        assert smoother.replace(5.0, 9.0) == 9.0
+
+
+class TestCoincidentSamples:
+    def test_last_writer_wins_on_the_level(self):
+        # A chain that saw 1.0 then 5.0 at the same instant must end
+        # up exactly where a chain that only saw 5.0 does.
+        corrected = DerivativeChain(order=1, tau_s=0.05)
+        corrected.update(0.0, 0.0)
+        corrected.update(0.01, 1.0)
+        late = corrected.update(0.01, 5.0)
+        witness = DerivativeChain(order=1, tau_s=0.05)
+        witness.update(0.0, 0.0)
+        expected = witness.update(0.01, 5.0)
+        assert late[0] == pytest.approx(expected[0])
+
+    def test_coincident_sample_not_silently_dropped(self):
+        chain = DerivativeChain(order=1, tau_s=0.05)
+        chain.update(0.0, 0.0)
+        first = chain.update(0.01, 1.0)
+        second = chain.update(0.01, 5.0)
+        assert second[0] != first[0]
+
+    def test_derivatives_hold_across_coincident_samples(self):
+        # A zero-width interval carries no slope information.
+        chain = DerivativeChain(order=2, tau_s=0.05)
+        chain.update(0.0, 0.0)
+        before = chain.update(0.01, 1.0)
+        after = chain.update(0.01, 5.0)
+        assert after[1] == before[1]
+        assert after[2] == before[2]
+
+    def test_next_interval_differentiates_the_replaced_level(self):
+        corrected = DerivativeChain(order=1, tau_s=0.05)
+        corrected.update(0.0, 0.0)
+        corrected.update(0.01, 1.0)
+        corrected.update(0.01, 5.0)
+        witness = DerivativeChain(order=1, tau_s=0.05)
+        witness.update(0.0, 0.0)
+        witness.update(0.01, 5.0)
+        assert corrected.update(0.02, 6.0)[0] == pytest.approx(
+            witness.update(0.02, 6.0)[0])
+
+    def test_out_of_order_samples_rejected(self):
+        chain = DerivativeChain(order=1)
+        chain.update(1.0, 1.0)
+        with pytest.raises(ValueError):
+            chain.update(0.5, 1.0)
+
+
+class TestFirstSampleSeeding:
+    def test_first_sample_yields_zero_derivatives(self):
+        chain = DerivativeChain(order=3, tau_s=0.05)
+        assert chain.update(0.0, 10.0) == [10.0, 0.0, 0.0, 0.0]
+
+    def test_second_sample_derivative_is_smoothed_not_raw(self):
+        import math
+        tau, dt = 0.05, 0.01
+        chain = DerivativeChain(order=1, tau_s=tau)
+        chain.update(0.0, 10.0)
+        outputs = chain.update(dt, 20.0)
+        alpha = 1.0 - math.exp(-dt / tau)
+        level = 10.0 + alpha * 10.0
+        raw = (level - 10.0) / dt
+        # The analog stage is never bypassed: the raw finite
+        # difference must pass through the stage low-pass (seeded at
+        # zero), not seed the smoother directly.
+        assert outputs[1] == pytest.approx(alpha * raw)
+        assert 0.0 < outputs[1] < raw

@@ -99,3 +99,21 @@ def test_iteration_yields_accounts():
     ledger = EnergyLedger()
     ledger.charge("a", 1.0)
     assert dict(iter(ledger)) == {"a": 1.0}
+
+
+def test_merge_with_self_is_a_no_op():
+    ledger = EnergyLedger()
+    ledger.charge("a", 2.0)
+    ledger.charge("b", 1.0)
+    ledger.merge(ledger)
+    assert ledger.total == pytest.approx(3.0)
+    assert ledger.account("a") == pytest.approx(2.0)
+    assert ledger.events == 2
+
+
+def test_merge_with_distinct_empty_ledger_unchanged():
+    ledger = EnergyLedger()
+    ledger.charge("a", 2.0)
+    ledger.merge(EnergyLedger())
+    assert ledger.total == pytest.approx(2.0)
+    assert ledger.events == 1

@@ -1,0 +1,144 @@
+"""Exporter golden tests: Prometheus text, JSON, parse and lint."""
+
+import json
+
+import pytest
+
+from repro.observability.export import (
+    lint_prometheus,
+    parse_prometheus_text,
+    to_json,
+    to_prometheus_text,
+)
+from repro.observability.registry import MetricsRegistry
+
+
+def _demo_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.gauge("demo_depth", "Depth.").set(2.5)
+    histogram = registry.histogram(
+        "demo_latency_seconds", "Latency.", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    registry.counter("demo_packets_total", "Packets.",
+                     {"port": "0"}).inc(3)
+    return registry
+
+
+GOLDEN = """\
+# HELP demo_depth Depth.
+# TYPE demo_depth gauge
+demo_depth 2.5
+# HELP demo_latency_seconds Latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{le="0.1"} 1
+demo_latency_seconds_bucket{le="1"} 2
+demo_latency_seconds_bucket{le="+Inf"} 3
+demo_latency_seconds_sum 5.55
+demo_latency_seconds_count 3
+# HELP demo_packets_total Packets.
+# TYPE demo_packets_total counter
+demo_packets_total{port="0"} 3
+"""
+
+
+class TestPrometheusText:
+    def test_golden_exposition(self):
+        assert to_prometheus_text(_demo_registry()) == GOLDEN
+
+    def test_registry_to_prometheus_delegates(self):
+        assert _demo_registry().to_prometheus() == GOLDEN
+
+    def test_integers_render_without_decimal_point(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(4)
+        assert "c_total 4\n" in to_prometheus_text(registry)
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total",
+                         labels={"name": 'quo"te\\back\nline'}).inc()
+        text = to_prometheus_text(registry)
+        assert r'name="quo\"te\\back\nline"' in text
+        # And the escape survives a parse round-trip.
+        parsed = parse_prometheus_text(text)
+        (_, labels, _), = parsed["samples"]
+        assert labels == {"name": 'quo"te\\back\nline'}
+
+    def test_export_runs_collectors(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda reg: reg.counter("pulled_total").set_total(9))
+        assert "pulled_total 9" in to_prometheus_text(registry)
+
+
+class TestParse:
+    def test_round_trips_every_sample(self):
+        parsed = parse_prometheus_text(GOLDEN)
+        assert parsed["types"] == {
+            "demo_depth": "gauge",
+            "demo_latency_seconds": "histogram",
+            "demo_packets_total": "counter"}
+        assert parsed["helps"]["demo_depth"] == "Depth."
+        assert ("demo_packets_total", {"port": "0"}, 3.0) \
+            in parsed["samples"]
+        assert ("demo_latency_seconds_bucket", {"le": "+Inf"}, 3.0) \
+            in parsed["samples"]
+        assert len(parsed["samples"]) == 7
+
+    def test_duplicate_type_line_rejected(self):
+        text = "# TYPE a counter\n# TYPE a counter\na 1\n"
+        with pytest.raises(ValueError):
+            parse_prometheus_text(text)
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = "# a comment\n\n# TYPE x gauge\nx 1.5\n"
+        parsed = parse_prometheus_text(text)
+        assert parsed["samples"] == [("x", {}, 1.5)]
+
+
+class TestLint:
+    def test_clean_export_has_no_problems(self):
+        assert lint_prometheus(to_prometheus_text(_demo_registry())) == []
+
+    def test_sample_without_type_line_flagged(self):
+        problems = lint_prometheus("orphan_total 1\n")
+        assert any("no TYPE line" in problem for problem in problems)
+
+    def test_duplicate_sample_flagged(self):
+        text = "# TYPE a counter\na 1\na 2\n"
+        problems = lint_prometheus(text)
+        assert any("duplicate sample" in problem for problem in problems)
+
+    def test_unknown_type_flagged(self):
+        text = "# TYPE a summary\na 1\n"
+        problems = lint_prometheus(text)
+        assert any("unknown type" in problem for problem in problems)
+
+    def test_histogram_missing_series_flagged(self):
+        text = ('# TYPE h histogram\n'
+                'h_bucket{le="+Inf"} 1\n'
+                'h_count 1\n')  # no h_sum
+        problems = lint_prometheus(text)
+        assert any("missing h_sum" in problem for problem in problems)
+
+    def test_unparseable_text_reported_not_raised(self):
+        problems = lint_prometheus("# TYPE a counter\n# TYPE a counter\n")
+        assert len(problems) == 1
+        assert "unparseable" in problems[0]
+
+
+class TestJson:
+    def test_json_round_trips_through_from_snapshot(self):
+        registry = _demo_registry()
+        document = to_json(registry)
+        rebuilt = MetricsRegistry.from_snapshot(json.loads(document))
+        assert rebuilt.snapshot() == registry.snapshot()
+
+    def test_json_is_sorted_and_indentable(self):
+        document = to_json(_demo_registry(), indent=2)
+        parsed = json.loads(document)
+        assert "\n" in document
+        names = [entry["name"] for entry in parsed["metrics"]]
+        assert names == sorted(names)

@@ -1,0 +1,190 @@
+"""Metrics registry semantics: instruments, families, snapshots."""
+
+import pytest
+
+from repro.observability.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = MetricsRegistry().counter("packets_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("packets_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_set_total_overwrites_for_adapters(self):
+        counter = MetricsRegistry().counter("mirrored_total")
+        counter.inc(10)
+        counter.set_total(4)
+        assert counter.value == 4.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(3.0)
+        assert gauge.value == 4.0
+
+    def test_negative_values_allowed(self):
+        gauge = MetricsRegistry().gauge("delta")
+        gauge.set(-1.5)
+        assert gauge.value == -1.5
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)   # <= 0.1
+        histogram.observe(0.5)    # <= 1.0
+        histogram.observe(5.0)    # overflow
+        assert histogram.bucket_counts() == (1, 1, 1)
+        assert histogram.cumulative_counts() == (1, 2, 3)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(5.55)
+
+    def test_boundary_value_counts_as_le(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(0.1, 1.0))
+        histogram.observe(0.1)
+        assert histogram.bucket_counts() == (1, 0, 0)
+
+    def test_bounds_must_be_strictly_increasing(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("worse", buckets=(2.0, 1.0))
+
+    def test_bounds_must_be_non_empty(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("empty", buckets=())
+
+    def test_default_buckets_span_microseconds_to_seconds(self):
+        assert DEFAULT_LATENCY_BUCKETS_S[0] == pytest.approx(1e-6)
+        assert DEFAULT_LATENCY_BUCKETS_S[-1] == pytest.approx(1.0)
+
+
+class TestGetOrCreate:
+    def test_same_name_and_labels_return_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", labels={"table": "fw"})
+        b = registry.counter("hits_total", labels={"table": "fw"})
+        assert a is b
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("g", labels={"a": "1", "b": "2"})
+        b = registry.gauge("g", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_different_labels_create_distinct_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", labels={"table": "fw"})
+        b = registry.counter("hits_total", labels={"table": "ip"})
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_histogram_bucket_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("9starts-with-digit")
+
+    def test_invalid_label_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c", labels={"bad-name": "x"})
+
+
+class TestCollectors:
+    def test_collectors_run_on_snapshot(self):
+        registry = MetricsRegistry()
+        source = {"count": 0}
+
+        def mirror(reg):
+            reg.counter("mirrored_total").set_total(source["count"])
+
+        registry.register_collector(mirror)
+        source["count"] = 7
+        snapshot = registry.snapshot()
+        (entry,) = snapshot["metrics"]
+        assert entry["samples"][0]["value"] == 7.0
+
+    def test_collectors_see_fresh_state_each_snapshot(self):
+        registry = MetricsRegistry()
+        source = {"count": 1}
+        registry.register_collector(
+            lambda reg: reg.counter("m_total").set_total(source["count"]))
+        registry.snapshot()
+        source["count"] = 2
+        snapshot = registry.snapshot()
+        assert snapshot["metrics"][0]["samples"][0]["value"] == 2.0
+
+
+class TestSnapshot:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "Table hits.",
+                         {"table": "fw"}).inc(3)
+        registry.gauge("backlog", "Queue backlog.").set(12.0)
+        histogram = registry.histogram(
+            "latency_seconds", "Latency.", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(2.0)
+        return registry
+
+    def test_snapshot_structure(self):
+        snapshot = self._populated().snapshot()
+        by_name = {entry["name"]: entry for entry in snapshot["metrics"]}
+        assert set(by_name) == {"hits_total", "backlog", "latency_seconds"}
+        assert by_name["hits_total"]["type"] == "counter"
+        assert by_name["hits_total"]["samples"][0]["labels"] == {
+            "table": "fw"}
+        assert by_name["latency_seconds"]["buckets"] == [0.1, 1.0]
+        assert by_name["latency_seconds"]["samples"][0]["counts"] == [
+            1, 0, 1]
+
+    def test_families_sorted_by_name(self):
+        names = [entry["name"]
+                 for entry in self._populated().snapshot()["metrics"]]
+        assert names == sorted(names)
+
+    def test_from_snapshot_round_trips(self):
+        registry = self._populated()
+        snapshot = registry.snapshot()
+        rebuilt = MetricsRegistry.from_snapshot(snapshot)
+        assert rebuilt.snapshot() == snapshot
+
+    def test_round_trip_preserves_empty_families(self):
+        registry = MetricsRegistry()
+        registry._family("unused_total", "counter", "Never sampled.")
+        snapshot = registry.snapshot()
+        rebuilt = MetricsRegistry.from_snapshot(snapshot)
+        assert rebuilt.snapshot() == snapshot
+
+    def test_reset_drops_everything(self):
+        registry = self._populated()
+        registry.register_collector(lambda reg: None)
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.snapshot() == {"metrics": []}

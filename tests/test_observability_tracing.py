@@ -1,0 +1,237 @@
+"""Span tracing under the sim clock, and the profiling hooks."""
+
+import pytest
+
+from repro.observability.profiling import (
+    PROFILE_METRIC,
+    Profiler,
+    get_default_profiler,
+    profiled,
+    set_default_profiler,
+)
+from repro.observability.registry import MetricsRegistry
+from repro.observability.tracing import (
+    SimClock,
+    Tracer,
+    _NULL_SPAN,
+    maybe_span,
+)
+
+
+class TestSimClock:
+    def test_set_and_advance(self):
+        clock = SimClock()
+        clock.set(1.5)
+        clock.advance(0.5)
+        assert clock() == 2.0
+
+    def test_rewind_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_start_time(self):
+        assert SimClock(3.0)() == 3.0
+
+
+class TestSpanNesting:
+    def test_child_records_parent_id(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        children = tracer.children_of(root)
+        assert [span.name for span in children] == ["a", "b"]
+
+    def test_active_stack_outermost_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert [s.name for s in tracer.active] == [
+                    "outer", "inner"]
+        assert tracer.active == ()
+
+    def test_finished_children_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.finished] == ["inner", "outer"]
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished
+        assert span.end_s is not None
+        assert tracer.active == ()
+
+
+class TestSpanTimestamps:
+    def test_sim_clock_drives_start_and_end(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        clock.set(10.0)
+        with tracer.span("op"):
+            clock.set(10.25)
+        (span,) = tracer.finished
+        assert span.start_s == 10.0
+        assert span.end_s == 10.25
+        assert span.duration_s == pytest.approx(0.25)
+
+    def test_wall_time_recorded(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        (span,) = tracer.finished
+        assert span.wall_s is not None and span.wall_s >= 0.0
+
+    def test_open_span_duration_zero(self):
+        tracer = Tracer()
+        with tracer.span("op") as span:
+            assert span.duration_s == 0.0
+
+    def test_attributes_kept(self):
+        tracer = Tracer()
+        with tracer.span("op", batch=8):
+            pass
+        assert tracer.spans("op")[0].attributes == {"batch": 8}
+
+    def test_to_dict_serialisable(self):
+        tracer = Tracer()
+        with tracer.span("op", k="v"):
+            pass
+        (entry,) = tracer.to_dicts()
+        assert entry["name"] == "op"
+        assert entry["attributes"] == {"k": "v"}
+
+
+class TestTracerRetention:
+    def test_ring_buffer_bounds_memory(self):
+        tracer = Tracer(max_spans=3)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [s.name for s in tracer.finished] == ["s7", "s8", "s9"]
+        assert tracer.started == 10
+
+    def test_max_spans_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_reset_clears_finished(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        tracer.reset()
+        assert tracer.finished == ()
+        assert tracer.started == 0
+
+    def test_format_tree_indents_children(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        tree = tracer.format_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("parent")
+        assert lines[1].startswith("  child")
+
+
+class TestTracerRegistry:
+    def test_finished_spans_feed_latency_histograms(self):
+        registry = MetricsRegistry()
+        clock = SimClock()
+        tracer = Tracer(clock=clock, registry=registry)
+        with tracer.span("stage"):
+            clock.advance(0.01)
+        wall = registry.histogram("span_wall_seconds",
+                                  labels={"span": "stage"})
+        sim = registry.histogram("span_sim_seconds",
+                                 labels={"span": "stage"})
+        assert wall.count == 1
+        assert sim.count == 1
+        assert sim.sum == pytest.approx(0.01)
+
+
+class TestMaybeSpan:
+    def test_none_tracer_returns_shared_null_context(self):
+        assert maybe_span(None, "anything") is _NULL_SPAN
+        with maybe_span(None, "anything"):
+            pass  # usable as a context manager
+
+    def test_real_tracer_opens_a_span(self):
+        tracer = Tracer()
+        with maybe_span(tracer, "op", n=1):
+            pass
+        assert tracer.spans("op")[0].attributes == {"n": 1}
+
+
+class _Kernel:
+    def __init__(self, profiler=None):
+        self.profiler = profiler
+
+    @profiled("kernel.run")
+    def run(self, x):
+        return x * 2
+
+
+class TestProfiled:
+    def teardown_method(self):
+        set_default_profiler(None)
+
+    def test_instance_profiler_records_site(self):
+        registry = MetricsRegistry()
+        profiler = Profiler(registry)
+        kernel = _Kernel(profiler=profiler)
+        assert kernel.run(3) == 6
+        histogram = profiler.site_histogram("kernel.run")
+        assert histogram is not None and histogram.count == 1
+        assert registry.histogram(PROFILE_METRIC,
+                                  labels={"site": "kernel.run"}).count == 1
+
+    def test_default_profiler_fallback(self):
+        registry = MetricsRegistry()
+        profiler = Profiler(registry)
+        set_default_profiler(profiler)
+        assert get_default_profiler() is profiler
+        kernel = _Kernel()  # no instance profiler
+        kernel.run(1)
+        assert profiler.site_histogram("kernel.run").count == 1
+
+    def test_unprofiled_call_is_passthrough(self):
+        kernel = _Kernel()
+        assert kernel.run(5) == 10  # no profiler anywhere: still works
+
+    def test_site_name_attached_to_wrapper(self):
+        assert _Kernel.run.__profiled_site__ == "kernel.run"
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(ValueError):
+            profiled("")
+
+    def test_exception_still_recorded(self):
+        registry = MetricsRegistry()
+        profiler = Profiler(registry)
+
+        class Boom:
+            def __init__(self):
+                self.profiler = profiler
+
+            @profiled("boom")
+            def run(self):
+                raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            Boom().run()
+        assert profiler.site_histogram("boom").count == 1

@@ -30,6 +30,18 @@ class TestINTStamping:
         trail.append({"component": "fake"})
         assert len(int_metadata(packet)) == 1
 
+    def test_trail_records_not_aliased(self):
+        # The copy must be per record, not just the outer list: a sink
+        # annotating a returned record must not corrupt the packet.
+        packet = Packet()
+        stamp_packet(packet, "a", 1, 0.0)
+        trail = int_metadata(packet)
+        trail[0]["queue_depth"] = 999
+        trail[0]["annotation"] = "sink-side"
+        fresh = int_metadata(packet)
+        assert fresh[0]["queue_depth"] == 1
+        assert "annotation" not in fresh[0]
+
 
 class TestTelemetryCollector:
     def test_table_counters(self):
