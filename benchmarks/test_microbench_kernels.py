@@ -65,3 +65,45 @@ def test_kernel_event_loop_throughput(benchmark):
 
     delivered = benchmark.pedantic(run, rounds=3, iterations=1)
     assert delivered > 9_000
+
+
+def test_observability_hooks_free_when_unattached():
+    """No hub attached => the instrumented entry costs what the raw
+    kernel costs.
+
+    The traced/profiled public ``matvec_batch`` goes through one
+    ``maybe_span`` truth-test and one ``@profiled`` attribute probe;
+    with no tracer and no profiler both must collapse to nothing.
+    Pinned at 5% on a batch large enough that the kernel dominates.
+    """
+    import time as _time
+
+    from repro.crossbar.array import Crossbar
+    from repro.crossbar.losses import LineLossModel
+
+    crossbar = Crossbar(64, 64,
+                        losses=LineLossModel(
+                            wire_resistance_per_cell_ohm=2.0,
+                            sneak_conductance_s=1e-9,
+                            crosstalk_fraction=0.01),
+                        rng=np.random.default_rng(0))
+    crossbar.program_normalised(np.random.default_rng(1).random((64, 64)))
+    assert crossbar.tracer is None and crossbar.profiler is None
+    voltages = np.random.default_rng(2).random((4096, 64))
+
+    def best_of(fn, repeats=7):
+        best = float("inf")
+        for _ in range(repeats):
+            start = _time.perf_counter()
+            fn()
+            best = min(best, _time.perf_counter() - start)
+        return best
+
+    instrumented = best_of(
+        lambda: crossbar.matvec_batch(voltages, noisy=False))
+    raw = best_of(
+        lambda: crossbar._matvec_batch_kernel(voltages, 1e-9, False))
+    assert instrumented <= raw * 1.05, (
+        f"inert observability hooks cost "
+        f"{(instrumented / raw - 1) * 100:.1f}% (> 5%) on the batch "
+        f"read path")

@@ -168,7 +168,7 @@ class CrossbarPCAMArray:
                     f"range {self.v_range}")
         index = len(self._words)
         self._words.append(dict(word))
-        conductances = self._crossbar.conductances
+        conductances = self._crossbar.conductances_copy()
         for row, field in enumerate(self.fields):
             params = word[field]
             conductances[row, 2 * index] = self._conductance_for(params.m2)
@@ -216,10 +216,13 @@ class CrossbarPCAMArray:
         result = self._crossbar.matvec(voltages, self.READ_DURATION_S)
         self.ledger.charge(ACCOUNT_COMPUTE, result.energy_j)
 
+        # One lossless reference read for the whole search; the decode
+        # loop below only indexes into it per column.
+        ideal_totals = self._crossbar.ideal_matvec(voltages)
         probabilities = np.empty(len(self._words))
         for index, word in enumerate(self._words):
             probabilities[index] = self._word_probability(
-                index, word, voltages, result.currents_a)
+                index, word, voltages, result.currents_a, ideal_totals)
         best = int(np.argmax(probabilities))
         self._searches += 1
         return HardwareSearchResult(
@@ -229,7 +232,8 @@ class CrossbarPCAMArray:
     def _word_probability(self, index: int,
                           word: Mapping[str, PCAMParams],
                           voltages: np.ndarray,
-                          currents: np.ndarray) -> float:
+                          currents: np.ndarray,
+                          ideal_totals: np.ndarray) -> float:
         """Decode one word's thresholds and evaluate its match.
 
         The column currents are sums over fields; per-field currents
@@ -248,8 +252,7 @@ class CrossbarPCAMArray:
             scale = 1.0
             for offset, anchor in ((0, "m2"), (1, "m3")):
                 column = 2 * index + offset
-                ideal_total = float(
-                    self._crossbar.ideal_matvec(voltages)[column])
+                ideal_total = float(ideal_totals[column])
                 measured_total = float(currents[column])
                 if ideal_total > 0.0:
                     scale = measured_total / ideal_total

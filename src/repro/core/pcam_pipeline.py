@@ -351,19 +351,29 @@ class PCAMPipeline:
     # ------------------------------------------------------------------
     # Scalar evaluation (delegates to the batch kernels)
     # ------------------------------------------------------------------
+    def _row_matrix(self, pairs: Sequence[tuple[str, float]]
+                    ) -> np.ndarray:
+        """A validated feature vector as a (1, n_stages) batch matrix.
+
+        ``pairs`` comes from :meth:`_feature_vector` and is already in
+        stage order, so the ndarray fast lane of
+        :meth:`_feature_matrix` applies — no per-call dict of
+        one-element arrays, no re-validation, no broadcast pass.
+        """
+        return np.array([[value for _, value in pairs]], dtype=float)
+
     def evaluate(self, features: Mapping[str, float] |
                  Sequence[float]) -> float:
         """Composite match probability for a full feature vector."""
         pairs = self._feature_vector(features)
-        batch = {name: np.array([value]) for name, value in pairs}
-        return float(self.evaluate_batch(batch)[0])
+        return float(self.evaluate_batch(self._row_matrix(pairs))[0])
 
     def evaluate_trace(self, features: Mapping[str, float] |
                        Sequence[float]) -> tuple[float, list[StageOutput]]:
         """Composite probability plus the per-stage breakdown."""
         pairs = self._feature_vector(features)
-        batch = {name: np.array([value]) for name, value in pairs}
-        composite, per_stage = self.evaluate_trace_batch(batch)
+        composite, per_stage = self.evaluate_trace_batch(
+            self._row_matrix(pairs))
         outputs = [StageOutput(name=name, feature=value,
                                probability=float(per_stage[name][0]))
                    for name, value in pairs]
@@ -383,8 +393,8 @@ class PCAMPipeline:
         their two-read evaluation energy.
         """
         pairs = self._feature_vector(features)
-        batch = {name: np.array([value]) for name, value in pairs}
-        probabilities, energy = self.evaluate_with_energy_batch(batch)
+        probabilities, energy = self.evaluate_with_energy_batch(
+            self._row_matrix(pairs))
         return float(probabilities[0]), energy
 
     @classmethod

@@ -68,10 +68,16 @@ class Crossbar:
         self._rng = rng or np.random.default_rng()
         # All cells start in the HRS.
         g_off = 1.0 / self.params.r_off
-        self._conductances = np.full((n_rows, n_cols), g_off)
+        self._conductances = self._freeze(np.full((n_rows, n_cols), g_off))
         self._write_energy = 0.0
         self._operations = 0
         self._fault_plan = None
+        #: Monotonic matrix version: bumps whenever the conductances
+        #: change (program, fault-plan install), so derived state — the
+        #: IR-drop attenuation matrix, sensing thresholds — can be
+        #: cached with a dirty bit instead of recomputed per read.
+        self._version = 0
+        self._attenuation_cache: tuple[int, np.ndarray] | None = None
         #: Optional observability hooks: a tracer spanning each batched
         #: read and a profiler timing the ``@profiled`` kernel.
         self.tracer = None
@@ -80,10 +86,30 @@ class Crossbar:
     # ------------------------------------------------------------------
     # Programming
     # ------------------------------------------------------------------
+    @staticmethod
+    def _freeze(matrix: np.ndarray) -> np.ndarray:
+        """Mark a conductance matrix read-only before adopting it."""
+        matrix.setflags(write=False)
+        return matrix
+
     @property
     def conductances(self) -> np.ndarray:
-        """Copy of the programmed conductance matrix [S]."""
+        """Read-only view of the programmed conductance matrix [S].
+
+        The array is shared, not copied — mutating it raises.  Callers
+        that want a scratch matrix to modify and re-program take
+        :meth:`conductances_copy` instead.
+        """
+        return self._conductances
+
+    def conductances_copy(self) -> np.ndarray:
+        """Writable copy of the conductance matrix (mutation intent)."""
         return self._conductances.copy()
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of conductance-matrix changes."""
+        return self._version
 
     @property
     def conductance_bounds(self) -> tuple[float, float]:
@@ -110,7 +136,8 @@ class Crossbar:
             target = self._fault_plan.pin(target)
         changed = int(np.count_nonzero(
             ~np.isclose(target, self._conductances)))
-        self._conductances = target.copy()
+        self._conductances = self._freeze(target.copy())
+        self._version += 1
         energy = changed * write_energy_per_cell_j
         self._write_energy += energy
         return energy
@@ -147,7 +174,8 @@ class Crossbar:
                 f"plan shape {plan.shape} != "
                 f"({self.n_rows}, {self.n_cols})")
         self._fault_plan = plan
-        self._conductances = plan.pin(self._conductances)
+        self._conductances = self._freeze(plan.pin(self._conductances))
+        self._version += 1
 
     def clear_fault_plan(self) -> None:
         """Remove the stuck-cell plan (pinned values stay until the
@@ -207,10 +235,24 @@ class Crossbar:
                         cols=self.n_cols):
             return self._matvec_batch_kernel(vb, duration_s, noisy)
 
-    def _matvec_batch_kernel(self, vb: np.ndarray, duration_s: float,
-                             noisy: bool) -> MatVecResult:
+    def _attenuation(self) -> np.ndarray:
+        """The IR-drop attenuation matrix, cached against the dirty bit.
+
+        Recomputed only when the conductance matrix version moved
+        (program / fault-plan install); loss models are immutable, so
+        the version is the complete cache key.
+        """
+        cache = self._attenuation_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
         attenuation = self.losses.attenuation_matrix(
             self.n_rows, self.n_cols, self._conductances)
+        self._attenuation_cache = (self._version, attenuation)
+        return attenuation
+
+    def _matvec_batch_kernel(self, vb: np.ndarray, duration_s: float,
+                             noisy: bool) -> MatVecResult:
+        attenuation = self._attenuation()
         effective_v = vb[:, :, None] * attenuation[None, :, :]
         cell_currents = effective_v * self._conductances[None, :, :]
         if noisy and self.variability.read_sigma > 0.0:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import ipaddress
 import struct
+from typing import Sequence
 
 from repro.packet import Packet
 
@@ -103,6 +104,25 @@ class HeaderParser:
         packet.fields["eth_dst"] = dst.hex(":")
         packet.fields["eth_src"] = src.hex(":")
         return packet
+
+    def parse_frames(self, frames: Sequence[bytes],
+                     created_at: float = 0.0
+                     ) -> list[Packet | None]:
+        """Parse a chunk of frames; malformed ones become ``None``.
+
+        Positional results stay aligned with the input so batch
+        callers can issue per-frame parse-drop verdicts; counters
+        (``parsed``/``errors``) advance exactly as per-frame parsing
+        would.
+        """
+        packets: list[Packet | None] = []
+        for frame in frames:
+            try:
+                packets.append(self.parse_frame(frame,
+                                                created_at=created_at))
+            except ParseError:
+                packets.append(None)
+        return packets
 
     def parse_ipv4(self, data: bytes, created_at: float = 0.0,
                    frame_overhead: int = 0) -> Packet:

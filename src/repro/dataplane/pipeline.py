@@ -18,6 +18,12 @@ from typing import Sequence
 
 from repro.dataplane.controller import CognitiveNetworkController
 from repro.packet import Packet
+from repro.dataplane.fastpath import (
+    FlowCache,
+    PacketBatch,
+    TelemetryTally,
+    classify_chunk,
+)
 from repro.dataplane.parser import HeaderParser, ParseError
 from repro.dataplane.telemetry import TelemetryCollector, stamp_packet
 from repro.dataplane.traffic_manager import (
@@ -74,6 +80,10 @@ class AnalogPacketProcessor:
         Builds the per-port AQM; defaults to the pCAM-based AQM.
     port_rate_bps:
         Egress line rate used by the AQM's delay estimator.
+    flow_cache_size:
+        Capacity of the LRU flow-result cache on the digital tables
+        (keyed on flow 5-tuple + table generation); ``0`` disables
+        caching so every packet hits the TCAMs.
     observability:
         Optional :class:`~repro.observability.hub.Observability` hub.
         When given, the pipeline's telemetry collector and energy
@@ -90,6 +100,7 @@ class AnalogPacketProcessor:
                  aqm_factory=None,
                  port_rate_bps: float = 10e9,
                  queue_capacity: int = 4096,
+                 flow_cache_size: int = 4096,
                  controller: CognitiveNetworkController | None = None,
                  observability: Observability | None = None
                  ) -> None:
@@ -117,6 +128,8 @@ class AnalogPacketProcessor:
             tracer=tracer)
         self.controller = controller or CognitiveNetworkController()
         self.telemetry = TelemetryCollector()
+        self.flow_cache = FlowCache(flow_cache_size) \
+            if flow_cache_size > 0 else None
         self._ports_by_hop: dict[str, int] = {}
         self.processed = 0
         self.verdict_counts: dict[Verdict, int] = {
@@ -147,16 +160,29 @@ class AnalogPacketProcessor:
     # Configuration
     # ------------------------------------------------------------------
     def add_route(self, prefix: str, port: int) -> None:
-        """Route a prefix to an egress port."""
+        """Route a prefix to an egress port (invalidates flow cache)."""
         if not 0 <= port < self.traffic_manager.n_ports:
             raise IndexError(f"port {port} out of range")
         next_hop = f"port{port}"
         self._ports_by_hop[next_hop] = port
         self.lookup.add_route(prefix, next_hop)
+        self.invalidate_flow_cache()
 
     def add_firewall_rule(self, rule: FirewallRule) -> None:
-        """Append an ACL rule to the ingress firewall."""
+        """Append an ACL rule (invalidates the flow cache)."""
         self.firewall.add_rule(rule)
+        self.invalidate_flow_cache()
+
+    def invalidate_flow_cache(self) -> None:
+        """Drop every cached digital classification result.
+
+        Table mutations call this automatically; the table generation
+        counters would catch a stale entry anyway, so this is the
+        explicit belt to the generation braces (and the hook for
+        out-of-band invalidation, e.g. after fault injection).
+        """
+        if self.flow_cache is not None:
+            self.flow_cache.clear()
 
     # ------------------------------------------------------------------
     # Data path
@@ -174,65 +200,55 @@ class AnalogPacketProcessor:
                 return self._finish(Verdict.DROPPED_PARSE)
         return self.process(packet, now)
 
+    def process_frames(self, frames: Sequence[bytes], now: float = 0.0,
+                       chunk_size: int = 64) -> list[ProcessResult]:
+        """Parse and process a burst of wire-format frames.
+
+        Malformed frames yield ``DROPPED_PARSE`` results in place;
+        the survivors ride the columnar :meth:`process_batch` path.
+        Results are returned in frame order.
+        """
+        obs = self.observability
+        if obs is not None:
+            obs.set_time(now)
+        with maybe_span(obs and obs.tracer, "dataplane.parse",
+                        frames=len(frames)):
+            parsed = self.parser.parse_frames(frames, created_at=now)
+        packets = [packet for packet in parsed if packet is not None]
+        batched = iter(self.process_batch(packets, now,
+                                          chunk_size=chunk_size))
+        return [next(batched) if packet is not None
+                else self._finish(Verdict.DROPPED_PARSE)
+                for packet in parsed]
+
     def process(self, packet: Packet, now: float = 0.0) -> ProcessResult:
-        """Run one parsed packet through the match-action pipeline."""
+        """Run one parsed packet through the match-action pipeline.
+
+        Delegates to the columnar fast path as a batch of one, so the
+        scalar and batched paths cannot drift apart.
+        """
         obs = self.observability
         if obs is not None:
             obs.set_time(now)
         tracer = obs.tracer if obs else None
+        results: list[ProcessResult | None] = [None]
         with maybe_span(tracer, "dataplane.process"):
-            return self._process(packet, now, tracer)
-
-    def _process(self, packet: Packet, now: float,
-                 tracer=None) -> ProcessResult:
-        with maybe_span(tracer, "dataplane.firewall"):
-            acl = self.firewall.check(packet)
-        self.telemetry.record_lookup(
-            "firewall",
-            hit=acl is not self.firewall.default_action,
-            verdict=acl.value)
-        if acl is Action.DENY:
-            packet.dropped = True
-            self.telemetry.record_event("acl_drop")
-            return self._finish(Verdict.DROPPED_ACL, packet=packet)
-        dst = packet.field("dst_ip")
-        with maybe_span(tracer, "dataplane.ip_lookup"):
-            next_hop = self.lookup.lookup(dst) if dst else None
-        self.telemetry.record_lookup("ip_lookup",
-                                     hit=next_hop is not None,
-                                     verdict=next_hop)
-        if next_hop is None:
-            packet.dropped = True
-            self.telemetry.record_event("no_route_drop")
-            return self._finish(Verdict.DROPPED_NO_ROUTE, packet=packet)
-        port = self._ports_by_hop[next_hop]
-        stamp_packet(packet, f"egress{port}",
-                     self.traffic_manager.backlog(port), now)
-        before = self.traffic_manager.stats[port].aqm_drops
-        admitted = self.traffic_manager.enqueue(port, packet, now)
-        self.telemetry.set_gauge(f"port{port}.backlog",
-                                 self.traffic_manager.backlog(port))
-        if admitted:
-            return self._finish(Verdict.QUEUED, port=port, packet=packet)
-        if self.traffic_manager.stats[port].aqm_drops > before:
-            self.telemetry.record_event("aqm_drop")
-            return self._finish(Verdict.DROPPED_AQM, port=port,
-                                packet=packet)
-        self.telemetry.record_event("overflow_drop")
-        return self._finish(Verdict.DROPPED_OVERFLOW, port=port,
-                            packet=packet)
+            self._process_chunk([packet], 0, now, results, tracer)
+        assert results[0] is not None
+        return results[0]
 
     def process_batch(self, packets: Sequence[Packet], now: float = 0.0,
                       chunk_size: int = 64) -> list[ProcessResult]:
         """Run many packets through the pipeline in admission chunks.
 
-        The digital match-action tables (ACL, IP lookup) are consulted
-        per packet — TCAM lookups are single-cycle either way — but
-        egress admission is batched: all survivors of a chunk bound
-        for the same port are judged by that port's AQM in one
-        vectorised pCAM search against the chunk-start queue state.
-        Results are returned in input order; ``chunk_size=1``
-        reproduces :meth:`process` exactly.
+        Per chunk, the digital match-action tables (ACL, IP lookup)
+        are consulted in whole-batch vectorised TCAM passes over a
+        columnar packet view, with repeated flows answered from the
+        generation-keyed flow cache; egress admission is batched too:
+        all survivors of a chunk bound for the same port are judged by
+        that port's AQM in one vectorised pCAM search against the
+        chunk-start queue state.  Results are returned in input order;
+        ``chunk_size=1`` reproduces :meth:`process` exactly.
         """
         if chunk_size < 1:
             raise ValueError(
@@ -253,31 +269,34 @@ class AnalogPacketProcessor:
                        now: float,
                        results: list[ProcessResult | None],
                        tracer=None) -> None:
-        # Digital MATs first; collect the survivors per port.
+        # Columnar digital MATs: one SoA view, one cached/deduplicated
+        # vectorised ACL pass, one LPM pass over the survivors.
+        tally = TelemetryTally()
         staged: dict[int, list[tuple[int, Packet]]] = {}
         with maybe_span(tracer, "dataplane.digital_mats",
                         chunk=len(chunk)):
+            batch = PacketBatch(chunk)
+            actions, hops = classify_chunk(
+                batch, self.firewall, self.lookup, self.flow_cache,
+                tracer)
+            default = self.firewall.default_action
             for offset, packet in enumerate(chunk):
                 index = start + offset
-                acl = self.firewall.check(packet)
-                self.telemetry.record_lookup(
-                    "firewall",
-                    hit=acl is not self.firewall.default_action,
-                    verdict=acl.value)
+                acl = actions[offset]
+                tally.lookup("firewall", hit=acl is not default,
+                             verdict=acl.value)
                 if acl is Action.DENY:
                     packet.dropped = True
-                    self.telemetry.record_event("acl_drop")
+                    tally.event("acl_drop")
                     results[index] = self._finish(Verdict.DROPPED_ACL,
                                                   packet=packet)
                     continue
-                dst = packet.field("dst_ip")
-                next_hop = self.lookup.lookup(dst) if dst else None
-                self.telemetry.record_lookup("ip_lookup",
-                                             hit=next_hop is not None,
-                                             verdict=next_hop)
+                next_hop = hops[offset]
+                tally.lookup("ip_lookup", hit=next_hop is not None,
+                             verdict=next_hop)
                 if next_hop is None:
                     packet.dropped = True
-                    self.telemetry.record_event("no_route_drop")
+                    tally.event("no_route_drop")
                     results[index] = self._finish(
                         Verdict.DROPPED_NO_ROUTE, packet=packet)
                     continue
@@ -297,14 +316,16 @@ class AnalogPacketProcessor:
                     results[index] = self._finish(
                         Verdict.QUEUED, port=port, packet=packet)
                 elif outcome is Admission.AQM_DROP:
-                    self.telemetry.record_event("aqm_drop")
+                    tally.event("aqm_drop")
                     results[index] = self._finish(
                         Verdict.DROPPED_AQM, port=port, packet=packet)
                 else:
-                    self.telemetry.record_event("overflow_drop")
+                    tally.event("overflow_drop")
                     results[index] = self._finish(
                         Verdict.DROPPED_OVERFLOW, port=port,
                         packet=packet)
+        # One telemetry flush per chunk instead of 3 calls per packet.
+        tally.flush(self.telemetry)
 
     def drain(self, port: int, now: float = 0.0,
               limit: int | None = None) -> list[Packet]:

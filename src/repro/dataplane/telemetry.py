@@ -90,11 +90,34 @@ class TelemetryCollector:
         if verdict is not None:
             stats.verdicts[verdict] += 1
 
+    def record_lookup_batch(self, table: str, lookups: int, hits: int,
+                            verdicts: Counter | dict | None = None
+                            ) -> None:
+        """Fold pre-aggregated lookup counters into one table.
+
+        The fast path tallies a whole chunk locally and flushes it
+        here in one call; totals are indistinguishable from calling
+        :meth:`record_lookup` per packet.
+        """
+        if lookups < 0 or hits < 0 or hits > lookups:
+            raise ValueError(
+                f"need 0 <= hits <= lookups: {hits!r}/{lookups!r}")
+        stats = self._tables.setdefault(table, TableStats())
+        stats.lookups += lookups
+        stats.hits += hits
+        if verdicts:
+            stats.verdicts.update(verdicts)
+
     def record_event(self, name: str, count: int = 1) -> None:
         """Count a named event (drop, mark, adaptation, ...)."""
         if count < 0:
             raise ValueError(f"count must be non-negative: {count!r}")
         self._events[name] += count
+
+    def record_events(self, counts: Counter | dict) -> None:
+        """Fold a batch of pre-aggregated event counts in one call."""
+        for name, count in counts.items():
+            self.record_event(name, count)
 
     def set_gauge(self, name: str, value: float) -> None:
         """Publish the latest value of a continuously-varying signal."""

@@ -228,6 +228,6 @@ def apply_fault_mask(crossbar: "Crossbar", mask: np.ndarray,
     """
     if mask.shape != (crossbar.n_rows, crossbar.n_cols):
         raise ValueError("mask shape mismatch")
-    conductances = crossbar.conductances
+    conductances = crossbar.conductances_copy()
     conductances[mask] = stuck_values[mask]
     crossbar.program(conductances, write_energy_per_cell_j=0.0)

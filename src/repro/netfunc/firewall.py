@@ -11,6 +11,8 @@ import enum
 import ipaddress
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.packet import Packet
 from repro.energy.ledger import EnergyLedger
 from repro.tcam.tcam import TCAM, TernaryPattern, key_from_int
@@ -77,6 +79,15 @@ class Firewall:
     def __len__(self) -> int:
         return len(self._rules)
 
+    @property
+    def generation(self) -> int:
+        """Version of the rule set; bumps whenever the table mutates.
+
+        Classification results cached outside the firewall (the
+        data-plane flow cache) key on this to invalidate on update.
+        """
+        return self.tcam.generation
+
     def add_rule(self, rule: FirewallRule) -> None:
         """Append an ACL line (earlier lines take precedence)."""
         sections = (
@@ -117,6 +128,18 @@ class Firewall:
         if result.best_index is None:
             return self.default_action
         return self._actions[result.best_index]
+
+    def check_batch(self, key_bits: np.ndarray) -> list[Action]:
+        """First-match decisions for a (batch, WIDTH) bit-key matrix.
+
+        One vectorised TCAM pass over the whole batch; per-key match
+        semantics and charged energy are identical to calling
+        :meth:`check` in a loop.  Build the key matrix columnar-style
+        with :class:`repro.dataplane.fastpath.PacketBatch`.
+        """
+        result = self.tcam.search_batch(key_bits)
+        return [self._actions[index] if index >= 0 else
+                self.default_action for index in result.best_indices]
 
     def permits(self, packet: Packet) -> bool:
         """True when the ACL verdict for the packet is PERMIT."""

@@ -11,8 +11,10 @@ from __future__ import annotations
 import ipaddress
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.energy.ledger import EnergyLedger
-from repro.tcam.tcam import TCAM, TernaryPattern, key_from_int
+from repro.tcam.tcam import TCAM, TernaryPattern, key_from_int, key_matrix
 
 __all__ = ["IPLookup", "Route"]
 
@@ -52,6 +54,15 @@ class IPLookup:
     def __len__(self) -> int:
         return len(self._routes)
 
+    @property
+    def generation(self) -> int:
+        """Version of the forwarding table; bumps on every mutation.
+
+        The data-plane flow cache keys on this so route updates
+        invalidate cached next hops.
+        """
+        return self.tcam.generation
+
     def add_route(self, prefix: str, next_hop: str) -> None:
         """Install ``prefix`` (e.g. ``"10.1.0.0/16"``) -> ``next_hop``."""
         route = Route(prefix=prefix, next_hop=next_hop)
@@ -75,6 +86,17 @@ class IPLookup:
         if result.best_index is None:
             return None
         return self._next_hops[result.best_index]
+
+    def lookup_batch(self, addresses: np.ndarray) -> list[str | None]:
+        """Next hops for a column of uint32 destination addresses.
+
+        One vectorised longest-prefix-match pass; per-address results
+        and charged energy are identical to looping :meth:`lookup`.
+        """
+        result = self.tcam.search_batch(
+            key_matrix(addresses, self.WIDTH))
+        return [self._next_hops[index] if index >= 0 else None
+                for index in result.best_indices]
 
     @property
     def routes(self) -> tuple[Route, ...]:

@@ -117,6 +117,24 @@ class MemristorTCAM(TCAM):
                             energy_j=energy,
                             latency_s=self.search_latency_s)
 
+    def _batch_energy_j(self, agree: np.ndarray, n_keys: int) -> float:
+        """Device-physics energy of a search burst.
+
+        Same per-cell accounting as the scalar :meth:`search`: every
+        stored cell participates in every key's search, mismatching
+        cells discharge their match-line slice, the rest leak.
+        """
+        total_cells = agree.size
+        mismatching = int(total_cells - np.count_nonzero(agree))
+        return (mismatching * self._cell_energy(mismatch=True)
+                + (total_cells - mismatching)
+                * self._cell_energy(mismatch=False))
+
+    def _charge_batch(self, energy: float) -> None:
+        """Colocalized compute/storage: no data-movement account."""
+        self.ledger.charge(ACCOUNT_COMPUTE, energy)
+        self.ledger.charge(ACCOUNT_MOVEMENT, 0.0)
+
     def energy_per_bit_for(self, mismatch_fraction: float = 0.5) -> float:
         """Expected per-bit search energy at a given mismatch rate [J].
 

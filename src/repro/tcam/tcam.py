@@ -113,6 +113,26 @@ def key_from_int(value: int, width: int) -> np.ndarray:
                      for i in range(width)])
 
 
+def key_matrix(values: np.ndarray, width: int) -> np.ndarray:
+    """Encode a column of unsigned ints as a (batch, width) bit matrix.
+
+    The vectorised counterpart of :func:`key_from_int` for fields up
+    to 64 bits wide; MSB first, one row per key.  Wider keys are built
+    by concatenating per-field matrices along axis 1.
+    """
+    if not 1 <= width <= 64:
+        raise ValueError(f"width must be in [1, 64]: {width!r}")
+    column = np.asarray(values, dtype=np.uint64)
+    if column.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {column.shape}")
+    if width < 64 and column.size and int(column.max()) >= (1 << width):
+        raise ValueError(
+            f"value {int(column.max())} does not fit in {width} bits")
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    return ((column[:, None] >> shifts[None, :]) & np.uint64(1)
+            ).astype(bool)
+
+
 @dataclass(frozen=True)
 class SearchResult:
     """Outcome of one TCAM search."""
@@ -126,6 +146,29 @@ class SearchResult:
     def hit(self) -> bool:
         """True when at least one entry matched."""
         return self.best_index is not None
+
+
+@dataclass(frozen=True)
+class BatchSearchResult:
+    """Outcome of one vectorised multi-key TCAM search.
+
+    ``best_indices[i]`` is the winning entry for key ``i``, or ``-1``
+    on a miss; ``energy_j`` is the total energy of the whole burst —
+    the same joules the scalar :meth:`TCAM.search` would have charged
+    key by key.
+    """
+
+    best_indices: np.ndarray
+    energy_j: float
+    latency_s: float
+
+    @property
+    def hit_mask(self) -> np.ndarray:
+        """Boolean per-key hit flags."""
+        return self.best_indices >= 0
+
+    def __len__(self) -> int:
+        return int(self.best_indices.shape[0])
 
 
 class TCAM:
@@ -152,9 +195,11 @@ class TCAM:
         self._patterns: list[TernaryPattern] = []
         self._priorities: list[int] = []
         self._searches = 0
+        self._generation = 0
         # Dense matrices rebuilt lazily for vectorised search.
         self._bits_matrix: np.ndarray | None = None
         self._care_matrix: np.ndarray | None = None
+        self._priority_vector: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self._patterns)
@@ -163,6 +208,15 @@ class TCAM:
     def searches(self) -> int:
         """Number of searches performed."""
         return self._searches
+
+    @property
+    def generation(self) -> int:
+        """Monotonic table version; bumps on every add/remove.
+
+        Caches keyed on a table's contents (e.g. the data-plane flow
+        cache) compare generations instead of diffing entries.
+        """
+        return self._generation
 
     def add(self, pattern: TernaryPattern | str,
             priority: int | None = None) -> int:
@@ -176,8 +230,7 @@ class TCAM:
         self._patterns.append(pattern)
         self._priorities.append(
             priority if priority is not None else len(self._priorities))
-        self._bits_matrix = None
-        self._care_matrix = None
+        self._invalidate()
         return len(self._patterns) - 1
 
     def remove(self, index: int) -> None:
@@ -186,8 +239,14 @@ class TCAM:
             raise IndexError(f"entry {index} out of range")
         del self._patterns[index]
         del self._priorities[index]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Drop the dense matrices and advance the table generation."""
         self._bits_matrix = None
         self._care_matrix = None
+        self._priority_vector = None
+        self._generation += 1
 
     def _ensure_matrices(self) -> tuple[np.ndarray, np.ndarray]:
         if self._bits_matrix is None or self._care_matrix is None:
@@ -199,6 +258,8 @@ class TCAM:
             else:
                 self._bits_matrix = np.zeros((0, self.width_bits), dtype=bool)
                 self._care_matrix = np.zeros((0, self.width_bits), dtype=bool)
+            self._priority_vector = np.asarray(self._priorities,
+                                               dtype=float)
         return self._bits_matrix, self._care_matrix
 
     def search(self, key: np.ndarray | int) -> SearchResult:
@@ -231,3 +292,59 @@ class TCAM:
                             best_index=best,
                             energy_j=energy,
                             latency_s=self.search_latency_s)
+
+    #: Upper bound on the (slice, entries, width) agree tensor one
+    #: vectorised slice may allocate (cells, i.e. bools).
+    _MAX_BATCH_CELLS = 1 << 24
+
+    def search_batch(self, keys: np.ndarray) -> BatchSearchResult:
+        """Search many keys against all entries in one NumPy pass.
+
+        ``keys`` is a (batch, width) boolean matrix — one
+        :func:`key_from_int`-style row per key (build it with
+        :func:`key_matrix`).  Match semantics, priority resolution and
+        the charged energy are exactly ``batch`` scalar
+        :meth:`search` calls; only the interpreter round trips are
+        removed.  Large batches are internally sliced so the
+        (batch, entries, width) agreement tensor stays bounded.
+        """
+        key_matrix_ = np.asarray(keys, dtype=bool)
+        if key_matrix_.ndim != 2 or key_matrix_.shape[1] != self.width_bits:
+            raise ValueError(
+                f"keys shape {key_matrix_.shape} != "
+                f"(batch, {self.width_bits})")
+        n_keys = key_matrix_.shape[0]
+        bits, care = self._ensure_matrices()
+        n_entries = bits.shape[0]
+        best = np.full(n_keys, -1, dtype=np.int64)
+        energy = 0.0
+        cells_per_key = max(n_entries * self.width_bits, 1)
+        step = max(1, self._MAX_BATCH_CELLS // cells_per_key)
+        for start in range(0, n_keys, step):
+            chunk = key_matrix_[start:start + step]
+            agree = ~care[None, :, :] | (bits[None, :, :]
+                                         == chunk[:, None, :])
+            energy += self._batch_energy_j(agree, chunk.shape[0])
+            if n_entries:
+                matched = agree.all(axis=2)
+                masked = np.where(matched,
+                                  self._priority_vector[None, :], np.inf)
+                winners = np.argmin(masked, axis=1)
+                best[start:start + step] = np.where(
+                    matched.any(axis=1), winners, -1)
+        self._charge_batch(energy)
+        self._searches += n_keys
+        return BatchSearchResult(best_indices=best, energy_j=energy,
+                                 latency_s=self.search_latency_s)
+
+    def _batch_energy_j(self, agree: np.ndarray, n_keys: int) -> float:
+        """Energy of ``n_keys`` searches (agreement-independent here)."""
+        return (self.energy_per_bit_j * self.width_bits
+                * max(len(self._patterns), 1) * n_keys)
+
+    def _charge_batch(self, energy: float) -> None:
+        """Book a burst's energy with the scalar movement split."""
+        self.ledger.charge(ACCOUNT_MOVEMENT,
+                           energy * self.movement_fraction)
+        self.ledger.charge(ACCOUNT_COMPUTE,
+                           energy * (1.0 - self.movement_fraction))

@@ -1,0 +1,209 @@
+"""Flow-cache and crossbar-cache invalidation regressions.
+
+A cache that can serve one stale verdict after a table update (or one
+stale attenuation matrix after a reprogram / fault injection) is a
+correctness bug dressed as a speedup; these tests mutate state
+mid-stream and pin that the very next evaluation sees the new world.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import Crossbar
+from repro.crossbar.losses import LineLossModel
+from repro.dataplane.fastpath import FlowCache
+from repro.dataplane.pipeline import AnalogPacketProcessor, Verdict
+from repro.device.faults import inject_crossbar_faults
+from repro.device.variability import VariabilityModel
+from repro.netfunc.firewall import Action, FirewallRule
+from repro.packet import Packet
+
+
+def make_packet(dst="10.1.2.3"):
+    return Packet(fields={"src_ip": "1.2.3.4", "dst_ip": dst,
+                          "src_port": 1000, "dst_port": 80,
+                          "protocol": 17})
+
+
+def build_processor():
+    processor = AnalogPacketProcessor(n_ports=2)
+    processor.add_route("10.0.0.0/8", 0)
+    return processor
+
+
+class TestFlowCacheUnit:
+    def test_lru_eviction(self):
+        cache = FlowCache(capacity=2)
+        generation = (0, 0)
+        cache.put("a", generation, 1)
+        cache.put("b", generation, 2)
+        assert cache.get("a", generation) == 1   # refresh "a"
+        cache.put("c", generation, 3)            # evicts "b"
+        assert cache.get("b", generation) is None
+        assert cache.get("a", generation) == 1
+        assert cache.get("c", generation) == 3
+
+    def test_generation_mismatch_flushes(self):
+        cache = FlowCache()
+        cache.put("a", (0, 0), 1)
+        assert cache.get("a", (0, 0)) == 1
+        assert cache.get("a", (1, 0)) is None    # firewall moved
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+
+    def test_hit_miss_counters(self):
+        cache = FlowCache()
+        cache.put("a", (0, 0), 1)
+        cache.get("a", (0, 0))
+        cache.get("zzz", (0, 0))
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlowCache(capacity=0)
+
+
+class TestMidStreamTableMutation:
+    def test_new_firewall_rule_applies_to_next_chunk(self):
+        processor = build_processor()
+        packets = [make_packet() for _ in range(8)]
+        first = processor.process_batch(packets, now=0.0,
+                                        chunk_size=4)
+        assert all(r.verdict is Verdict.QUEUED for r in first)
+        assert processor.flow_cache.hits > 0   # cache is live
+        processor.add_firewall_rule(FirewallRule(
+            action=Action.DENY, dst_prefix="10.0.0.0/8"))
+        second = processor.process_batch(packets, now=1e-3)
+        assert all(r.verdict is Verdict.DROPPED_ACL for r in second)
+
+    def test_new_route_applies_to_next_chunk(self):
+        processor = build_processor()
+        packets = [make_packet(dst="192.168.1.1") for _ in range(8)]
+        first = processor.process_batch(packets, now=0.0)
+        assert all(r.verdict is Verdict.DROPPED_NO_ROUTE
+                   for r in first)
+        processor.add_route("192.168.0.0/16", 1)
+        second = processor.process_batch(packets, now=1e-3)
+        assert all(r.verdict is Verdict.QUEUED and r.port == 1
+                   for r in second)
+
+    def test_direct_tcam_mutation_caught_by_generation(self):
+        # Bypass the pipeline helpers: a table mutated behind the
+        # processor's back still invalidates via the generation pair.
+        processor = build_processor()
+        packets = [make_packet() for _ in range(4)]
+        processor.process_batch(packets, now=0.0)
+        processor.firewall.add_rule(FirewallRule(
+            action=Action.DENY, dst_prefix="10.0.0.0/8"))
+        second = processor.process_batch(packets, now=1e-3)
+        assert all(r.verdict is Verdict.DROPPED_ACL for r in second)
+
+    def test_scalar_path_shares_the_invalidation(self):
+        processor = build_processor()
+        assert processor.process(make_packet(),
+                                 now=0.0).verdict is Verdict.QUEUED
+        processor.add_firewall_rule(FirewallRule(
+            action=Action.DENY, dst_prefix="10.0.0.0/8"))
+        assert processor.process(
+            make_packet(), now=1e-3).verdict is Verdict.DROPPED_ACL
+
+    def test_explicit_invalidation_hook(self):
+        processor = build_processor()
+        processor.process_batch([make_packet() for _ in range(4)],
+                                now=0.0)
+        assert len(processor.flow_cache) > 0
+        processor.invalidate_flow_cache()
+        assert len(processor.flow_cache) == 0
+
+
+def make_crossbar(seed=0):
+    bar = Crossbar(8, 6,
+                   losses=LineLossModel(wire_resistance_per_cell_ohm=2.0,
+                                        sneak_conductance_s=1e-9,
+                                        crosstalk_fraction=0.01),
+                   variability=VariabilityModel.ideal(),
+                   rng=np.random.default_rng(seed))
+    bar.program_normalised(np.random.default_rng(42).random((8, 6)))
+    return bar
+
+
+class TestCrossbarConductanceCache:
+    def test_version_bumps_on_program_and_fault_install(self):
+        bar = make_crossbar()
+        version = bar.version
+        bar.program_normalised(np.full((8, 6), 0.25))
+        assert bar.version > version
+        version = bar.version
+        inject_crossbar_faults(bar, fault_rate=0.3,
+                               rng=np.random.default_rng(1))
+        assert bar.version > version
+
+    def test_cached_reads_not_stale_after_reprogram(self):
+        cached = make_crossbar()
+        voltages = np.random.default_rng(3).random((4, 8))
+        cached.matvec_batch(voltages, noisy=False)   # warm the cache
+        weights = np.random.default_rng(5).random((8, 6))
+        cached.program_normalised(weights)
+        fresh = make_crossbar()
+        fresh.program_normalised(weights)
+        np.testing.assert_allclose(
+            cached.matvec_batch(voltages, noisy=False).currents_a,
+            fresh.matvec_batch(voltages, noisy=False).currents_a,
+            rtol=1e-12)
+
+    def test_cached_reads_not_stale_after_fault_injection(self):
+        cached = make_crossbar()
+        voltages = np.random.default_rng(3).random((4, 8))
+        before = cached.matvec_batch(voltages, noisy=False).currents_a
+        mask = inject_crossbar_faults(cached, fault_rate=0.4,
+                                      rng=np.random.default_rng(7))
+        assert mask.any()
+        after = cached.matvec_batch(voltages, noisy=False).currents_a
+        assert not np.allclose(before, after)
+        # ... and the faulted reads equal an uncached reference built
+        # directly in the faulted state.
+        fresh = make_crossbar()
+        fresh.program(cached.conductances)
+        np.testing.assert_allclose(
+            after,
+            fresh.matvec_batch(voltages, noisy=False).currents_a,
+            rtol=1e-12)
+
+    def test_repeated_reads_reuse_one_attenuation_matrix(self):
+        import unittest.mock as mock
+
+        bar = make_crossbar()
+        original = type(bar.losses).attenuation_matrix
+        with mock.patch.object(type(bar.losses), "attenuation_matrix",
+                               autospec=True,
+                               side_effect=original) as spy:
+            voltages = np.ones((2, 8))
+            bar.matvec_batch(voltages, noisy=False)
+            bar.matvec_batch(voltages, noisy=False)
+            bar.matvec(np.ones(8), noisy=False)
+            assert spy.call_count == 1
+            bar.program_normalised(np.full((8, 6), 0.5))
+            bar.matvec_batch(voltages, noisy=False)
+            assert spy.call_count == 2
+
+
+class TestReadOnlyConductances:
+    def test_view_rejects_mutation(self):
+        bar = make_crossbar()
+        with pytest.raises(ValueError):
+            bar.conductances[0, 0] = 1.0
+
+    def test_copy_is_writable_and_detached(self):
+        bar = make_crossbar()
+        scratch = bar.conductances_copy()
+        scratch[0, 0] = scratch[0, 0] * 0.5
+        assert bar.conductances[0, 0] != scratch[0, 0]
+
+    def test_snapshot_semantics_survive_reprogram(self):
+        bar = make_crossbar()
+        snapshot = bar.conductances
+        bar.program_normalised(np.full((8, 6), 0.9))
+        # The old view still holds the old values: program() replaces
+        # the matrix, it never mutates in place.
+        assert not np.shares_memory(snapshot, bar.conductances)
+        assert not np.allclose(snapshot, bar.conductances)

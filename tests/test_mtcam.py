@@ -75,3 +75,24 @@ def test_key_width_validated():
     from repro.tcam.tcam import key_from_int
     with pytest.raises(ValueError):
         MemristorTCAM(8).search(key_from_int(1, 4))
+
+
+def test_batch_search_energy_matches_scalar_loop():
+    import numpy as np
+    from repro.tcam.tcam import key_matrix
+
+    _, batch = make_pair()
+    _, scalar = make_pair()
+    values = np.arange(0, 256, 7, dtype=np.uint64)
+    result = batch.search_batch(key_matrix(values, 8))
+    scalar_energy = 0.0
+    for row, value in enumerate(values):
+        outcome = scalar.search(int(value))
+        scalar_energy += outcome.energy_j
+        expected = -1 if outcome.best_index is None else outcome.best_index
+        assert result.best_indices[row] == expected
+    assert result.energy_j == pytest.approx(scalar_energy)
+    # Colocalized compute/storage: everything on the compute account.
+    assert batch.ledger.account(ACCOUNT_MOVEMENT) == 0.0
+    assert batch.ledger.account(ACCOUNT_COMPUTE) == pytest.approx(
+        scalar.ledger.account(ACCOUNT_COMPUTE))

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.energy.ledger import ACCOUNT_COMPUTE, ACCOUNT_MOVEMENT
-from repro.tcam.tcam import TCAM, TernaryPattern, key_from_int
+from repro.tcam.tcam import (TCAM, TernaryPattern, key_from_int,
+                             key_matrix)
 
 
 class TestTernaryPattern:
@@ -152,3 +153,131 @@ class TestEnergyModel:
             TCAM(0)
         with pytest.raises(ValueError):
             TCAM(4, movement_fraction=1.5)
+
+
+class TestKeyMatrix:
+    def test_rows_match_key_from_int(self):
+        values = np.array([0, 5, 10, 15], dtype=np.uint64)
+        matrix = key_matrix(values, 4)
+        for row, value in zip(matrix, values):
+            np.testing.assert_array_equal(row,
+                                          key_from_int(int(value), 4))
+
+    def test_width_and_range_validated(self):
+        with pytest.raises(ValueError):
+            key_matrix(np.array([0]), 0)
+        with pytest.raises(ValueError):
+            key_matrix(np.array([0]), 65)
+        with pytest.raises(ValueError):
+            key_matrix(np.array([16], dtype=np.uint64), 4)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            key_matrix(np.zeros((2, 2), dtype=np.uint64), 4)
+
+
+class TestSearchBatch:
+    def make(self) -> TCAM:
+        tcam = TCAM(4)
+        tcam.add("1xxx")    # entry 0
+        tcam.add("10xx")    # entry 1
+        tcam.add("0000")    # entry 2
+        return tcam
+
+    def all_keys(self) -> np.ndarray:
+        return key_matrix(np.arange(16, dtype=np.uint64), 4)
+
+    def test_winners_match_scalar_search(self):
+        batch = self.make()
+        scalar = self.make()
+        result = batch.search_batch(self.all_keys())
+        expected = [scalar.search(value).best_index
+                    for value in range(16)]
+        expected = [-1 if index is None else index
+                    for index in expected]
+        np.testing.assert_array_equal(result.best_indices, expected)
+
+    def test_hit_mask_and_len(self):
+        result = self.make().search_batch(self.all_keys())
+        assert len(result) == 16
+        np.testing.assert_array_equal(result.hit_mask,
+                                      result.best_indices >= 0)
+
+    def test_energy_and_counters_equal_scalar_loop(self):
+        batch = self.make()
+        scalar = self.make()
+        result = batch.search_batch(self.all_keys())
+        scalar_energy = sum(scalar.search(value).energy_j
+                            for value in range(16))
+        assert result.energy_j == pytest.approx(scalar_energy)
+        assert batch.searches == scalar.searches == 16
+        assert batch.ledger.total == pytest.approx(scalar.ledger.total)
+        for account in (ACCOUNT_MOVEMENT, ACCOUNT_COMPUTE):
+            assert batch.ledger.account(account) == pytest.approx(
+                scalar.ledger.account(account))
+
+    def test_priority_tie_break_matches_scalar(self):
+        batch = TCAM(4)
+        scalar = TCAM(4)
+        for tcam in (batch, scalar):
+            tcam.add("1xxx", priority=5)
+            tcam.add("1xx1", priority=5)   # tie: first entry must win
+            tcam.add("10xx", priority=1)
+        keys = self.all_keys()
+        winners = batch.search_batch(keys).best_indices
+        for value in range(16):
+            expected = scalar.search(value).best_index
+            assert winners[value] == (-1 if expected is None
+                                      else expected)
+
+    def test_empty_table_all_miss_with_scalar_energy(self):
+        batch = TCAM(4)
+        scalar = TCAM(4)
+        result = batch.search_batch(self.all_keys())
+        assert not result.hit_mask.any()
+        scalar_energy = sum(scalar.search(value).energy_j
+                            for value in range(16))
+        assert result.energy_j == pytest.approx(scalar_energy)
+
+    def test_empty_batch(self):
+        result = self.make().search_batch(
+            np.zeros((0, 4), dtype=bool))
+        assert len(result) == 0
+        assert result.energy_j == 0.0
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            self.make().search_batch(np.zeros((4, 3), dtype=bool))
+        with pytest.raises(ValueError):
+            self.make().search_batch(np.zeros(4, dtype=bool))
+
+    def test_internal_slicing_preserves_results(self, monkeypatch):
+        batch = self.make()
+        reference = self.make()
+        keys = self.all_keys()
+        expected = reference.search_batch(keys)
+        monkeypatch.setattr(TCAM, "_MAX_BATCH_CELLS",
+                            batch.width_bits * 3 * 2)  # 2 keys/slice
+        result = batch.search_batch(keys)
+        np.testing.assert_array_equal(result.best_indices,
+                                      expected.best_indices)
+        assert result.energy_j == pytest.approx(expected.energy_j)
+
+
+class TestGenerationCounter:
+    def test_bumps_on_add_and_remove(self):
+        tcam = TCAM(4)
+        start = tcam.generation
+        tcam.add("1xxx")
+        after_add = tcam.generation
+        assert after_add > start
+        tcam.remove(0)
+        assert tcam.generation > after_add
+
+    def test_stable_across_searches(self):
+        tcam = TCAM(4)
+        tcam.add("xxxx")
+        generation = tcam.generation
+        tcam.search(0)
+        tcam.search_batch(key_matrix(np.arange(4, dtype=np.uint64), 4))
+        assert tcam.generation == generation
