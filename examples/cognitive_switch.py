@@ -12,24 +12,20 @@ Run:  python examples/cognitive_switch.py
 
 import numpy as np
 
-from repro import AnalogPacketProcessor
 from repro.core.compiler import (
     FunctionKind,
     NetworkFunctionSpec,
     PrecisionClass,
 )
+from repro.dataplane import CognitiveNetworkController, SwitchSpec
 from repro.dataplane.parser import build_ethernet_frame, build_ipv4_packet
 from repro.energy import format_energy
 from repro.netfunc.firewall import Action, FirewallRule
 
 
 def main() -> None:
-    processor = AnalogPacketProcessor(n_ports=2,
-                                      use_memristor_tcam=True,
-                                      port_rate_bps=1e9)
-
     # --- Control plane: declare functions, compile the split. ------
-    controller = processor.controller
+    controller = CognitiveNetworkController()
     controller.register(NetworkFunctionSpec(
         "ip_lookup", PrecisionClass.HIGH, FunctionKind.DETERMINISTIC))
     controller.register(NetworkFunctionSpec(
@@ -41,11 +37,15 @@ def main() -> None:
     for line in controller.report():
         print(" ", line)
 
-    # --- Data plane configuration. ----------------------------------
-    processor.add_route("10.0.0.0/8", port=0)
-    processor.add_route("192.168.0.0/16", port=1)
-    processor.add_firewall_rule(FirewallRule(
-        action=Action.DENY, src_prefix="172.16.0.0/12"))
+    # --- Data plane: declared once, assembled by the builder. --------
+    spec = SwitchSpec(
+        n_ports=2,
+        use_memristor_tcam=True,
+        port_rate_bps=1e9,
+        routes=(("10.0.0.0/8", 0), ("192.168.0.0/16", 1)),
+        firewall_rules=(FirewallRule(
+            action=Action.DENY, src_prefix="172.16.0.0/12"),))
+    processor = controller.build_switch(spec)
 
     # --- Push traffic. ----------------------------------------------
     rng = np.random.default_rng(4)

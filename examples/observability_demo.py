@@ -25,12 +25,11 @@ Check: python examples/observability_demo.py --check
 import sys
 
 from repro.dataplane.pipeline import AnalogPacketProcessor
-from repro.netfunc.aqm.pcam_aqm import PCAMAQM
+from repro.dataplane.switch import SwitchSpec, build_switch
 from repro.observability import Observability
 from repro.observability.export import lint_prometheus
 from repro.observability.profiling import PROFILE_METRIC
 from repro.packet import Packet
-from repro.robustness.degradation import DegradingAQM
 
 
 def make_packet(index: int) -> Packet:
@@ -56,12 +55,11 @@ def main() -> int:
     check_only = "--check" in sys.argv[1:]
 
     obs = Observability()
-    processor = AnalogPacketProcessor(
-        n_ports=2, observability=obs,
-        aqm_factory=lambda: DegradingAQM(PCAMAQM()),
-        port_rate_bps=2e8)
-    processor.add_route("10.0.0.0/8", port=0)
-    processor.add_route("192.168.0.0/16", port=1)
+    spec = SwitchSpec(n_ports=2, port_rate_bps=2e8,
+                      graceful_degradation=True,
+                      routes=(("10.0.0.0/8", 0),
+                              ("192.168.0.0/16", 1)))
+    processor = build_switch(spec, observability=obs)
     run_traffic(processor)
 
     text = obs.to_prometheus()

@@ -10,7 +10,7 @@ from repro.dataplane.controller import (
     CognitiveNetworkController,
     RegisteredFunction,
 )
-from repro.dataplane.packet import FIVE_TUPLE_FIELDS, Packet
+from repro.packet import FIVE_TUPLE_FIELDS, Packet
 from repro.dataplane.parser import (
     HeaderParser,
     ParseError,
@@ -23,6 +23,13 @@ from repro.dataplane.pipeline import (
     Verdict,
 )
 from repro.dataplane.queues import PacketQueue
+from repro.dataplane.results import DROP_EVENTS, drop_event
+from repro.dataplane.stages import (
+    DigitalMatsStage,
+    EgressStage,
+    ParserStage,
+)
+from repro.dataplane.switch import SwitchSpec, build_switch
 from repro.dataplane.telemetry import (
     TableStats,
     TelemetryCollector,
@@ -44,9 +51,14 @@ __all__ = [
     "ABMPolicy",
     "AnalogPacketProcessor",
     "BufferPool",
+    "DROP_EVENTS",
+    "DigitalMatsStage",
     "DynamicThresholdPolicy",
+    "EgressStage",
     "Intent",
     "IntentController",
+    "ParserStage",
+    "SwitchSpec",
     "TableStats",
     "TelemetryCollector",
     "int_metadata",
@@ -68,4 +80,6 @@ __all__ = [
     "Verdict",
     "build_ethernet_frame",
     "build_ipv4_packet",
+    "build_switch",
+    "drop_event",
 ]

@@ -66,6 +66,21 @@ class IntentController:
         self._packets_seen = 0
         self.retargets = 0
 
+    @classmethod
+    def for_port(cls, processor, port: int, intent: Intent,
+                 min_interval_s: float = 1.0) -> "IntentController":
+        """Manage one egress port of an assembled switch.
+
+        ``processor`` is an
+        :class:`~repro.dataplane.pipeline.AnalogPacketProcessor`
+        (e.g. from :func:`~repro.dataplane.switch.build_switch`); a
+        degradation wrapper around the port's AQM is unwrapped so the
+        loop retargets the analog table itself.
+        """
+        aqm = processor.traffic_manager.aqm(port)
+        analog = getattr(aqm, "analog", aqm)
+        return cls(analog, intent, min_interval_s)
+
     @property
     def observed_drop_rate(self) -> float:
         """Drop fraction over the current observation window."""

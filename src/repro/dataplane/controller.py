@@ -89,6 +89,24 @@ class CognitiveNetworkController:
         return self._observability.snapshot()
 
     # ------------------------------------------------------------------
+    # Switch assembly
+    # ------------------------------------------------------------------
+    def build_switch(self, spec, *, observability=None,
+                     aqm_factory=None):
+        """Assemble a switch from a declarative spec, owned by self.
+
+        ``spec`` is a :class:`~repro.dataplane.switch.SwitchSpec`;
+        the returned
+        :class:`~repro.dataplane.pipeline.AnalogPacketProcessor` uses
+        this controller (supervision, reprogramming, metric polls) —
+        one controller can own several switches.
+        """
+        from repro.dataplane.switch import build_switch
+        return build_switch(spec, controller=self,
+                            observability=observability,
+                            aqm_factory=aqm_factory)
+
+    # ------------------------------------------------------------------
     # Registration & compilation
     # ------------------------------------------------------------------
     def register(self, spec: NetworkFunctionSpec,

@@ -212,11 +212,12 @@ class TelemetryTally:
     per-packet method-call overhead is not.
     """
 
-    __slots__ = ("_tables", "_events")
+    __slots__ = ("_tables", "_events", "_gauges")
 
     def __init__(self) -> None:
         self._tables: dict[str, list] = {}
         self._events: Counter[str] = Counter()
+        self._gauges: dict[str, float] = {}
 
     def lookup(self, table: str, hit: bool,
                verdict: str | None = None) -> None:
@@ -235,14 +236,21 @@ class TelemetryTally:
         """Count a named event."""
         self._events[name] += count
 
+    def gauge(self, name: str, value: float) -> None:
+        """Stage the latest sample of a named gauge (last write wins)."""
+        self._gauges[name] = float(value)
+
     def flush(self, collector) -> None:
         """Fold everything into a TelemetryCollector and reset."""
         for table, (lookups, hits, verdicts) in self._tables.items():
             collector.record_lookup_batch(table, lookups, hits, verdicts)
         if self._events:
             collector.record_events(self._events)
+        for name, value in self._gauges.items():
+            collector.set_gauge(name, value)
         self._tables = {}
         self._events = Counter()
+        self._gauges = {}
 
 
 def classify_chunk(batch: PacketBatch, firewall, lookup,

@@ -1,11 +1,20 @@
-"""Compatibility re-export: the Packet class lives in :mod:`repro.packet`.
+"""Deprecated re-export: the Packet class lives in :mod:`repro.packet`.
 
-Kept so that ``repro.dataplane.packet`` remains a valid import path for
-the data-plane-centric view of the class; the implementation moved to
-the package root to keep the dependency graph acyclic (network
-functions consume packets without depending on the switch model).
+The implementation moved to the package root to keep the dependency
+graph acyclic (network functions consume packets without depending on
+the switch model); every internal import now uses ``repro.packet``
+directly, and this path is kept only so old external imports keep
+resolving — with a :class:`DeprecationWarning` telling them where to
+go.
 """
+
+import warnings
 
 from repro.packet import FIVE_TUPLE_FIELDS, Packet
 
 __all__ = ["FIVE_TUPLE_FIELDS", "Packet"]
+
+warnings.warn(
+    "repro.dataplane.packet is deprecated; import Packet and "
+    "FIVE_TUPLE_FIELDS from repro.packet instead",
+    DeprecationWarning, stacklevel=2)

@@ -6,64 +6,47 @@ Wires together every block of the proposed architecture:
     memristor TCAMs) -> analog MATs (pCAM) -> Cognitive Traffic
     Manager (pCAM-based AQM at egress) -> egress queues
 
-and keeps a per-component energy ledger so experiments can attribute
-the cost of each packet to the digital and analog domains.
+as stages on one :class:`repro.runtime.PipelineRuntime`.  Every entry
+point — ``process`` (scalar), ``process_batch`` (columnar),
+``process_frame``/``process_frames`` (wire format) — is a chunk
+through the same engine; the scalar path is literally a batch of one,
+so the paths cannot drift apart.  Cross-cutting concerns (span
+tracing, telemetry flushing, energy attribution) are middleware
+registered once at assembly time; a per-component energy ledger
+attributes each packet's cost to the digital and analog domains.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
 from typing import Sequence
 
 from repro.dataplane.controller import CognitiveNetworkController
-from repro.packet import Packet
-from repro.dataplane.fastpath import (
-    FlowCache,
-    PacketBatch,
-    TelemetryTally,
-    classify_chunk,
+from repro.dataplane.fastpath import FlowCache, TelemetryTally
+from repro.dataplane.results import ProcessResult, Verdict
+from repro.dataplane.stages import (
+    DigitalMatsStage,
+    EgressStage,
+    ParserStage,
 )
-from repro.dataplane.parser import HeaderParser, ParseError
-from repro.dataplane.telemetry import TelemetryCollector, stamp_packet
-from repro.dataplane.traffic_manager import (
-    Admission,
-    CognitiveTrafficManager,
-)
+from repro.dataplane.parser import HeaderParser
+from repro.dataplane.telemetry import TelemetryCollector
+from repro.dataplane.traffic_manager import CognitiveTrafficManager
 from repro.energy.ledger import EnergyLedger
 from repro.netfunc.aqm.pcam_aqm import PCAMAQM
 from repro.netfunc.firewall import Action, Firewall, FirewallRule
 from repro.netfunc.lookup import IPLookup
 from repro.observability.hub import Observability
-from repro.observability.tracing import maybe_span
+from repro.packet import Packet
+from repro.runtime import (
+    EnergyAttributionMiddleware,
+    PipelineRuntime,
+    StageContext,
+    TelemetryMiddleware,
+    TracingMiddleware,
+)
 from repro.tcam.mtcam import MemristorTCAM
 
 __all__ = ["AnalogPacketProcessor", "ProcessResult", "Verdict"]
-
-
-class Verdict(enum.Enum):
-    """Fate of a processed packet."""
-
-    QUEUED = "queued"
-    DROPPED_PARSE = "dropped_parse"
-    DROPPED_ACL = "dropped_acl"
-    DROPPED_NO_ROUTE = "dropped_no_route"
-    DROPPED_AQM = "dropped_aqm"
-    DROPPED_OVERFLOW = "dropped_overflow"
-
-
-@dataclass(frozen=True)
-class ProcessResult:
-    """Outcome of one packet's trip through the pipeline."""
-
-    verdict: Verdict
-    port: int | None = None
-    packet: Packet | None = None
-
-    @property
-    def delivered(self) -> bool:
-        """True when the packet reached an egress queue."""
-        return self.verdict is Verdict.QUEUED
 
 
 class AnalogPacketProcessor:
@@ -84,12 +67,17 @@ class AnalogPacketProcessor:
         Capacity of the LRU flow-result cache on the digital tables
         (keyed on flow 5-tuple + table generation); ``0`` disables
         caching so every packet hits the TCAMs.
+    graceful_degradation:
+        Wrap each port's AQM in a
+        :class:`~repro.robustness.degradation.DegradingAQM` (shadow
+        oracle + digital CoDel fallback + reprogram-retry backoff).
+        Ignored when an explicit ``aqm_factory`` is given.
     observability:
         Optional :class:`~repro.observability.hub.Observability` hub.
         When given, the pipeline's telemetry collector and energy
         ledger are folded onto the hub's registry, degradation-capable
         AQMs are bound as fallback/retry metrics, the shared tracer is
-        threaded through every stage (parser -> tables -> traffic
+        registered as tracing middleware (parser -> tables -> traffic
         manager -> queues -> pCAM pipeline), and the batch kernels
         report to the hub's profiler.  Without a hub every hook stays
         inert.
@@ -101,6 +89,7 @@ class AnalogPacketProcessor:
                  port_rate_bps: float = 10e9,
                  queue_capacity: int = 4096,
                  flow_cache_size: int = 4096,
+                 graceful_degradation: bool = False,
                  controller: CognitiveNetworkController | None = None,
                  observability: Observability | None = None
                  ) -> None:
@@ -118,7 +107,14 @@ class AnalogPacketProcessor:
         self.firewall = Firewall(default_action=Action.PERMIT,
                                  tcam=firewall_tcam, ledger=self.ledger)
         self.lookup = IPLookup(tcam=lookup_tcam, ledger=self.ledger)
-        factory = aqm_factory or (lambda: PCAMAQM(ledger=self.ledger))
+        if aqm_factory is not None:
+            factory = aqm_factory
+        elif graceful_degradation:
+            # Deferred import: robustness sits above the dataplane.
+            from repro.robustness.degradation import DegradingAQM
+            factory = lambda: DegradingAQM(PCAMAQM(ledger=self.ledger))
+        else:
+            factory = lambda: PCAMAQM(ledger=self.ledger)
         self.observability = observability
         tracer = observability.tracer if observability else None
         self.traffic_manager = CognitiveTrafficManager(
@@ -134,23 +130,61 @@ class AnalogPacketProcessor:
         self.processed = 0
         self.verdict_counts: dict[Verdict, int] = {
             verdict: 0 for verdict in Verdict}
+        # The staged runtime: one engine behind every entry point.
+        self._parser_stage = ParserStage(self)
+        self._digital_stage = DigitalMatsStage(self)
+        self._egress_stage = EgressStage(self)
+        self._frame_stages = (self._parser_stage,)
+        self._mat_stages = (self._digital_stage, self._egress_stage)
+        self.runtime = PipelineRuntime(
+            [self._parser_stage, self._digital_stage,
+             self._egress_stage],
+            self.default_middleware())
         if observability is not None:
             self._wire_observability(observability)
+
+    # ------------------------------------------------------------------
+    # Runtime assembly
+    # ------------------------------------------------------------------
+    def default_middleware(self) -> list:
+        """The stock middleware set the switch is assembled with.
+
+        Telemetry flushing and energy attribution always; span tracing
+        only when an observability hub is attached.  Each concern is
+        registered exactly once here instead of being open-coded in
+        every stage.
+        """
+        middleware: list = [
+            TelemetryMiddleware(self.telemetry, TelemetryTally)]
+        if self.observability is not None:
+            middleware.append(
+                TracingMiddleware(self.observability.tracer))
+        middleware.append(EnergyAttributionMiddleware(self.ledger))
+        return middleware
+
+    def use_middleware(self, middleware: Sequence) -> None:
+        """Replace the runtime's middleware (assembly-time hook).
+
+        The stock middleware are order independent; this exists so
+        experiments (and the ordering tests) can permute or extend the
+        set without rebuilding the switch.
+        """
+        self.runtime.set_middleware(middleware)
 
     def _wire_observability(self, obs: Observability) -> None:
         """Bind every pipeline component to the shared hub."""
         obs.watch_telemetry(self.telemetry)
         obs.watch_ledger(self.ledger)
+        obs.watch_runtime(self.runtime)
         for port in range(self.traffic_manager.n_ports):
             aqm = self.traffic_manager.aqm(port)
             if hasattr(aqm, "maybe_retry") and hasattr(
                     aqm, "fallback_events"):
                 table = getattr(aqm, "table", "pcam_aqm")
                 obs.watch_degradation(aqm, table=f"port{port}.{table}")
-            # The analog pipeline may sit directly on the AQM or one
-            # level down inside a degradation wrapper.
-            pipeline = getattr(aqm, "pipeline", None) or getattr(
-                getattr(aqm, "analog", None), "pipeline", None)
+            # DegradingAQM forwards ``pipeline`` to its wrapped analog
+            # AQM, so one attribute covers bare and wrapped tables.
+            pipeline = getattr(aqm, "pipeline", None)
             if pipeline is not None:
                 pipeline.tracer = obs.tracer
                 pipeline.profiler = obs.profiler
@@ -185,55 +219,44 @@ class AnalogPacketProcessor:
             self.flow_cache.clear()
 
     # ------------------------------------------------------------------
-    # Data path
+    # Data path (every entry point is a chunk through the runtime)
     # ------------------------------------------------------------------
     def process_frame(self, frame: bytes, now: float = 0.0
                       ) -> ProcessResult:
         """Parse a wire-format Ethernet frame and process it."""
-        obs = self.observability
-        if obs is not None:
-            obs.set_time(now)
-        with maybe_span(obs and obs.tracer, "dataplane.parse"):
-            try:
-                packet = self.parser.parse_frame(frame, created_at=now)
-            except ParseError:
-                return self._finish(Verdict.DROPPED_PARSE)
-        return self.process(packet, now)
+        return self.process_frames([frame], now, chunk_size=1)[0]
 
     def process_frames(self, frames: Sequence[bytes], now: float = 0.0,
                        chunk_size: int = 64) -> list[ProcessResult]:
         """Parse and process a burst of wire-format frames.
 
-        Malformed frames yield ``DROPPED_PARSE`` results in place;
-        the survivors ride the columnar :meth:`process_batch` path.
-        Results are returned in frame order.
+        The whole burst is parsed in one columnar pass (malformed
+        frames yield ``DROPPED_PARSE`` results in place); the
+        survivors then ride the same chunked match-action walk as
+        :meth:`process_batch`.  Results are returned in frame order.
         """
-        obs = self.observability
-        if obs is not None:
-            obs.set_time(now)
-        with maybe_span(obs and obs.tracer, "dataplane.parse",
-                        frames=len(frames)):
-            parsed = self.parser.parse_frames(frames, created_at=now)
-        packets = [packet for packet in parsed if packet is not None]
-        batched = iter(self.process_batch(packets, now,
-                                          chunk_size=chunk_size))
-        return [next(batched) if packet is not None
-                else self._finish(Verdict.DROPPED_PARSE)
-                for packet in parsed]
+        self._set_time(now)
+        results: list[ProcessResult | None] = [None] * len(frames)
+        ctx = StageContext(now, self._emitter(results),
+                           indices=range(len(frames)),
+                           entry_name=None)
+        packets = self.runtime.run_chunk(list(frames), ctx,
+                                         self._frame_stages)
+        self._run_chunks(packets, ctx.columns["index"], now,
+                         chunk_size, results)
+        return results  # type: ignore[return-value]
 
     def process(self, packet: Packet, now: float = 0.0) -> ProcessResult:
         """Run one parsed packet through the match-action pipeline.
 
-        Delegates to the columnar fast path as a batch of one, so the
+        Literally a batch of one through the staged runtime, so the
         scalar and batched paths cannot drift apart.
         """
-        obs = self.observability
-        if obs is not None:
-            obs.set_time(now)
-        tracer = obs.tracer if obs else None
+        self._set_time(now)
         results: list[ProcessResult | None] = [None]
-        with maybe_span(tracer, "dataplane.process"):
-            self._process_chunk([packet], 0, now, results, tracer)
+        ctx = StageContext(now, self._emitter(results), indices=[0],
+                           entry_name="dataplane.process")
+        self.runtime.run_chunk([packet], ctx, self._mat_stages)
         assert results[0] is not None
         return results[0]
 
@@ -250,82 +273,42 @@ class AnalogPacketProcessor:
         chunk-start queue state.  Results are returned in input order;
         ``chunk_size=1`` reproduces :meth:`process` exactly.
         """
+        self._set_time(now)
+        results: list[ProcessResult | None] = [None] * len(packets)
+        self._run_chunks(packets, range(len(packets)), now,
+                         chunk_size, results)
+        return results  # type: ignore[return-value]
+
+    def _run_chunks(self, packets: Sequence[Packet],
+                    indices: Sequence[int], now: float, chunk_size: int,
+                    results: list[ProcessResult | None]) -> None:
+        """Chunk packets through the match-action stages."""
         if chunk_size < 1:
             raise ValueError(
                 f"chunk size must be >= 1: {chunk_size!r}")
+        emit = self._emitter(results)
+        indices = list(indices)
+        for start in range(0, len(packets), chunk_size):
+            chunk = packets[start:start + chunk_size]
+            ctx = StageContext(
+                now, emit,
+                indices=indices[start:start + chunk_size],
+                entry_name="dataplane.process_batch",
+                entry_attributes={"chunk": len(chunk)})
+            self.runtime.run_chunk(chunk, ctx, self._mat_stages)
+
+    def _emitter(self, results: list[ProcessResult | None]):
+        """An emit callback recording verdicts into a result slot list."""
+        def emit(index: int, verdict: Verdict, port: int | None = None,
+                 packet: Packet | None = None) -> None:
+            results[index] = self._finish(verdict, port=port,
+                                          packet=packet)
+        return emit
+
+    def _set_time(self, now: float) -> None:
         obs = self.observability
         if obs is not None:
             obs.set_time(now)
-        tracer = obs.tracer if obs else None
-        results: list[ProcessResult | None] = [None] * len(packets)
-        for start in range(0, len(packets), chunk_size):
-            chunk = packets[start:start + chunk_size]
-            with maybe_span(tracer, "dataplane.process_batch",
-                            chunk=len(chunk)):
-                self._process_chunk(chunk, start, now, results, tracer)
-        return [result for result in results if result is not None]
-
-    def _process_chunk(self, chunk: Sequence[Packet], start: int,
-                       now: float,
-                       results: list[ProcessResult | None],
-                       tracer=None) -> None:
-        # Columnar digital MATs: one SoA view, one cached/deduplicated
-        # vectorised ACL pass, one LPM pass over the survivors.
-        tally = TelemetryTally()
-        staged: dict[int, list[tuple[int, Packet]]] = {}
-        with maybe_span(tracer, "dataplane.digital_mats",
-                        chunk=len(chunk)):
-            batch = PacketBatch(chunk)
-            actions, hops = classify_chunk(
-                batch, self.firewall, self.lookup, self.flow_cache,
-                tracer)
-            default = self.firewall.default_action
-            for offset, packet in enumerate(chunk):
-                index = start + offset
-                acl = actions[offset]
-                tally.lookup("firewall", hit=acl is not default,
-                             verdict=acl.value)
-                if acl is Action.DENY:
-                    packet.dropped = True
-                    tally.event("acl_drop")
-                    results[index] = self._finish(Verdict.DROPPED_ACL,
-                                                  packet=packet)
-                    continue
-                next_hop = hops[offset]
-                tally.lookup("ip_lookup", hit=next_hop is not None,
-                             verdict=next_hop)
-                if next_hop is None:
-                    packet.dropped = True
-                    tally.event("no_route_drop")
-                    results[index] = self._finish(
-                        Verdict.DROPPED_NO_ROUTE, packet=packet)
-                    continue
-                port = self._ports_by_hop[next_hop]
-                stamp_packet(packet, f"egress{port}",
-                             self.traffic_manager.backlog(port), now)
-                staged.setdefault(port, []).append((index, packet))
-        # Batched egress admission per port.
-        for port, entries in staged.items():
-            outcomes = self.traffic_manager.enqueue_batch(
-                port, [packet for _, packet in entries], now)
-            self.telemetry.set_gauge(
-                f"port{port}.backlog",
-                self.traffic_manager.backlog(port))
-            for (index, packet), outcome in zip(entries, outcomes):
-                if outcome is Admission.QUEUED:
-                    results[index] = self._finish(
-                        Verdict.QUEUED, port=port, packet=packet)
-                elif outcome is Admission.AQM_DROP:
-                    tally.event("aqm_drop")
-                    results[index] = self._finish(
-                        Verdict.DROPPED_AQM, port=port, packet=packet)
-                else:
-                    tally.event("overflow_drop")
-                    results[index] = self._finish(
-                        Verdict.DROPPED_OVERFLOW, port=port,
-                        packet=packet)
-        # One telemetry flush per chunk instead of 3 calls per packet.
-        tally.flush(self.telemetry)
 
     def drain(self, port: int, now: float = 0.0,
               limit: int | None = None) -> list[Packet]:
@@ -354,3 +337,7 @@ class AnalogPacketProcessor:
     def energy_breakdown(self) -> dict[str, float]:
         """Per-account energy totals of the whole pipeline [J]."""
         return self.ledger.breakdown()
+
+    def energy_by_stage(self) -> dict[str, float]:
+        """Joules attributed to each runtime stage (middleware view)."""
+        return self.runtime.energy_attribution()

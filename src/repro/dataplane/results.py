@@ -1,0 +1,67 @@
+"""Packet verdicts, per-packet results, and derived drop accounting.
+
+The verdict vocabulary and the telemetry drop-counter names used to
+live apart (the enum in ``pipeline.py``, the event strings repeated
+inline in both the scalar and batched paths).  They are unified here:
+:data:`DROP_EVENTS` is *derived* from the :class:`Verdict` enum, so a
+new drop reason automatically gets a telemetry counter and can never
+drift between paths — there is only one path now anyway.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.packet import Packet
+
+__all__ = ["DROP_EVENTS", "ProcessResult", "Verdict", "drop_event"]
+
+
+class Verdict(enum.Enum):
+    """Fate of a processed packet."""
+
+    QUEUED = "queued"
+    DROPPED_PARSE = "dropped_parse"
+    DROPPED_ACL = "dropped_acl"
+    DROPPED_NO_ROUTE = "dropped_no_route"
+    DROPPED_AQM = "dropped_aqm"
+    DROPPED_OVERFLOW = "dropped_overflow"
+
+    @property
+    def dropped(self) -> bool:
+        """True for every verdict except delivery to a queue."""
+        return self is not Verdict.QUEUED
+
+
+def drop_event(verdict: Verdict) -> str | None:
+    """Telemetry event name counting one drop verdict (None for QUEUED).
+
+    Derived, not hand-written: ``DROPPED_NO_ROUTE`` -> ``no_route_drop``
+    and so on, reproducing the historical counter names exactly while
+    guaranteeing every future drop verdict gets a counter.
+    """
+    if not verdict.dropped:
+        return None
+    return verdict.value.removeprefix("dropped_") + "_drop"
+
+
+#: Event-counter name per dropping verdict (every member but QUEUED).
+DROP_EVENTS: dict[Verdict, str] = {
+    verdict: drop_event(verdict)
+    for verdict in Verdict if verdict.dropped
+}
+
+
+@dataclass(frozen=True)
+class ProcessResult:
+    """Outcome of one packet's trip through the pipeline."""
+
+    verdict: Verdict
+    port: int | None = None
+    packet: Packet | None = None
+
+    @property
+    def delivered(self) -> bool:
+        """True when the packet reached an egress queue."""
+        return self.verdict is Verdict.QUEUED

@@ -1,0 +1,176 @@
+"""The Figure 5 switch blocks as runtime stages.
+
+Each block of the paper's pipeline — parser, digital match-action
+tables, egress admission — is one :class:`repro.runtime.Stage`
+implementation over a plain list of packets (the columnar
+:class:`~repro.dataplane.fastpath.PacketBatch` view is built inside
+the digital stage, under its span, exactly where the old fused path
+built it).  Stages emit final verdicts through the
+:class:`~repro.runtime.stage.StageContext` and tally telemetry
+through its per-chunk tally; tracing, flushing, energy attribution
+and supervision are middleware on the composing runtime, not code
+here.
+
+Stages hold a reference to the owning
+:class:`~repro.dataplane.pipeline.AnalogPacketProcessor` and read its
+tables, flow cache and traffic manager at call time, so run-time
+reconfiguration (route updates, cache invalidation, fault injection)
+is always visible to the next chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dataplane.fastpath import PacketBatch, classify_chunk
+from repro.dataplane.results import DROP_EVENTS, Verdict
+from repro.dataplane.telemetry import stamp_packet
+from repro.dataplane.traffic_manager import Admission
+from repro.netfunc.firewall import Action
+from repro.packet import Packet
+from repro.runtime import StageContext
+
+__all__ = ["ADMISSION_VERDICTS", "DigitalMatsStage", "EgressStage",
+           "ParserStage"]
+
+#: Egress admission outcome -> final packet verdict.
+ADMISSION_VERDICTS: dict[Admission, Verdict] = {
+    Admission.QUEUED: Verdict.QUEUED,
+    Admission.AQM_DROP: Verdict.DROPPED_AQM,
+    Admission.OVERFLOW_DROP: Verdict.DROPPED_OVERFLOW,
+}
+
+
+class ParserStage:
+    """Wire-format frames -> parsed packets (malformed ones dropped)."""
+
+    name = "parser"
+    span_name = "dataplane.parse"
+
+    def __init__(self, switch) -> None:
+        self.switch = switch
+
+    def span_attributes(self, frames: Sequence[bytes]) -> dict:
+        return {"frames": len(frames)}
+
+    def process_batch(self, frames: Sequence[bytes],
+                      ctx: StageContext) -> list[Packet]:
+        parsed = self.switch.parser.parse_frames(frames,
+                                                 created_at=ctx.now)
+        indices = ctx.indices
+        survivors: list[Packet] = []
+        kept: list[int] = []
+        for offset, packet in enumerate(parsed):
+            if packet is None:
+                ctx.tally.event(DROP_EVENTS[Verdict.DROPPED_PARSE])
+                ctx.emit(indices[offset], Verdict.DROPPED_PARSE)
+            else:
+                survivors.append(packet)
+                kept.append(indices[offset])
+        ctx.columns["index"] = kept
+        return survivors
+
+
+class DigitalMatsStage:
+    """ACL + LPM over the memristor TCAMs, one columnar pass per chunk.
+
+    Emits ``DROPPED_ACL``/``DROPPED_NO_ROUTE`` for the packets the
+    digital tables dispose of, INT-stamps the survivors with their
+    egress queue state, and publishes the resolved ``egress_port``
+    column for the egress stage.
+    """
+
+    name = "digital_mats"
+    span_name = "dataplane.digital_mats"
+
+    def __init__(self, switch) -> None:
+        self.switch = switch
+
+    def span_attributes(self, packets: Sequence[Packet]) -> dict:
+        return {"chunk": len(packets)}
+
+    def process_batch(self, packets: Sequence[Packet],
+                      ctx: StageContext) -> list[Packet]:
+        switch = self.switch
+        batch = PacketBatch(packets)
+        actions, hops = classify_chunk(
+            batch, switch.firewall, switch.lookup, switch.flow_cache,
+            ctx.tracer)
+        default = switch.firewall.default_action
+        manager = switch.traffic_manager
+        ports_by_hop = switch._ports_by_hop
+        indices = ctx.indices
+        tally = ctx.tally
+        now = ctx.now
+        survivors: list[Packet] = []
+        kept: list[int] = []
+        ports: list[int] = []
+        for offset, packet in enumerate(packets):
+            acl = actions[offset]
+            tally.lookup("firewall", hit=acl is not default,
+                         verdict=acl.value)
+            if acl is Action.DENY:
+                packet.dropped = True
+                tally.event(DROP_EVENTS[Verdict.DROPPED_ACL])
+                ctx.emit(indices[offset], Verdict.DROPPED_ACL,
+                         packet=packet)
+                continue
+            next_hop = hops[offset]
+            tally.lookup("ip_lookup", hit=next_hop is not None,
+                         verdict=next_hop)
+            if next_hop is None:
+                packet.dropped = True
+                tally.event(DROP_EVENTS[Verdict.DROPPED_NO_ROUTE])
+                ctx.emit(indices[offset], Verdict.DROPPED_NO_ROUTE,
+                         packet=packet)
+                continue
+            port = ports_by_hop[next_hop]
+            stamp_packet(packet, f"egress{port}", manager.backlog(port),
+                         now)
+            survivors.append(packet)
+            kept.append(indices[offset])
+            ports.append(port)
+        ctx.columns["index"] = kept
+        ctx.columns["egress_port"] = ports
+        return survivors
+
+
+class EgressStage:
+    """Batched per-port AQM admission into the egress queues.
+
+    Groups the chunk's survivors by resolved port (first-appearance
+    order), lets each port's AQM judge its group against the
+    chunk-start queue state in one vectorised consultation, and emits
+    the final admission verdicts.
+    """
+
+    name = "egress"
+    span_name = "dataplane.egress"
+
+    def __init__(self, switch) -> None:
+        self.switch = switch
+
+    def span_attributes(self, packets: Sequence[Packet]) -> dict:
+        return {"chunk": len(packets)}
+
+    def process_batch(self, packets: Sequence[Packet],
+                      ctx: StageContext) -> list[Packet]:
+        manager = self.switch.traffic_manager
+        indices = ctx.indices
+        ports = ctx.columns["egress_port"]
+        tally = ctx.tally
+        staged: dict[int, list[tuple[int, Packet]]] = {}
+        for index, packet, port in zip(indices, packets, ports):
+            staged.setdefault(port, []).append((index, packet))
+        for port, entries in staged.items():
+            outcomes = manager.enqueue_batch(
+                port, [packet for _, packet in entries], ctx.now)
+            tally.gauge(f"port{port}.backlog", manager.backlog(port))
+            for (index, packet), outcome in zip(entries, outcomes):
+                verdict = ADMISSION_VERDICTS[outcome]
+                if verdict.dropped:
+                    tally.event(DROP_EVENTS[verdict])
+                ctx.emit(index, verdict, port=port, packet=packet)
+        ctx.columns["index"] = []
+        ctx.columns["egress_port"] = []
+        return []

@@ -22,7 +22,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.dataplane.telemetry import TelemetryCollector
     from repro.energy.ledger import EnergyLedger
 
-__all__ = ["bind_degradation", "bind_ledger", "bind_telemetry"]
+__all__ = ["bind_degradation", "bind_ledger", "bind_runtime",
+           "bind_telemetry"]
 
 
 def bind_telemetry(registry: MetricsRegistry,
@@ -83,6 +84,34 @@ def bind_ledger(registry: MetricsRegistry, ledger: "EnergyLedger",
         reg.counter(f"{namespace}_charge_events_total",
                     "Number of ledger charge events."
                     ).set_total(ledger.events)
+
+    registry.register_collector(collect)
+
+
+def bind_runtime(registry: MetricsRegistry, runtime,
+                 namespace: str = "runtime") -> None:
+    """Mirror a staged pipeline runtime's execution counters.
+
+    ``runtime`` is a :class:`repro.runtime.PipelineRuntime` (duck
+    typed: ``chunks``, ``stage_runs`` and ``energy_attribution()``).
+    Exports ``{ns}_chunks_total``, per-stage
+    ``{ns}_stage_runs_total{stage=...}`` and — when an energy
+    attribution middleware is registered —
+    ``{ns}_stage_joules_total{stage=...}``.
+    """
+
+    def collect(reg: MetricsRegistry) -> None:
+        reg.counter(f"{namespace}_chunks_total",
+                    "Chunks executed by the staged runtime."
+                    ).set_total(runtime.chunks)
+        for stage, runs in runtime.stage_runs.items():
+            reg.counter(f"{namespace}_stage_runs_total",
+                        "Stage invocations by the staged runtime.",
+                        {"stage": stage}).set_total(runs)
+        for stage, joules in runtime.energy_attribution().items():
+            reg.counter(f"{namespace}_stage_joules_total",
+                        "Ledger energy attributed per runtime stage.",
+                        {"stage": stage}).set_total(joules)
 
     registry.register_collector(collect)
 

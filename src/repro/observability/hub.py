@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 from repro.observability.adapters import (
     bind_degradation,
     bind_ledger,
+    bind_runtime,
     bind_telemetry,
 )
 from repro.observability.export import to_json, to_prometheus_text
@@ -85,6 +86,11 @@ class Observability:
                           ) -> None:
         """Fold a degradable table's fallback state into the registry."""
         bind_degradation(self.registry, degrader, table)
+
+    def watch_runtime(self, runtime, namespace: str = "runtime"
+                      ) -> None:
+        """Fold a staged runtime's chunk/stage/energy counters in."""
+        bind_runtime(self.registry, runtime, namespace)
 
     # ------------------------------------------------------------------
     # Export surface

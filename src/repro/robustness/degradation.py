@@ -174,6 +174,15 @@ class DegradingAQM(AQMAlgorithm):
         return self._mode == "fallback"
 
     @property
+    def pipeline(self) -> PCAMPipeline:
+        """The protected analog pipeline (tracer/profiler attach here).
+
+        Forwarded from the wrapped AQM so callers wiring observability
+        need one attribute whether or not a table is wrapped.
+        """
+        return self.analog.pipeline
+
+    @property
     def next_retry_s(self) -> float | None:
         """When the next reprogram retry is due (None when healthy)."""
         return self._next_retry_s

@@ -1,0 +1,111 @@
+"""The staged pipeline engine: one chunk executor for every entry point.
+
+:class:`PipelineRuntime` composes an ordered list of
+:class:`~repro.runtime.stage.Stage` objects with a list of
+middleware.  ``run_chunk`` walks one chunk through the stages:
+
+* every middleware's ``around_chunk`` wraps the whole walk
+  (registration order in, reverse order out);
+* every middleware's ``around_stage`` wraps each stage call;
+* a stage returns the surviving batch for its successor; a drained
+  batch short-circuits the remaining stages.
+
+The scalar dataplane API is literally a batch of one through this
+same executor, so the per-packet and columnar paths cannot drift
+apart — they *are* the same code.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from typing import Any, Iterable, Sequence
+
+from repro.runtime.stage import Stage, StageContext
+
+__all__ = ["PipelineRuntime"]
+
+
+def _drained(batch: Any) -> bool:
+    """True when no rows survive for the next stage."""
+    if batch is None:
+        return True
+    try:
+        return len(batch) == 0
+    except TypeError:
+        return False
+
+
+class PipelineRuntime:
+    """Composes stages and cross-cutting middleware, runs chunks."""
+
+    def __init__(self, stages: Iterable[Stage],
+                 middleware: Iterable[Any] = ()) -> None:
+        self.stages: list[Stage] = list(stages)
+        names = [stage.name for stage in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names: {names!r}")
+        self.middleware: list[Any] = []
+        #: Chunks executed since assembly (all entry points).
+        self.chunks = 0
+        #: Stage invocations by stage name since assembly.
+        self.stage_runs: dict[str, int] = {}
+        self.set_middleware(middleware)
+
+    def set_middleware(self, middleware: Iterable[Any]) -> None:
+        """Replace the middleware list (re-running ``on_attach``).
+
+        The runtime object itself is stable across reconfiguration,
+        so observability collectors bound to it keep reporting.
+        """
+        self.middleware = list(middleware)
+        for mw in self.middleware:
+            attach = getattr(mw, "on_attach", None)
+            if attach is not None:
+                attach(self)
+
+    def stage(self, name: str) -> Stage:
+        """Look up a composed stage by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r}; composed: "
+                       f"{[s.name for s in self.stages]}")
+
+    def energy_attribution(self) -> dict[str, float]:
+        """Merged per-stage joules from any attributing middleware."""
+        merged: dict[str, float] = {}
+        for mw in self.middleware:
+            attribution = getattr(mw, "attribution", None)
+            if attribution is None:
+                continue
+            for name, joules in attribution().items():
+                merged[name] = merged.get(name, 0.0) + joules
+        return merged
+
+    def run_chunk(self, batch: Any, ctx: StageContext,
+                  stages: Sequence[Stage] | None = None) -> Any:
+        """Walk one chunk through the (sub)pipeline under middleware.
+
+        ``stages`` restricts the walk to a contiguous slice of the
+        composed pipeline (e.g. the frame entry point runs the parser
+        alone over the whole burst, then chunks the survivors through
+        the match-action stages); None runs every composed stage.
+        Returns the batch surviving the final stage.
+        """
+        active = self.stages if stages is None else stages
+        middleware = self.middleware
+        self.chunks += 1
+        runs = self.stage_runs
+        with ExitStack() as chunk_scope:
+            for mw in middleware:
+                chunk_scope.enter_context(mw.around_chunk(ctx))
+            for stage in active:
+                if _drained(batch):
+                    break
+                runs[stage.name] = runs.get(stage.name, 0) + 1
+                with ExitStack() as stage_scope:
+                    for mw in middleware:
+                        stage_scope.enter_context(
+                            mw.around_stage(stage, batch, ctx))
+                    batch = stage.process_batch(batch, ctx)
+        return batch

@@ -1,0 +1,131 @@
+"""Stage protocol and per-chunk context for the staged runtime.
+
+A :class:`Stage` is one block of the Figure 5 switch (parser, digital
+MATs, analog MAT / traffic manager with egress queues) expressed as a
+columnar transform: it consumes a batch, emits verdicts for the rows
+it disposes of through the context, and returns the surviving batch
+for the next stage.  Cross-cutting concerns (tracing, telemetry,
+energy attribution, fault installation, degradation supervision) do
+*not* appear here — they are middleware, registered once on the
+:class:`~repro.runtime.engine.PipelineRuntime` at assembly time.
+
+This module is deliberately generic: it knows nothing about packets,
+tables or verdict enums.  The concrete stages and the verdict
+vocabulary live with the dataplane; the runtime only moves batches,
+columns and emitted outcomes around.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+__all__ = ["NullTally", "Stage", "StageContext"]
+
+
+class NullTally:
+    """Inert telemetry sink installed when no telemetry middleware is.
+
+    Stages tally lookups, events and gauges unconditionally through
+    ``ctx.tally``; without a telemetry middleware every call lands
+    here and disappears, so stage code never branches on observability
+    being wired.
+    """
+
+    __slots__ = ()
+
+    def lookup(self, table: str, hit: bool,
+               verdict: str | None = None) -> None:
+        """Discard one table-lookup record."""
+
+    def event(self, name: str, count: int = 1) -> None:
+        """Discard one event count."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Discard one gauge sample."""
+
+    def flush(self, collector: Any) -> None:
+        """Nothing to flush."""
+
+
+#: Shared inert sink (stateless, so one instance serves every chunk).
+NULL_TALLY = NullTally()
+
+
+class StageContext:
+    """Everything one chunk carries through the stage pipeline.
+
+    Attributes
+    ----------
+    now:
+        Simulation timestamp of the chunk [s].
+    emit:
+        ``emit(index, verdict, port=None, packet=None)`` — record the
+        final outcome of the input row with absolute index ``index``.
+        Supplied by the caller (the switch front-end), so the runtime
+        stays agnostic of the verdict vocabulary.
+    columns:
+        Auxiliary columns aligned with the *current* batch.  The
+        caller seeds ``columns["index"]`` with the absolute input
+        indices of the chunk rows; a stage that filters its batch must
+        filter every column it consumes the same way (and may add new
+        ones, e.g. the digital MATs publish ``"egress_port"``).
+    tally:
+        Per-chunk telemetry sink (:class:`NullTally` unless a
+        telemetry middleware swapped a live tally in).
+    tracer:
+        Span tracer for stage-internal kernel spans, or None.  Set by
+        the tracing middleware; stages must tolerate None (the
+        dataplane's ``maybe_span`` already does).
+    scratch:
+        Free-form per-chunk storage for middleware/stage cooperation.
+    """
+
+    __slots__ = ("now", "emit", "columns", "tally", "tracer",
+                 "entry_name", "entry_attributes", "scratch")
+
+    def __init__(self, now: float,
+                 emit: Callable[..., None],
+                 indices: "list[int] | range | None" = None,
+                 entry_name: str | None = None,
+                 entry_attributes: dict | None = None) -> None:
+        self.now = now
+        self.emit = emit
+        self.columns: dict[str, Any] = {}
+        if indices is not None:
+            self.columns["index"] = list(indices)
+        self.tally: Any = NULL_TALLY
+        self.tracer: Any = None
+        #: Name/attributes of the chunk-level span the tracing
+        #: middleware opens around the whole stage walk (None skips
+        #: the chunk span, e.g. for a bare parser invocation).
+        self.entry_name = entry_name
+        self.entry_attributes = dict(entry_attributes or {})
+        self.scratch: dict[str, Any] = {}
+
+    @property
+    def indices(self) -> list[int]:
+        """Absolute input indices aligned with the current batch."""
+        return self.columns["index"]
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One pipeline block: a named columnar batch transform.
+
+    Implementations may additionally declare ``span_name`` (the span
+    opened around the stage by the tracing middleware; defaults to the
+    stage name) and ``span_attributes(batch) -> dict`` for span
+    attributes derived from the incoming batch.
+    """
+
+    name: str
+
+    def process_batch(self, batch: Any, ctx: StageContext) -> Any:
+        """Transform one chunk; return the surviving batch.
+
+        Rows disposed of here must be reported via ``ctx.emit`` with
+        their absolute index from ``ctx.columns["index"]``, and every
+        consumed column must be re-published filtered to the rows the
+        returned batch retains.
+        """
+        ...

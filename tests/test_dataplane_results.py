@@ -1,0 +1,69 @@
+"""Verdict vocabulary and the derived drop-counter names.
+
+Satellite of the runtime refactor: telemetry drop-counter names are
+derived from the Verdict enum in exactly one place
+(``repro.dataplane.results``) instead of being repeated inline in the
+scalar and batched paths.  These tests pin the derivation rule, the
+historical counter names, and the guarantee that every future drop
+verdict automatically gets a counter.
+"""
+
+import pytest
+
+from repro.dataplane.results import (
+    DROP_EVENTS,
+    ProcessResult,
+    Verdict,
+    drop_event,
+)
+
+
+class TestDropEventDerivation:
+    def test_every_verdict_member_is_covered(self):
+        # Every member either maps to a counter or is the one
+        # non-drop verdict — no third category can appear silently.
+        for verdict in Verdict:
+            if verdict is Verdict.QUEUED:
+                assert drop_event(verdict) is None
+                assert verdict not in DROP_EVENTS
+            else:
+                assert DROP_EVENTS[verdict] == drop_event(verdict)
+
+    def test_historical_counter_names_preserved(self):
+        # These exact strings are what dashboards and the golden
+        # telemetry reference key on; the derivation must keep
+        # reproducing them.
+        assert DROP_EVENTS == {
+            Verdict.DROPPED_PARSE: "parse_drop",
+            Verdict.DROPPED_ACL: "acl_drop",
+            Verdict.DROPPED_NO_ROUTE: "no_route_drop",
+            Verdict.DROPPED_AQM: "aqm_drop",
+            Verdict.DROPPED_OVERFLOW: "overflow_drop",
+        }
+
+    def test_derivation_rule(self):
+        for verdict, event in DROP_EVENTS.items():
+            assert verdict.value.startswith("dropped_")
+            assert event == \
+                verdict.value.removeprefix("dropped_") + "_drop"
+
+    def test_dropped_property(self):
+        assert not Verdict.QUEUED.dropped
+        for verdict in Verdict:
+            if verdict is not Verdict.QUEUED:
+                assert verdict.dropped
+
+
+class TestProcessResult:
+    def test_delivered_only_when_queued(self):
+        assert ProcessResult(Verdict.QUEUED, port=1).delivered
+        assert not ProcessResult(Verdict.DROPPED_ACL).delivered
+
+    def test_frozen(self):
+        result = ProcessResult(Verdict.QUEUED, port=0)
+        with pytest.raises(AttributeError):
+            result.port = 2
+
+    def test_drop_results_default_portless(self):
+        result = ProcessResult(Verdict.DROPPED_NO_ROUTE)
+        assert result.port is None and result.packet is None

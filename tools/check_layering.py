@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Layering contract checker for the repro package.
+
+Walks every module under ``src/repro`` with the ``ast`` module (no
+imports are executed, no third-party dependency needed) and enforces
+the architectural layering the staged-runtime refactor established:
+
+1. ``repro.runtime`` is generic infrastructure.  It may import the
+   observability layer and the stdlib, but never dataplane or netfunc
+   concretions — stages and verdict vocabularies are injected by the
+   dataplane, not known to the runtime.
+2. ``repro.netfunc`` holds the cognitive network functions.  They sit
+   *below* the switch pipeline and must not import ``repro.dataplane``
+   (the dataplane composes them, never the reverse).
+3. ``repro.packet`` is a leaf: it may import nothing else from
+   ``repro`` (every layer shares the Packet type, so any dependency
+   here would be a cycle waiting to happen).
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: module-prefix -> prefixes it must not import (checked transitively
+#: over the textual import graph is overkill here: direct imports are
+#: what the contract constrains).
+FORBIDDEN = {
+    "repro.runtime": ("repro.dataplane", "repro.netfunc"),
+    "repro.netfunc": ("repro.dataplane",),
+    "repro.packet": ("repro.",),
+}
+
+
+def module_name(path: Path) -> str:
+    relative = path.relative_to(SRC).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def imported_modules(path: Path, module: str) -> list[tuple[int, str]]:
+    """(lineno, absolute module) for every import in the file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    package_parts = module.split(".")
+    if path.name != "__init__.py":
+        package_parts = package_parts[:-1]
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                found.append((node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import -> resolve against package
+                base = package_parts[:len(package_parts) - node.level + 1]
+                prefix = ".".join(base)
+                target = f"{prefix}.{node.module}" if node.module \
+                    else prefix
+            else:
+                target = node.module or ""
+            found.append((node.lineno, target))
+    return found
+
+
+def violations() -> list[str]:
+    problems = []
+    for path in sorted(SRC.glob("repro/**/*.py")):
+        module = module_name(path)
+        rules = [banned for prefix, banned in FORBIDDEN.items()
+                 if module == prefix or module.startswith(prefix + ".")]
+        if not rules:
+            continue
+        for lineno, target in imported_modules(path, module):
+            for banned_set in rules:
+                for banned in banned_set:
+                    bad = target == banned.rstrip(".") \
+                        or target.startswith(banned) \
+                        and (banned.endswith(".")
+                             or target[len(banned):][:1] in ("", "."))
+                    if bad and not target.startswith(module):
+                        problems.append(
+                            f"{path.relative_to(SRC.parent)}:{lineno}: "
+                            f"{module} imports {target} "
+                            f"(forbidden by layering contract)")
+    return problems
+
+
+def main() -> int:
+    problems = violations()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} layering violation(s)", file=sys.stderr)
+        return 1
+    print("layering contract clean: runtime |> dataplane, "
+          "netfunc |> dataplane, repro.packet is a leaf")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
