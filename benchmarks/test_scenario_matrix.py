@@ -1,0 +1,171 @@
+"""Full-size scenario matrix with behavioural gates + BENCH artifact.
+
+Runs every registered scenario at its default packet count through
+the default matrix switch with observability on, asserts the
+behavioural invariants the catalogue documents (AQM drop probability
+rising under flood with bounded queue delay, flow-cache collapse and
+recovery under churn, no degradation trips on benign traffic), and
+publishes the per-scenario reports — windowed drop/delay/cache
+series, energy ledgers, observability snapshots — as
+``BENCH_scenarios.json`` for CI to archive.
+
+Tier-1 runs smaller replicas of these gates (``tests/test_scenarios.py``);
+this module is `bench`-marked and runs in its own CI job:
+
+    pytest benchmarks/test_scenario_matrix.py -m bench -q
+"""
+
+import json
+import resource
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.simnet.scenarios import (
+    iter_scenarios,
+    publish_reports,
+    run_scenario,
+    scenario,
+    scenario_names,
+)
+
+pytestmark = pytest.mark.bench
+
+RESULT_PATH = Path(__file__).parent / "BENCH_scenarios.json"
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """Every scenario run once at full size, artifact published."""
+    reports = {name: run_scenario(name, seed=0, observe=True)
+               for name in scenario_names()}
+    publish_reports(reports.values(), RESULT_PATH)
+    return reports
+
+
+class TestMatrixCoverage:
+    def test_matrix_covers_the_catalogue(self, matrix):
+        assert len(matrix) >= 6
+        for report in matrix.values():
+            assert report.n_packets \
+                == scenario(report.scenario).default_packets
+            assert sum(w.offered for w in report.windows) \
+                == report.n_packets
+
+    def test_artifact_published_per_scenario(self, matrix):
+        document = json.loads(RESULT_PATH.read_text())
+        assert set(document) == set(matrix)
+        for name, payload in document.items():
+            assert payload["energy_total_j"] > 0
+            assert payload["metrics"] is not None
+            assert len(payload["windows"]) == 20
+
+    def test_energy_accounting_present_everywhere(self, matrix):
+        for report in matrix.values():
+            assert report.energy_per_packet_j > 0
+            assert "compute" in report.energy_breakdown
+
+
+class TestFloodBehaviour:
+    @pytest.mark.parametrize("name,min_mean,max_delay", [
+        ("flash_crowd", 0.25, 0.30),
+        ("syn_flood", 0.10, 0.15),
+        ("amplification_flood", 0.50, 0.80),
+    ])
+    def test_aqm_drop_probability_rises_under_flood(self, matrix, name,
+                                                    min_mean, max_delay):
+        report = matrix[name]
+        window = scenario(name).meta["flood_window"]
+        flood = [w.aqm_drop_rate for w in report.windows_in(window)]
+        before = report.window_series("aqm_drop_rate")[
+            :int(window[0] * len(report.windows))]
+        assert float(np.mean(flood)) > min_mean
+        assert max(before) < 0.01
+        assert report.max_delay_ewma_s < max_delay
+        assert report.max_pdp > 0.5
+
+    @pytest.mark.parametrize("name", ["flash_crowd", "syn_flood",
+                                      "amplification_flood"])
+    def test_drops_subside_after_flood(self, matrix, name):
+        report = matrix[name]
+        assert max(report.window_series("aqm_drop_rate")[-2:]) < 0.05
+
+
+class TestCacheBehaviour:
+    def test_churn_collapses_and_recovers(self, matrix):
+        report = matrix["cache_churn"]
+        window = scenario("cache_churn").meta["churn_window"]
+        churn = [w.cache_hit_rate for w in report.windows_in(window)]
+        warm = [w.cache_hit_rate for w in report.windows[1:5]]
+        after = [w.cache_hit_rate for w in report.windows[-4:]]
+        assert max(churn) < 0.05
+        assert min(warm) > 0.9
+        assert min(after) > 0.9
+
+    def test_scan_sweep_defeats_the_cache(self, matrix):
+        report = matrix["scan_sweep"]
+        assert report.cache_hit_rate < 0.2
+        share = report.verdict_counts["dropped_no_route"] \
+            / report.n_packets
+        assert share > scenario("scan_sweep").meta["min_no_route_share"]
+
+    def test_heavy_tail_keeps_the_cache_effective(self, matrix):
+        report = matrix["elephants_mice"]
+        assert min(w.cache_hit_rate
+                   for w in report.windows[-5:]) > 0.85
+
+
+class TestBenignStability:
+    @pytest.mark.parametrize(
+        "name", [entry.name for entry in iter_scenarios()
+                 if entry.benign])
+    def test_benign_scenarios_never_trip_degradation(self, matrix,
+                                                     name):
+        report = matrix[name]
+        assert report.degraded_tables == ()
+        assert report.fallback_events == 0
+
+    @pytest.mark.parametrize("name", ["elephants_mice", "diurnal",
+                                      "cache_churn", "scan_sweep"])
+    def test_steady_benign_traffic_rides_below_the_aqm(self, matrix,
+                                                       name):
+        report = matrix[name]
+        assert report.verdict_counts["dropped_aqm"] \
+            < 0.001 * report.n_packets
+        assert report.verdict_counts["dropped_overflow"] == 0
+
+    def test_diurnal_pressure_follows_the_load_curve(self, matrix):
+        report = matrix["diurnal"]
+        meta = scenario("diurnal").meta
+        peak = [w.max_backlog_pkts
+                for w in report.windows_in(meta["peak_window"])]
+        trough = [w.max_backlog_pkts
+                  for w in report.windows_in(meta["trough_window"])]
+        assert np.mean(peak) > 1.5 * np.mean(trough)
+
+
+class TestStreamingMemory:
+    def test_peak_rss_flat_while_streaming_10m_packets(self):
+        """Streaming >= 10M packets must not grow the peak RSS beyond
+        a few chunks' worth — the whole point of columnar chunking.
+
+        ``ru_maxrss`` is a monotone high-water mark, so the baseline
+        is taken *after* a 1M-packet warm-up pass (code paths, numpy
+        buffer pools); any growth past it is genuine accumulation.
+        """
+        entry = scenario("syn_flood")
+        consumed = 0
+        for chunk in entry.stream(seed=0, n_packets=1_000_000,
+                                  chunk_size=65_536):
+            consumed += len(chunk)
+        baseline_kb = resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss
+        for chunk in entry.stream(seed=0, n_packets=10_000_000,
+                                  chunk_size=65_536):
+            consumed += len(chunk)
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        assert consumed == 11_000_000
+        # a materialised 10M-packet stream would be ~550 MB of
+        # columns alone; allow 64 MB of slack for allocator noise
+        assert peak_kb - baseline_kb < 64 * 1024

@@ -18,11 +18,25 @@ from repro.simnet.multihop import (
 )
 from repro.simnet.queue_sim import BottleneckQueue
 from repro.simnet.responsive import AIMDFlowGenerator, FeedbackRouter
+from repro.simnet.scenarios import (
+    Scenario,
+    ScenarioReport,
+    ScenarioWindow,
+    default_switch_spec,
+    iter_scenarios,
+    publish_reports,
+    register_scenario,
+    run_scenario,
+    scenario,
+    scenario_names,
+)
 from repro.simnet.trace import (
     ArrivalTrace,
     TraceRecorder,
     TraceReplayGenerator,
 )
+from repro.simnet.workloads import ChunkColumns, hash_u64, integers, \
+    pareto, stream_key, uniforms
 from repro.simnet.topology import (
     DumbbellExperiment,
     ExperimentResult,
@@ -33,6 +47,7 @@ __all__ = [
     "AIMDFlowGenerator",
     "ArrivalTrace",
     "BottleneckQueue",
+    "ChunkColumns",
     "TraceRecorder",
     "TraceReplayGenerator",
     "FeedbackRouter",
@@ -45,8 +60,23 @@ __all__ = [
     "OnOffFlowGenerator",
     "ParetoBurstGenerator",
     "PoissonFlowGenerator",
+    "Scenario",
+    "ScenarioReport",
+    "ScenarioWindow",
     "Simulator",
     "SummaryStatistics",
+    "default_switch_spec",
+    "hash_u64",
+    "integers",
+    "iter_scenarios",
     "overload_profile",
+    "pareto",
+    "publish_reports",
+    "register_scenario",
+    "run_scenario",
+    "scenario",
+    "scenario_names",
+    "stream_key",
     "time_binned_mean",
+    "uniforms",
 ]

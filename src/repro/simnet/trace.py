@@ -77,6 +77,28 @@ class ArrivalTrace:
                        flow_ids=archive["flow_ids"],
                        priorities=archive["priorities"])
 
+    @classmethod
+    def from_columns(cls, chunks) -> "ArrivalTrace":
+        """Build a trace from an iterable of scenario column chunks.
+
+        Accepts whatever :meth:`Scenario.stream
+        <repro.simnet.scenarios.Scenario.stream>` yields and
+        materialises the arrival process (times, sizes, flow ids,
+        priorities) — the 5-tuple columns are deliberately dropped:
+        a trace is a queueing workload, not a forwarding one.
+        """
+        chunks = list(chunks)
+        if not chunks:
+            return cls(times_s=np.zeros(0),
+                       sizes_bytes=np.zeros(0, dtype=np.int64),
+                       flow_ids=np.zeros(0, dtype=np.int64),
+                       priorities=np.zeros(0, dtype=np.int64))
+        return cls(
+            times_s=np.concatenate([c.times_s for c in chunks]),
+            sizes_bytes=np.concatenate([c.sizes_bytes for c in chunks]),
+            flow_ids=np.concatenate([c.flow_ids for c in chunks]),
+            priorities=np.concatenate([c.priorities for c in chunks]))
+
 
 class TraceRecorder:
     """A pass-through sink that records everything it forwards.

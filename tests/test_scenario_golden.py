@@ -1,0 +1,90 @@
+"""Scenario-driven golden: flash crowd through ``build_switch``.
+
+``tests/golden/scenario_flash_crowd.json`` was captured by running
+the registered ``flash_crowd`` scenario (seed 0, 20k packets) through
+the default matrix switch with per-packet results collected, then
+digesting the verdict and egress-port sequences and pinning the
+energy ledger.  Any change to the workload engine, the staged
+runtime, the flow cache, the AQM, or the energy model that shifts a
+single packet's fate shows up here as a digest mismatch.
+
+To re-capture after an *intentional* behaviour change, run
+``capture()`` below and rewrite the JSON — and say why in the commit.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.simnet.scenarios import run_scenario
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / \
+    "scenario_flash_crowd.json"
+
+
+def capture() -> dict:
+    """One golden record, freshly computed (deterministic)."""
+    reference = json.loads(GOLDEN_PATH.read_text())
+    r = run_scenario("flash_crowd",
+                     seed=reference["seed"],
+                     n_packets=reference["n_packets"],
+                     chunk_size=reference["chunk_size"],
+                     admission_chunk=reference["admission_chunk"],
+                     collect_results=True)
+    return {
+        "scenario": r.scenario,
+        "seed": r.seed,
+        "n_packets": r.n_packets,
+        "chunk_size": r.chunk_size,
+        "admission_chunk": r.admission_chunk,
+        "verdict_counts": r.verdict_counts,
+        "verdict_digest": hashlib.sha256(
+            "\n".join(r.verdicts).encode()).hexdigest(),
+        "port_digest": hashlib.sha256(
+            ",".join("-" if p is None else str(p)
+                     for p in r.ports).encode()).hexdigest(),
+        "energy_total_j": round(r.energy_total_j, 28),
+        "energy_breakdown": {key: round(value, 28) for key, value
+                             in r.energy_breakdown.items()},
+    }
+
+
+@pytest.fixture(scope="module")
+def fresh() -> dict:
+    return capture()
+
+
+@pytest.fixture(scope="module")
+def reference() -> dict:
+    # JSON round-trip the fresh capture too (via dumps in the assert
+    # helpers) so float formatting can never cause a spurious diff.
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestScenarioGolden:
+    def test_verdict_counts_pinned(self, fresh, reference):
+        assert fresh["verdict_counts"] == reference["verdict_counts"]
+
+    def test_verdict_sequence_digest_pinned(self, fresh, reference):
+        assert fresh["verdict_digest"] == reference["verdict_digest"]
+
+    def test_port_sequence_digest_pinned(self, fresh, reference):
+        assert fresh["port_digest"] == reference["port_digest"]
+
+    def test_energy_ledger_pinned(self, fresh, reference):
+        assert json.loads(json.dumps(fresh["energy_total_j"])) \
+            == reference["energy_total_j"]
+        assert json.loads(json.dumps(fresh["energy_breakdown"])) \
+            == reference["energy_breakdown"]
+
+    def test_golden_file_shape(self, reference):
+        for key in ("scenario", "seed", "n_packets", "verdict_counts",
+                    "verdict_digest", "port_digest", "energy_total_j",
+                    "energy_breakdown"):
+            assert key in reference
+        assert reference["scenario"] == "flash_crowd"
+        # the golden must exercise the AQM, or it pins nothing
+        # interesting about the cognitive datapath
+        assert reference["verdict_counts"]["dropped_aqm"] > 0

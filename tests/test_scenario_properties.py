@@ -1,0 +1,173 @@
+"""Property tests pinning the scenario engine's seed discipline.
+
+The contract the whole harness rests on: a scenario stream is a pure
+function of ``(seed, packet index)``.  Hypothesis hunts for chunk
+sizes that shift the stream (they must not — byte-identical
+concatenations regardless of chunking), seeds that collide (distinct
+seeds must give distinct streams), and index ranges that break
+resumability (any slice must be generatable without its prefix).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.scenarios import iter_scenarios, scenario, scenario_names
+from repro.simnet.workloads import (
+    ChunkColumns,
+    hash_u64,
+    integers,
+    pareto,
+    uniforms,
+)
+
+SCENARIOS = scenario_names()
+N = 3000  # stream length under test: small enough for ~ms generation
+
+
+def digest(entry, seed: int, chunk_size: int, n: int = N) -> str:
+    cols = ChunkColumns.concat(entry.stream(seed=seed, n_packets=n,
+                                            chunk_size=chunk_size))
+    return hashlib.sha256(cols.tobytes()).hexdigest()
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+class TestChunkSizeInvariance:
+    @given(chunk_size=st.integers(min_value=1, max_value=N + 7),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_any_chunking_yields_identical_bytes(self, name,
+                                                 chunk_size, seed):
+        entry = scenario(name)
+        assert digest(entry, seed, chunk_size) \
+            == digest(entry, seed, N)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_any_slice_is_resumable(self, name, seed):
+        entry = scenario(name)
+        full = ChunkColumns.concat(entry.stream(seed=seed, n_packets=N,
+                                                chunk_size=N))
+        start, count = 1021, 511
+        resumed = entry.columns(seed, start, count, N)
+        expected = ChunkColumns(**{
+            column: getattr(full, column)[start:start + count]
+            for column in ("times_s", "sizes_bytes", "flow_ids",
+                           "priorities", "src_ip", "dst_ip",
+                           "src_port", "dst_port", "protocol",
+                           "has_dst")})
+        assert resumed.tobytes() == expected.tobytes()
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+class TestSeedDistinctness:
+    @given(seeds=st.lists(st.integers(min_value=0, max_value=2**32 - 1),
+                          min_size=2, max_size=2, unique=True))
+    @settings(max_examples=10, deadline=None)
+    def test_distinct_seeds_give_distinct_streams(self, name, seeds):
+        entry = scenario(name)
+        assert digest(entry, seeds[0], N) != digest(entry, seeds[1], N)
+
+
+class TestStreamStructure:
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_times_non_decreasing_across_chunk_boundaries(self, name):
+        entry = scenario(name)
+        cols = ChunkColumns.concat(entry.stream(seed=11, n_packets=N,
+                                                chunk_size=257))
+        assert np.all(np.diff(cols.times_s) >= 0)
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_present_destinations_are_never_zero(self, name):
+        # the parser treats dst_ip=0 as "no destination header": a
+        # scenario that emits it silently turns routed packets into
+        # parse drops.
+        entry = scenario(name)
+        cols = ChunkColumns.concat(entry.stream(seed=11, n_packets=N,
+                                                chunk_size=N))
+        present = np.asarray(cols.has_dst)
+        assert np.all(np.asarray(cols.dst_ip)[present] != 0)
+
+
+class TestPrimitives:
+    @given(seed=st.integers(min_value=0, max_value=2**64 - 1),
+           stream=st.integers(min_value=0, max_value=63),
+           start=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_hash_is_a_pure_function_of_index(self, seed, stream, start):
+        idx = np.arange(start, start + 64, dtype=np.uint64)
+        first = hash_u64(seed, stream, idx)
+        again = hash_u64(seed, stream, idx)
+        np.testing.assert_array_equal(first, again)
+        shifted = hash_u64(seed, stream, idx[32:])
+        np.testing.assert_array_equal(first[32:], shifted)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_uniforms_in_unit_interval(self, seed):
+        u = uniforms(seed, 1, np.arange(4096, dtype=np.uint64))
+        assert u.min() >= 0.0 and u.max() < 1.0
+        # crude uniformity: the mean of 4096 uniforms is near 1/2
+        assert abs(u.mean() - 0.5) < 0.05
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           lo=st.integers(min_value=-100, max_value=100),
+           span=st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_integers_respect_bounds(self, seed, lo, span):
+        values = integers(seed, 2, np.arange(512, dtype=np.uint64),
+                          lo, lo + span)
+        assert values.min() >= lo and values.max() < lo + span
+
+    def test_integers_reject_empty_range(self):
+        with pytest.raises(ValueError):
+            integers(0, 1, np.arange(4, dtype=np.uint64), 5, 5)
+
+    def test_pareto_is_heavy_tailed(self):
+        u = uniforms(0, 12, np.arange(200_000, dtype=np.uint64))
+        x = pareto(u, alpha=1.1)
+        assert x.min() >= 1.0
+        # the top 1% of an alpha=1.1 Pareto dwarfs the median mass
+        top = np.sort(x)[-2000:]
+        assert top.sum() > 0.5 * x.sum()
+
+    def test_pareto_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            pareto(np.array([0.5]), alpha=0.0)
+
+
+class TestChunkColumns:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ChunkColumns(times_s=np.zeros(3), sizes_bytes=np.zeros(2),
+                         flow_ids=np.zeros(3), priorities=np.zeros(3),
+                         src_ip=np.zeros(3), dst_ip=np.zeros(3),
+                         src_port=np.zeros(3), dst_port=np.zeros(3),
+                         protocol=np.zeros(3), has_dst=np.zeros(3))
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            ChunkColumns(times_s=np.array([1.0, 0.5]),
+                         sizes_bytes=np.zeros(2), flow_ids=np.zeros(2),
+                         priorities=np.zeros(2), src_ip=np.zeros(2),
+                         dst_ip=np.zeros(2), src_port=np.zeros(2),
+                         dst_port=np.zeros(2), protocol=np.zeros(2),
+                         has_dst=np.zeros(2))
+
+    def test_concat_of_nothing_is_empty(self):
+        empty = ChunkColumns.concat([])
+        assert len(empty) == 0
+        assert empty.duration_s == 0.0
+
+    def test_to_packets_round_trips_fields(self):
+        cols = scenario("elephants_mice").columns(5, 0, 64, 64)
+        packets = cols.to_packets()
+        assert len(packets) == 64
+        for i, packet in enumerate(packets):
+            assert packet.size_bytes == int(cols.sizes_bytes[i])
+            assert packet.flow_id == int(cols.flow_ids[i])
+            assert packet.fields["src_ip"] == int(cols.src_ip[i])
+            assert ("dst_ip" in packet.fields) == bool(cols.has_dst[i])

@@ -49,6 +49,34 @@ class TestArrivalTrace:
         np.testing.assert_array_equal(loaded.times_s, trace.times_s)
         np.testing.assert_array_equal(loaded.flow_ids, trace.flow_ids)
 
+    def test_save_load_preserves_dtypes(self, tmp_path):
+        trace = ArrivalTrace(
+            times_s=np.array([0.0, 0.25, 1.5], dtype=np.float64),
+            sizes_bytes=np.array([64, 1500, 576], dtype=np.int64),
+            flow_ids=np.array([1, 2, 1], dtype=np.int64),
+            priorities=np.array([0, 1, 0], dtype=np.int64))
+        path = tmp_path / "typed.npz"
+        trace.save(path)
+        loaded = ArrivalTrace.load(path)
+        assert loaded.times_s.dtype == np.float64
+        assert loaded.sizes_bytes.dtype == np.int64
+        assert loaded.flow_ids.dtype == np.int64
+        assert loaded.priorities.dtype == np.int64
+        for name in ("times_s", "sizes_bytes", "flow_ids",
+                     "priorities"):
+            np.testing.assert_array_equal(getattr(loaded, name),
+                                          getattr(trace, name))
+
+    def test_save_load_preserves_captured_dtypes(self, tmp_path):
+        trace = capture_trace(duration=0.1)
+        path = tmp_path / "captured.npz"
+        trace.save(path)
+        loaded = ArrivalTrace.load(path)
+        for name in ("times_s", "sizes_bytes", "flow_ids",
+                     "priorities"):
+            assert getattr(loaded, name).dtype \
+                == getattr(trace, name).dtype
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ArrivalTrace(times_s=np.array([0.0, 1.0]),
@@ -118,3 +146,68 @@ class TestReplay:
         trace = capture_trace(duration=0.05)
         with pytest.raises(ValueError):
             TraceReplayGenerator(trace, time_offset_s=-1.0)
+
+    def test_replay_bit_identical_after_persistence(self, tmp_path):
+        """Replaying a saved-and-reloaded trace matches replaying the
+        original exactly — persistence is invisible to consumers."""
+        trace = capture_trace(duration=0.3)
+        path = tmp_path / "persisted.npz"
+        trace.save(path)
+        reloaded = ArrivalTrace.load(path)
+
+        def replay(source):
+            sim = Simulator()
+            recorder = TraceRecorder(sim)
+            TraceReplayGenerator(source).attach(sim, recorder)
+            sim.run()
+            return recorder.trace()
+
+        before = replay(trace)
+        after = replay(reloaded)
+        np.testing.assert_array_equal(before.times_s, after.times_s)
+        np.testing.assert_array_equal(before.sizes_bytes,
+                                      after.sizes_bytes)
+        np.testing.assert_array_equal(before.flow_ids, after.flow_ids)
+        np.testing.assert_array_equal(before.priorities,
+                                      after.priorities)
+
+
+class TestFromColumns:
+    def test_scenario_stream_materialises_as_trace(self):
+        from repro.simnet.scenarios import scenario
+        entry = scenario("elephants_mice")
+        trace = ArrivalTrace.from_columns(
+            entry.stream(seed=4, n_packets=5000, chunk_size=1024))
+        assert len(trace) == 5000
+        assert trace.times_s.dtype == np.float64
+        assert trace.sizes_bytes.dtype == np.int64
+        assert np.all(np.diff(trace.times_s) >= 0)
+
+    def test_scenario_trace_helper_matches_from_columns(self):
+        from repro.simnet.scenarios import scenario
+        entry = scenario("diurnal")
+        via_helper = entry.trace(seed=4, n_packets=2000)
+        via_stream = ArrivalTrace.from_columns(
+            entry.stream(seed=4, n_packets=2000, chunk_size=333))
+        np.testing.assert_array_equal(via_helper.times_s,
+                                      via_stream.times_s)
+        np.testing.assert_array_equal(via_helper.sizes_bytes,
+                                      via_stream.sizes_bytes)
+
+    def test_from_columns_survives_npz_round_trip(self, tmp_path):
+        from repro.simnet.scenarios import scenario
+        trace = scenario("flash_crowd").trace(seed=9, n_packets=3000)
+        path = tmp_path / "scenario.npz"
+        trace.save(path)
+        loaded = ArrivalTrace.load(path)
+        for name in ("times_s", "sizes_bytes", "flow_ids",
+                     "priorities"):
+            np.testing.assert_array_equal(getattr(loaded, name),
+                                          getattr(trace, name))
+            assert getattr(loaded, name).dtype \
+                == getattr(trace, name).dtype
+
+    def test_empty_iterable_gives_empty_trace(self):
+        trace = ArrivalTrace.from_columns([])
+        assert len(trace) == 0
+        assert trace.mean_rate_pps == 0.0
