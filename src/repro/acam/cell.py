@@ -1,0 +1,241 @@
+"""The aCAM interval cell: a conductance-bounded analog window.
+
+Li et al.'s 6T2M analog CAM cell stores an *interval* as two memristor
+conductances: the low-bound transistor conducts while the search
+voltage is above the lower threshold, the high-bound one while it is
+below the upper, and the match line stays high only when the input
+falls between them.  This module realises the same abstraction on top
+of the repo's pCAM transfer function:
+
+* the deterministic-match window ``[M2, M3]`` is the stored interval;
+* an unbounded side ("any value above lo") maps to a sentinel far
+  outside every feature scale, exactly like a TCAM wildcard bit;
+* an analog *margin* widens ``[M1, M4]`` beyond the window so
+  near-miss inputs produce a graded sub-1.0 response instead of a
+  hard zero (the paper's RQ1 partial match), with *sharpness*
+  steepening the skirt.
+
+Ramp responses are strictly below ``pmax``, so a deterministic match
+is only ever produced *inside* the stored interval — the property the
+one-shot decision-tree equivalence proof rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pcam_cell import PCAMCell, PCAMParams
+
+__all__ = ["ACAMCell", "ACAMInterval", "ConductanceMap", "UNBOUNDED"]
+
+#: Sentinel magnitude for an unbounded interval side.  Far outside any
+#: feature scale this repo produces, yet finite so the pCAM transfer
+#: function never sees an inf/nan.
+UNBOUNDED = 1e30
+
+#: Relative width of the hairline ramp a zero-margin interval keeps on
+#: each finite side.  The pCAM transfer function reads ``x >= m4`` (and
+#: ``x <= m1``) as mismatch, so a genuinely zero-width ramp would make
+#: the stored window *open* at its bounds; a hairline ramp keeps the
+#: closed-interval semantics (``x == hi`` matches deterministically)
+#: that the decision-tree equivalence proof needs, while anything
+#: measurably outside the window still responds strictly below pmax.
+_EDGE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ConductanceMap:
+    """Linear map between threshold values and cell conductances.
+
+    The programmable window of a real aCAM cell is stored as two
+    memristor conductances inside the device's resistance window
+    (kilo-ohms to giga-ohms for the Nb:SrTiO3 devices of the paper).
+    The map is linear in conductance across ``[v_min, v_max]``;
+    values outside the span clip to the rails, which is exactly what
+    programming a threshold beyond the storable range does in silicon.
+    """
+
+    v_min: float = 0.0
+    v_max: float = 1.0
+    g_min_s: float = 1e-9
+    g_max_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if not self.v_min < self.v_max:
+            raise ValueError(
+                f"need v_min < v_max: {self.v_min!r}, {self.v_max!r}")
+        if not 0.0 < self.g_min_s < self.g_max_s:
+            raise ValueError(
+                f"need 0 < g_min < g_max: {self.g_min_s!r}, "
+                f"{self.g_max_s!r}")
+
+    def conductance(self, value: float) -> float:
+        """Stored conductance for a threshold value [S]."""
+        t = (value - self.v_min) / (self.v_max - self.v_min)
+        t = min(max(t, 0.0), 1.0)
+        return self.g_min_s + t * (self.g_max_s - self.g_min_s)
+
+    def value(self, conductance_s: float) -> float:
+        """Threshold value realised by a stored conductance."""
+        t = ((conductance_s - self.g_min_s)
+             / (self.g_max_s - self.g_min_s))
+        t = min(max(t, 0.0), 1.0)
+        return self.v_min + t * (self.v_max - self.v_min)
+
+
+@dataclass(frozen=True)
+class ACAMInterval:
+    """One stored analog interval, optionally unbounded on a side.
+
+    ``None`` bounds are wildcards ("don't care" below/above), the
+    aCAM generalisation of a TCAM X bit.  ``margin`` extends an
+    analog skirt beyond each *finite* bound, in feature units;
+    ``sharpness`` divides the skirt width, so higher sharpness means
+    a steeper ramp.  ``margin=0`` degenerates to a purely digital
+    window.
+    """
+
+    lo: float | None = None
+    hi: float | None = None
+    margin: float = 0.0
+    sharpness: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("lo", "hi"):
+            bound = getattr(self, name)
+            if bound is not None and not np.isfinite(bound):
+                raise ValueError(
+                    f"{name} must be finite or None: {bound!r}")
+        if self.lo is not None and self.hi is not None \
+                and self.lo > self.hi:
+            raise ValueError(
+                f"need lo <= hi: {self.lo!r} > {self.hi!r}")
+        if self.margin < 0:
+            raise ValueError(f"margin must be >= 0: {self.margin!r}")
+        if self.sharpness <= 0:
+            raise ValueError(
+                f"sharpness must be > 0: {self.sharpness!r}")
+
+    @classmethod
+    def wildcard(cls) -> "ACAMInterval":
+        """An interval matching every input (both sides unbounded)."""
+        return cls(lo=None, hi=None)
+
+    @property
+    def skirt(self) -> float:
+        """Width of the analog ramp beyond each finite bound."""
+        return self.margin / self.sharpness
+
+    def to_pcam_params(self) -> PCAMParams:
+        """The pCAM programming realising this interval.
+
+        The deterministic window ``[M2, M3]`` is the interval itself
+        (sentinels standing in for unbounded sides); the skirt only
+        extends beyond *finite* bounds — a wildcard side has nothing
+        to fade towards — and a zero margin degrades to the hairline
+        ramp of :data:`_EDGE_EPS` so the window stays closed.
+        """
+        m2 = -UNBOUNDED if self.lo is None else float(self.lo)
+        m3 = UNBOUNDED if self.hi is None else float(self.hi)
+
+        def skirt_for(bound: float) -> float:
+            if self.skirt > 0.0:
+                return self.skirt
+            return _EDGE_EPS * max(1.0, abs(bound))
+
+        m1 = m2 if self.lo is None else m2 - skirt_for(m2)
+        m4 = m3 if self.hi is None else m3 + skirt_for(m3)
+        return PCAMParams.canonical(m1=m1, m2=m2, m3=m3, m4=m4)
+
+    def contains(self, values: np.ndarray) -> np.ndarray:
+        """Digital membership test (closed on both finite bounds)."""
+        x = np.asarray(values, dtype=float)
+        inside = np.ones(x.shape, dtype=bool)
+        if self.lo is not None:
+            inside &= x >= self.lo
+        if self.hi is not None:
+            inside &= x <= self.hi
+        return inside
+
+
+class ACAMCell:
+    """One interval cell: an :class:`ACAMInterval` held in a pCAM cell.
+
+    The underlying :class:`~repro.core.pcam_cell.PCAMCell` is the
+    fault-injection surface — robustness models attach to it exactly
+    as they do to any other pCAM cell, and ``intended_interval``
+    stays clean for the differential oracle.
+    """
+
+    def __init__(self, interval: ACAMInterval) -> None:
+        self._interval = interval
+        self._pcam = PCAMCell(interval.to_pcam_params())
+
+    @classmethod
+    def from_conductances(cls, g_lo_s: float, g_hi_s: float,
+                          cmap: ConductanceMap, *,
+                          margin: float = 0.0,
+                          sharpness: float = 1.0) -> "ACAMCell":
+        """Program a cell from its two stored conductances."""
+        return cls(ACAMInterval(lo=cmap.value(g_lo_s),
+                                hi=cmap.value(g_hi_s),
+                                margin=margin, sharpness=sharpness))
+
+    @property
+    def pcam(self) -> PCAMCell:
+        """The underlying pCAM cell (fault-injection surface)."""
+        return self._pcam
+
+    @property
+    def intended_interval(self) -> ACAMInterval:
+        """The interval the programmer asked for (fault-free)."""
+        return self._interval
+
+    @property
+    def fault(self):
+        """The injected fault instance, or None on a healthy cell."""
+        return self._pcam.fault
+
+    def program(self, interval: ACAMInterval) -> None:
+        """Reprogram the stored interval (faults decide the outcome)."""
+        self._interval = interval
+        self._pcam.program(interval.to_pcam_params())
+
+    def inject_fault(self, fault) -> None:
+        """Attach a materialised cell fault to the underlying cell."""
+        self._pcam.inject_fault(fault)
+
+    def clear_fault(self) -> None:
+        """Detach any fault and restore the intended interval."""
+        self._pcam.clear_fault()
+
+    def conductance_bounds(self, cmap: ConductanceMap
+                           ) -> tuple[float, float]:
+        """The two stored conductances realising the interval [S].
+
+        Unbounded sides clip to the map's rails — the hardware
+        realisation of a wildcard is a bound programmed to the edge
+        of the storable window.
+        """
+        lo = -UNBOUNDED if self._interval.lo is None \
+            else self._interval.lo
+        hi = UNBOUNDED if self._interval.hi is None \
+            else self._interval.hi
+        return cmap.conductance(lo), cmap.conductance(hi)
+
+    def match_batch(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised analog response over an input array."""
+        return self._pcam.response_array(np.asarray(values, dtype=float))
+
+    def match(self, value: float) -> float:
+        """Analog response for one input (batch of one)."""
+        return float(self.match_batch(np.asarray([value]))[0])
+
+    def __repr__(self) -> str:
+        i = self._interval
+        lo = "-inf" if i.lo is None else f"{i.lo:g}"
+        hi = "+inf" if i.hi is None else f"{i.hi:g}"
+        return (f"ACAMCell([{lo}, {hi}], margin={i.margin:g}, "
+                f"sharpness={i.sharpness:g})")

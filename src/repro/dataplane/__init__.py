@@ -5,6 +5,12 @@ from repro.dataplane.buffer_sharing import (
     BufferPool,
     DynamicThresholdPolicy,
 )
+from repro.dataplane.classify import (
+    ACAMClassifier,
+    ClassificationStage,
+    ClassifierSpec,
+    classifier_spec_from_tree,
+)
 from repro.dataplane.control_loop import Intent, IntentController
 from repro.dataplane.controller import (
     CognitiveNetworkController,
@@ -49,8 +55,11 @@ from repro.dataplane.traffic_manager import (
 
 __all__ = [
     "ABMPolicy",
+    "ACAMClassifier",
     "AnalogPacketProcessor",
     "BufferPool",
+    "ClassificationStage",
+    "ClassifierSpec",
     "DROP_EVENTS",
     "DigitalMatsStage",
     "DynamicThresholdPolicy",
@@ -81,5 +90,6 @@ __all__ = [
     "build_ethernet_frame",
     "build_ipv4_packet",
     "build_switch",
+    "classifier_spec_from_tree",
     "drop_event",
 ]

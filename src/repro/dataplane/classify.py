@@ -1,0 +1,198 @@
+"""Optional aCAM traffic-classification stage for the staged runtime.
+
+The paper's cognitive network functions go beyond match-action
+forwarding: Section 7's decision-tree inference runs *inside* the
+dataplane, classifying flows in one analog search per chunk.  This
+module packages that as a drop-in pipeline stage:
+
+* :class:`ClassifierSpec` — a frozen, declarative description of the
+  compiled bank (features, leaf rows, class-to-port steering), so it
+  can ride along on :class:`~repro.dataplane.switch.SwitchSpec`;
+* :func:`classifier_spec_from_tree` — flatten a fitted
+  :class:`~repro.netfunc.decision_tree.CARTTree` into that spec;
+* :class:`ACAMClassifier` — the spec realised as an
+  :class:`~repro.acam.ACAMArray` bank plus packet feature extraction;
+* :class:`ClassificationStage` — a :class:`~repro.runtime.Stage`
+  slotted between the digital match-action tables and egress, which
+  re-steers classified packets to per-class egress ports and charges
+  its search joules to the processor's ledger under ``acam.search``
+  (so energy attribution and observability pick it up like any other
+  stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.acam.array import ACAMArray
+from repro.acam.cell import ACAMInterval
+from repro.acam.compiler import tree_paths
+from repro.energy.ledger import EnergyLedger
+from repro.netfunc.decision_tree import CARTTree
+from repro.packet import Packet
+from repro.runtime import StageContext
+
+__all__ = ["ACAMClassifier", "ClassificationStage", "ClassifierSpec",
+           "classifier_spec_from_tree"]
+
+#: Ledger account every bank search is charged to.
+ACAM_SEARCH_ACCOUNT = "acam.search"
+
+Bound = float | None
+Interval = tuple[Bound, Bound]
+
+
+@dataclass(frozen=True)
+class ClassifierSpec:
+    """Declarative description of a compiled aCAM classifier.
+
+    ``rows`` holds one ``(class label, per-feature intervals)`` entry
+    per stored row — typically one per decision-tree leaf, in
+    depth-first order.  ``class_to_port`` maps class labels to egress
+    ports; classes without an entry keep the routing decision the
+    digital tables already made.  Everything is tuples so the spec is
+    hashable and can live on the frozen
+    :class:`~repro.dataplane.switch.SwitchSpec`.
+    """
+
+    features: tuple[str, ...]
+    rows: tuple[tuple[int, tuple[Interval, ...]], ...]
+    class_to_port: tuple[tuple[int, int], ...] = ()
+    margin: float = 0.0
+    sharpness: float = 1.0
+    name: str = "acam_classifier"
+
+    def __post_init__(self) -> None:
+        if not self.features:
+            raise ValueError("classifier needs at least one feature")
+        if not self.rows:
+            raise ValueError("classifier needs at least one row")
+        for label, intervals in self.rows:
+            if len(intervals) != len(self.features):
+                raise ValueError(
+                    f"row for class {label!r} has {len(intervals)} "
+                    f"intervals, spec has {len(self.features)} "
+                    f"features")
+        labels = {label for label, _ in self.rows}
+        for label, port in self.class_to_port:
+            if label not in labels:
+                raise ValueError(
+                    f"steering for unknown class {label!r}")
+            if port < 0:
+                raise ValueError(f"port must be >= 0: {port!r}")
+        if self.margin < 0:
+            raise ValueError(f"margin must be >= 0: {self.margin!r}")
+        if self.sharpness <= 0:
+            raise ValueError(
+                f"sharpness must be > 0: {self.sharpness!r}")
+
+    @property
+    def ports(self) -> tuple[int, ...]:
+        """Every egress port the steering map can send traffic to."""
+        return tuple(port for _, port in self.class_to_port)
+
+
+def classifier_spec_from_tree(tree: CARTTree,
+                              features: Sequence[str],
+                              class_to_port: Sequence[tuple[int, int]]
+                              = (), *,
+                              margin: float = 0.0,
+                              sharpness: float = 1.0,
+                              name: str = "acam_classifier"
+                              ) -> ClassifierSpec:
+    """Flatten a fitted tree's leaves into a classifier spec."""
+    if len(features) != tree.n_features:
+        raise ValueError(
+            f"need one feature name per tree feature: "
+            f"{len(features)} != {tree.n_features}")
+    rows = tuple((path.label, path.intervals)
+                 for path in tree_paths(tree))
+    return ClassifierSpec(features=tuple(features), rows=rows,
+                          class_to_port=tuple(class_to_port),
+                          margin=margin, sharpness=sharpness,
+                          name=name)
+
+
+class ACAMClassifier:
+    """A :class:`ClassifierSpec` realised as a searchable aCAM bank."""
+
+    def __init__(self, spec: ClassifierSpec,
+                 ledger: EnergyLedger | None = None) -> None:
+        self.spec = spec
+        self.array = ACAMArray(spec.features, ledger=ledger,
+                               account=ACAM_SEARCH_ACCOUNT)
+        for _, intervals in spec.rows:
+            self.array.add_row([
+                ACAMInterval(lo=lo, hi=hi, margin=spec.margin,
+                             sharpness=spec.sharpness)
+                for lo, hi in intervals])
+        self.labels = np.array([label for label, _ in spec.rows],
+                               dtype=int)
+        self.port_for_class = dict(spec.class_to_port)
+
+    def features_of(self, packet: Packet) -> list[float]:
+        """Extract this classifier's feature vector from a packet."""
+        values: list[float] = []
+        for name in self.spec.features:
+            attr = getattr(packet, name, None)
+            if attr is not None and not callable(attr):
+                values.append(float(attr))
+            else:
+                values.append(float(packet.field(name) or 0.0))
+        return values
+
+    def classify_batch(self, packets: Sequence[Packet]
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """(class labels, deterministic-match flags) for a chunk."""
+        matrix = np.array([self.features_of(p) for p in packets],
+                          dtype=float)
+        result = self.array.search_batch(matrix)
+        deterministic = result.deterministic_mask[
+            np.arange(len(packets)), result.best_rows]
+        return self.labels[result.best_rows], deterministic
+
+
+class ClassificationStage:
+    """One-shot aCAM classification between the MATs and egress.
+
+    Every surviving packet is classified in a single bank search per
+    chunk; classes with a steering entry override the egress port the
+    digital tables resolved, and the per-packet class is published as
+    the ``traffic_class`` column for downstream stages and tests.
+    Search energy lands on the shared ledger under ``acam.search``,
+    which the energy-attribution middleware books to this stage.
+    """
+
+    name = "acam_classifier"
+    span_name = "dataplane.acam_classify"
+
+    def __init__(self, classifier: ACAMClassifier) -> None:
+        self.classifier = classifier
+
+    def span_attributes(self, packets: Sequence[Packet]) -> dict:
+        return {"chunk": len(packets),
+                "rows": self.classifier.array.n_rows}
+
+    def process_batch(self, packets: Sequence[Packet],
+                      ctx: StageContext) -> list[Packet]:
+        packets = list(packets)
+        if not packets:
+            return packets
+        labels, deterministic = self.classifier.classify_batch(packets)
+        ports = list(ctx.columns["egress_port"])
+        port_for_class = self.classifier.port_for_class
+        tally = ctx.tally
+        for offset, label in enumerate(labels):
+            label = int(label)
+            tally.lookup("acam_classifier",
+                         hit=bool(deterministic[offset]),
+                         verdict=str(label))
+            steered = port_for_class.get(label)
+            if steered is not None:
+                ports[offset] = steered
+        ctx.columns["egress_port"] = ports
+        ctx.columns["traffic_class"] = [int(l) for l in labels]
+        return packets

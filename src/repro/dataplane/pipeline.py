@@ -162,6 +162,28 @@ class AnalogPacketProcessor:
         middleware.append(EnergyAttributionMiddleware(self.ledger))
         return middleware
 
+    def insert_stage(self, stage, *, before: str) -> None:
+        """Slot an extra stage into the match-action walk.
+
+        The stage lands immediately before the named composed stage —
+        both in the runtime's full stage list and in the match-action
+        subsequence the packet entry points run — on the *existing*
+        runtime object, so observability collectors and middleware
+        bound at assembly keep working unchanged.
+        """
+        anchor = self.runtime.stage(before)
+        if any(s.name == stage.name for s in self.runtime.stages):
+            raise ValueError(
+                f"duplicate stage name: {stage.name!r}")
+        self.runtime.stages.insert(
+            self.runtime.stages.index(anchor), stage)
+        mats = list(self._mat_stages)
+        if anchor in mats:
+            mats.insert(mats.index(anchor), stage)
+        else:
+            mats.append(stage)
+        self._mat_stages = tuple(mats)
+
     def use_middleware(self, middleware: Sequence) -> None:
         """Replace the runtime's middleware (assembly-time hook).
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable
 
+from repro.dataplane.classify import ClassifierSpec
 from repro.netfunc.firewall import FirewallRule
 from repro.runtime import SupervisionMiddleware
 
@@ -40,6 +41,13 @@ class SwitchSpec:
     graceful_degradation:
         Wrap each port's AQM in the shadow-monitored
         :class:`~repro.robustness.degradation.DegradingAQM`.
+    classifier:
+        Optional :class:`~repro.dataplane.classify.ClassifierSpec`.
+        When set, an aCAM
+        :class:`~repro.dataplane.classify.ClassificationStage` is
+        slotted between the digital match-action tables and egress,
+        classifying every surviving packet in one analog search per
+        chunk and steering mapped classes to their ports.
     supervised:
         Register every degradable AQM with the controller and install
         a :class:`~repro.runtime.SupervisionMiddleware` driving
@@ -58,6 +66,7 @@ class SwitchSpec:
     flow_cache_size: int = 4096
     graceful_degradation: bool = False
     supervised: bool = False
+    classifier: ClassifierSpec | None = None
 
     def __post_init__(self) -> None:
         if self.n_ports < 1:
@@ -68,6 +77,12 @@ class SwitchSpec:
                 raise ValueError(
                     f"route {prefix!r} targets port {port}, but the "
                     f"spec has {self.n_ports} port(s)")
+        if self.classifier is not None:
+            for port in self.classifier.ports:
+                if not 0 <= port < self.n_ports:
+                    raise ValueError(
+                        f"classifier steers to port {port}, but the "
+                        f"spec has {self.n_ports} port(s)")
 
     def with_routes(self, *routes: tuple[str, int]) -> "SwitchSpec":
         """A copy of the spec with routes appended."""
@@ -109,6 +124,14 @@ def build_switch(spec: SwitchSpec, *,
         processor.add_firewall_rule(rule)
     for prefix, port in spec.routes:
         processor.add_route(prefix, port)
+    if spec.classifier is not None:
+        from repro.dataplane.classify import (ACAMClassifier,
+                                              ClassificationStage)
+        classifier = ACAMClassifier(spec.classifier,
+                                    ledger=processor.ledger)
+        processor.insert_stage(ClassificationStage(classifier),
+                               before="egress")
+        processor.classifier = classifier
     if spec.supervised:
         supervisor = processor.controller
         for port in range(spec.n_ports):

@@ -82,6 +82,22 @@ class CARTTree:
             raise RuntimeError("tree has not been fitted")
         return self._root
 
+    @classmethod
+    def from_root(cls, root: TreeNode,
+                  n_features: int) -> "CARTTree":
+        """Wrap a hand-built (or generated) node tree as a fitted tree.
+
+        Lets property tests and compilers exercise arbitrary tree
+        shapes without going through the learner.
+        """
+        if n_features < 1:
+            raise ValueError(
+                f"n_features must be >= 1: {n_features!r}")
+        tree = cls()
+        tree._root = root
+        tree.n_features = n_features
+        return tree
+
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "CARTTree":
         """Grow the tree on (n_samples, n_features) data."""
         x = np.asarray(features, dtype=float)
@@ -152,13 +168,41 @@ class CARTTree:
         x = np.asarray(features, dtype=float)
         return np.array([self.predict_one(row) for row in x])
 
+    def predict_leaf_one(self, sample: Sequence[float]) -> int:
+        """Depth-first (left-first) leaf index reached by one sample.
+
+        This numbering is the row order the aCAM compiler stores
+        leaves in, so it is the digital side of the leaf-for-leaf
+        equivalence check.
+        """
+        node = self.root
+        index = 0
+        while not node.is_leaf:
+            assert node.feature is not None
+            assert node.left is not None and node.right is not None
+            if sample[node.feature] <= node.threshold:
+                node = node.left
+            else:
+                index += _count_leaves(node.left)
+                node = node.right
+        return index
+
+    def predict_leaves(self, features: np.ndarray) -> np.ndarray:
+        """Depth-first leaf index per row of a feature matrix."""
+        x = np.asarray(features, dtype=float)
+        return np.array([self.predict_leaf_one(row) for row in x],
+                        dtype=int)
+
     def n_leaves(self) -> int:
         """Number of leaves in the fitted tree."""
-        def count(node: TreeNode) -> int:
-            if node.is_leaf:
-                return 1
-            return count(node.left) + count(node.right)
-        return count(self.root)
+        return _count_leaves(self.root)
+
+
+def _count_leaves(node: TreeNode) -> int:
+    if node.is_leaf:
+        return 1
+    assert node.left is not None and node.right is not None
+    return _count_leaves(node.left) + _count_leaves(node.right)
 
 
 def tree_to_boxes(tree: CARTTree,

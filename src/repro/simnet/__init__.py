@@ -29,6 +29,9 @@ from repro.simnet.scenarios import (
     run_scenario,
     scenario,
     scenario_names,
+    traffic_classes_expected,
+    traffic_classes_spec,
+    traffic_classes_tree,
 )
 from repro.simnet.trace import (
     ArrivalTrace,
@@ -78,5 +81,8 @@ __all__ = [
     "scenario_names",
     "stream_key",
     "time_binned_mean",
+    "traffic_classes_expected",
+    "traffic_classes_spec",
+    "traffic_classes_tree",
     "uniforms",
 ]

@@ -70,6 +70,9 @@ __all__ = [
     "run_scenario",
     "scenario",
     "scenario_names",
+    "traffic_classes_expected",
+    "traffic_classes_spec",
+    "traffic_classes_tree",
 ]
 
 #: Aggregate benign arrival rate every scenario is scaled around
@@ -98,6 +101,7 @@ _SYN_FLOWS = 20_000_000
 _AMP_FLOWS = 30_000_000
 _SCAN_FLOWS = 40_000_000
 _CHURN_FLOWS = 50_000_000
+_CLASS_FLOWS = 3_000
 
 
 # ----------------------------------------------------------------------
@@ -480,6 +484,75 @@ def _cache_churn(seed: int, idx: np.ndarray, n_total: int) -> ChunkColumns:
     return ChunkColumns(**columns)
 
 
+def _traffic_classes(seed: int, idx: np.ndarray,
+                     n_total: int) -> ChunkColumns:
+    # Three interleaved application classes, one per packet index mod
+    # 3: DNS-style UDP chatter (small, port 53), transactional TCP
+    # (mid-size, port 443) and bulk TCP (near-MTU).  Class is a pure
+    # function of the index so tests can predict the expected egress
+    # port of every packet without replaying the stream.
+    cls = (idx % np.uint64(3)).astype(np.int64)
+    keys = idx % np.uint64(_CLASS_FLOWS)
+    columns = _benign_columns(seed, idx, flows=_CLASS_FLOWS,
+                              flow_keys=keys)
+    # Clean, fully-routable stream: the steering gates want every
+    # packet to reach the classifier (no ACL/no-route/parse losses).
+    columns["has_dst"] = np.ones(len(idx), dtype=bool)
+    _, dst, _, _, _ = _five_tuple(seed, keys)
+    columns["dst_ip"] = dst
+    small = integers(seed, STREAM_SIZE, idx, 80, 300)
+    mid = integers(seed, STREAM_MIX, idx, 400, 1000)
+    bulk = integers(seed, STREAM_WEIGHT, idx, 1200, 1500)
+    columns["sizes_bytes"] = np.select([cls == 0, cls == 1],
+                                       [small, mid], bulk)
+    columns["dst_port"] = np.where(cls == 0, 53, 443).astype(np.int64)
+    columns["protocol"] = np.where(cls == 0, 17, 6).astype(np.int64)
+    columns["times_s"] = _times(seed, idx, _BASE_GAP_S)
+    return ChunkColumns(**columns)
+
+
+def traffic_classes_tree():
+    """The fitted-by-hand tree the ``traffic_classes`` stream assumes.
+
+    Features are ``(size_bytes, dst_port, protocol)``: UDP (protocol
+    17) is the DNS class, TCP splits on size at 1100 B into the
+    transactional and bulk classes.  Every class sits far from both
+    thresholds, so analog margins never blur the decision.
+    """
+    from repro.netfunc.decision_tree import CARTTree, TreeNode
+
+    root = TreeNode(
+        feature=2, threshold=11.5,
+        left=TreeNode(feature=0, threshold=1100.0,
+                      left=TreeNode(prediction=1),
+                      right=TreeNode(prediction=2)),
+        right=TreeNode(prediction=0))
+    return CARTTree.from_root(root, n_features=3)
+
+
+def traffic_classes_spec(**overrides):
+    """The default spec with the aCAM classifier stage installed.
+
+    Classes steer to their own egress ports (class ``i`` -> port
+    ``i``), overriding the destination-based LPM decision, so the
+    scenario gates can assert per-class steering end to end.
+    """
+    from repro.dataplane.classify import classifier_spec_from_tree
+
+    classifier = classifier_spec_from_tree(
+        traffic_classes_tree(),
+        ("size_bytes", "dst_port", "protocol"),
+        class_to_port=((0, 0), (1, 1), (2, 2)),
+        margin=4.0)
+    return default_switch_spec(classifier=classifier, **overrides)
+
+
+def traffic_classes_expected(idx: np.ndarray) -> np.ndarray:
+    """Expected class (== steered egress port) per packet index."""
+    return (np.asarray(idx, dtype=np.uint64)
+            % np.uint64(3)).astype(np.int64)
+
+
 register_scenario(Scenario(
     name="elephants_mice",
     description="Heavy-tailed flow sizes: a few Pareto elephants "
@@ -553,6 +626,18 @@ register_scenario(Scenario(
                 "no degradation trips on healthy hardware"),
     columns_fn=_cache_churn,
     meta={"churn_window": (0.30, 0.70)}))
+
+register_scenario(Scenario(
+    name="traffic_classes",
+    description="Three interleaved application classes (DNS-style "
+                "UDP, transactional TCP, bulk TCP) for the aCAM "
+                "classifier to steer to per-class ports.",
+    default_packets=120_000, benign=True,
+    invariants=("aCAM classifier steers each class to its own port",
+                "every queued packet lands on its class's port",
+                "no degradation trips on healthy hardware"),
+    columns_fn=_traffic_classes,
+    meta={"n_classes": 3, "class_ports": (0, 1, 2)}))
 
 
 # ----------------------------------------------------------------------

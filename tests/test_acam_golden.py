@@ -1,0 +1,94 @@
+"""Golden pins for the aCAM energy comparison and fault oracle.
+
+Two committed behaviours:
+
+* the Table-1-style energy table for the seeded reference classifier
+  is pinned **byte-for-byte** against ``tests/golden/acam_energy.json``
+  — any change to the energy anchors, the compiler's row emission, or
+  the TCAM expansion shows up as a diff against a reviewed artifact;
+* the differential fault oracle is pinned behaviourally — a seeded
+  targeted fault plan flags exactly the rows it hit and nothing else,
+  while a healthy bank stays entirely inside the envelope.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.acam import (
+    ACAMDecisionTree,
+    ACAMFaultPlan,
+    build_energy_table,
+    energy_table_json,
+    format_energy_table,
+    reference_classifier,
+)
+from repro.robustness.models import StuckAtFault
+
+GOLDEN = Path(__file__).parent / "golden" / "acam_energy.json"
+
+
+@pytest.fixture(scope="module")
+def table():
+    tree, _, ranges = reference_classifier()
+    return build_energy_table(tree, ranges)
+
+
+class TestEnergyTableGolden:
+    def test_table_matches_committed_artifact_byte_for_byte(
+            self, table):
+        rendered = json.dumps(energy_table_json(table), indent=2,
+                              sort_keys=True) + "\n"
+        assert rendered == GOLDEN.read_text(), (
+            "energy table drifted from tests/golden/acam_energy.json; "
+            "if the change is intended, regenerate the artifact and "
+            "review the diff")
+
+    def test_acam_is_the_cheapest_design_point(self, table):
+        doc = energy_table_json(table)
+        assert doc["cheapest"] == "aCAM one-shot"
+        acam, = [r for r in table if r.name == "aCAM one-shot"]
+        for other in table:
+            if other.name == acam.name:
+                continue
+            assert acam.energy_fj_per_classification \
+                < other.energy_fj_per_classification
+
+    def test_rendered_table_names_the_cheapest(self, table):
+        lines = format_energy_table(table)
+        assert lines[-1] == \
+            "(cheapest per classification: aCAM one-shot)"
+
+
+class TestFaultOracleGolden:
+    @pytest.fixture()
+    def bank(self):
+        tree, names, _ = reference_classifier()
+        return ACAMDecisionTree(tree, names).array
+
+    @pytest.fixture()
+    def probes(self, bank):
+        return bank.probe_grid(256, np.random.default_rng(42))
+
+    def test_healthy_bank_stays_inside_the_envelope(
+            self, bank, probes):
+        assert bank.out_of_envelope(probes) == ()
+
+    def test_targeted_fault_plan_flags_exactly_the_hit_rows(
+            self, bank, probes):
+        plan = ACAMFaultPlan(StuckAtFault(state="lrs"),
+                             rows=(1, 3), seed=11)
+        report = bank.apply_fault_plan(plan)
+        assert report.n_injected > 0
+        assert bank.out_of_envelope(probes) == (1, 3)
+
+    def test_clearing_faults_restores_the_envelope(self, bank, probes):
+        bank.apply_fault_plan(ACAMFaultPlan(StuckAtFault(state="hrs"),
+                                            rows=(0,), seed=3))
+        assert bank.out_of_envelope(probes) != ()
+        bank.clear_faults()
+        assert bank.out_of_envelope(probes) == ()

@@ -21,6 +21,8 @@ from repro.simnet.scenarios import (
     run_scenario,
     scenario,
     scenario_names,
+    traffic_classes_expected,
+    traffic_classes_spec,
 )
 from repro.simnet.workloads import ChunkColumns
 
@@ -34,6 +36,7 @@ TIER1_PACKETS = {
     "amplification_flood": 60_000,
     "scan_sweep": 30_000,
     "cache_churn": 30_000,
+    "traffic_classes": 20_000,
 }
 
 
@@ -228,6 +231,55 @@ class TestCacheChurn:
             "queued": r.n_packets, "dropped_parse": 0,
             "dropped_acl": 0, "dropped_no_route": 0,
             "dropped_aqm": 0, "dropped_overflow": 0}
+
+
+@functools.lru_cache(maxsize=None)
+def classified_report() -> ScenarioReport:
+    return run_scenario("traffic_classes", seed=0,
+                        n_packets=TIER1_PACKETS["traffic_classes"],
+                        spec=traffic_classes_spec(),
+                        collect_results=True)
+
+
+class TestTrafficClasses:
+    def test_classifier_steers_every_class_to_its_port(self):
+        r = classified_report()
+        expected = traffic_classes_expected(np.arange(r.n_packets))
+        queued = 0
+        for index, (verdict, port) in enumerate(zip(r.verdicts,
+                                                    r.ports)):
+            if verdict == "queued":
+                assert port == expected[index]
+                queued += 1
+        assert queued == r.n_packets
+
+    def test_all_three_ports_carry_traffic(self):
+        r = classified_report()
+        counts = np.bincount([p for p in r.ports if p is not None],
+                             minlength=3)
+        # interleaved classes: an even three-way split
+        assert counts.min() > 0.3 * r.n_packets
+
+    def test_steering_never_trips_degradation(self):
+        r = classified_report()
+        assert r.degraded_tables == ()
+        assert r.fallback_events == 0
+        assert r.verdict_counts["dropped_aqm"] == 0
+        assert r.verdict_counts["dropped_overflow"] == 0
+
+    def test_classifier_energy_lands_in_the_breakdown(self):
+        r = classified_report()
+        assert r.energy_breakdown.get("acam.search", 0.0) > 0.0
+
+    def test_without_classifier_ports_follow_routing_not_class(self):
+        r = run_scenario("traffic_classes", seed=0, n_packets=3000,
+                         spec=default_switch_spec(),
+                         collect_results=True)
+        expected = traffic_classes_expected(np.arange(r.n_packets))
+        steered = sum(1 for i, p in enumerate(r.ports)
+                      if p == expected[i])
+        # destination-hash routing only agrees by chance (~1/3)
+        assert steered < 0.6 * r.n_packets
 
 
 class TestRunner:

@@ -15,6 +15,9 @@ the architectural layering the staged-runtime refactor established:
 3. ``repro.packet`` is a leaf: it may import nothing else from
    ``repro`` (every layer shares the Packet type, so any dependency
    here would be a cycle waiting to happen).
+4. ``repro.acam`` is a device-level subsystem like ``repro.core``:
+   the dataplane's classification stage composes it, so it must
+   never import ``repro.dataplane`` or ``repro.simnet`` back.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -33,6 +36,7 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 FORBIDDEN = {
     "repro.runtime": ("repro.dataplane", "repro.netfunc"),
     "repro.netfunc": ("repro.dataplane",),
+    "repro.acam": ("repro.dataplane", "repro.simnet"),
     "repro.packet": ("repro.",),
 }
 
@@ -99,7 +103,8 @@ def main() -> int:
         print(f"{len(problems)} layering violation(s)", file=sys.stderr)
         return 1
     print("layering contract clean: runtime |> dataplane, "
-          "netfunc |> dataplane, repro.packet is a leaf")
+          "netfunc |> dataplane, acam |> dataplane/simnet, "
+          "repro.packet is a leaf")
     return 0
 
 
