@@ -217,12 +217,14 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point (``python -m repro.analysis.report [--quick]``)."""
     arguments = argv if argv is not None else sys.argv[1:]
     quick = "--quick" in arguments
-    start = time.time()
+    # perf_counter: monotonic, like every other timing path in the
+    # repo — wall-clock time jumps under NTP adjustment.
+    start = time.perf_counter()
     report = run_report(quick=quick,
                         progress=lambda text: print(f"[{text}]",
                                                     file=sys.stderr))
     print(report.render())
-    print(f"\n(report generated in {time.time() - start:.1f} s)")
+    print(f"\n(report generated in {time.perf_counter() - start:.1f} s)")
     return 0 if report.all_passed else 1
 
 

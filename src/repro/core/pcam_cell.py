@@ -219,6 +219,19 @@ class PCAMCell:
         """Number of match evaluations performed."""
         return self._evaluations
 
+    def tally_evaluations(self, count: int) -> None:
+        """Count evaluations performed on the cell's behalf.
+
+        The folded uniform evaluator
+        (:mod:`repro.core.pcam_fold`) computes one scalar response and
+        broadcasts it over a batch; this hook keeps the cell's
+        evaluation counter identical to what ``response_array`` over
+        the full batch would have recorded.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0: {count!r}")
+        self._evaluations += count
+
     @property
     def intended_params(self) -> PCAMParams:
         """The parameters the programmer asked for.

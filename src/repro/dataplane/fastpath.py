@@ -186,9 +186,16 @@ class FlowCache:
 
     def put(self, flow_key: tuple, generation: tuple[int, int],
             value: tuple) -> None:
-        """Install one classification result under the generation."""
+        """Install one classification result under the generation.
+
+        A generation mismatch invalidates exactly as :meth:`get` does
+        — counted once per flush — so write-first workloads report the
+        same invalidation totals as probe-first ones.
+        """
         if generation != self._generation:
-            self._entries.clear()
+            if self._entries:
+                self.invalidations += 1
+                self._entries.clear()
             self._generation = generation
         self._entries[flow_key] = value
         self._entries.move_to_end(flow_key)

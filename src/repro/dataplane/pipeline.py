@@ -140,6 +140,12 @@ class AnalogPacketProcessor:
             [self._parser_stage, self._digital_stage,
              self._egress_stage],
             self.default_middleware())
+        #: Fused chunk kernel (set by :meth:`request_compile` when the
+        #: compiler proves the staged walk reproducible); None keeps
+        #: every entry point on the staged runtime.
+        self._fused = None
+        self.compiled_plan = None
+        self._compile_requested = False
         if observability is not None:
             self._wire_observability(observability)
 
@@ -183,6 +189,7 @@ class AnalogPacketProcessor:
         else:
             mats.append(stage)
         self._mat_stages = tuple(mats)
+        self._recompile()
 
     def use_middleware(self, middleware: Sequence) -> None:
         """Replace the runtime's middleware (assembly-time hook).
@@ -192,6 +199,44 @@ class AnalogPacketProcessor:
         set without rebuilding the switch.
         """
         self.runtime.set_middleware(middleware)
+        self._recompile()
+
+    def request_compile(self):
+        """Opt into the fused chunk kernel (when provably exact).
+
+        Runs the pipeline compiler (:mod:`repro.runtime.compile`) over
+        the current stage/middleware assembly and returns its
+        :class:`~repro.runtime.compile.CompiledPlan`.  When the plan
+        fuses, every entry point dispatches to the fused kernel and
+        each port AQM's compiled (constant-folded) lane is enabled;
+        when it refuses — tracing middleware, exotic stages — the
+        staged walk stays in place and ``plan.reasons`` says why.  The
+        request is sticky: stage insertion and middleware replacement
+        recompile automatically.
+        """
+        self._compile_requested = True
+        return self._recompile()
+
+    def _recompile(self):
+        """Re-run the compiler after a structural change (if opted in)."""
+        if not self._compile_requested:
+            return None
+        # Deferred import: the compiler is the one runtime module
+        # allowed to see the dataplane, and plain (staged) assembly
+        # should not pay for loading it.
+        from repro.runtime.compile import compile_processor
+
+        plan = compile_processor(self)
+        self.compiled_plan = plan
+        self._fused = plan.kernel
+        hook_name = ("enable_compiled_lane" if plan.fused
+                     else "disable_compiled_lane")
+        for port in range(self.traffic_manager.n_ports):
+            hook = getattr(self.traffic_manager.aqm(port), hook_name,
+                           None)
+            if hook is not None:
+                hook()
+        return plan
 
     def _wire_observability(self, obs: Observability) -> None:
         """Bind every pipeline component to the shared hub."""
@@ -258,6 +303,8 @@ class AnalogPacketProcessor:
         :meth:`process_batch`.  Results are returned in frame order.
         """
         self._set_time(now)
+        if self._fused is not None:
+            return self._fused.process_frames(frames, now, chunk_size)
         results: list[ProcessResult | None] = [None] * len(frames)
         ctx = StageContext(now, self._emitter(results),
                            indices=range(len(frames)),
@@ -275,6 +322,8 @@ class AnalogPacketProcessor:
         scalar and batched paths cannot drift apart.
         """
         self._set_time(now)
+        if self._fused is not None:
+            return self._fused.process_one(packet, now)
         results: list[ProcessResult | None] = [None]
         ctx = StageContext(now, self._emitter(results), indices=[0],
                            entry_name="dataplane.process")
@@ -297,8 +346,12 @@ class AnalogPacketProcessor:
         """
         self._set_time(now)
         results: list[ProcessResult | None] = [None] * len(packets)
-        self._run_chunks(packets, range(len(packets)), now,
-                         chunk_size, results)
+        if self._fused is not None:
+            self._fused.run_chunks(packets, range(len(packets)), now,
+                                   chunk_size, results)
+        else:
+            self._run_chunks(packets, range(len(packets)), now,
+                             chunk_size, results)
         return results  # type: ignore[return-value]
 
     def _run_chunks(self, packets: Sequence[Packet],

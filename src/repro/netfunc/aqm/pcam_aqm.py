@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.calibration import FeatureScaler, scale_params
 from repro.core.pcam_cell import PCAMParams, prog_pcam
+from repro.core.pcam_fold import fold_pipeline
 from repro.core.pcam_pipeline import PCAMPipeline
 from repro.core.programming import update_pcam
 from repro.packet import Packet
@@ -219,6 +220,15 @@ class PCAMAQM(AQMAlgorithm):
         #: attaches here; None disables monitoring.
         self.output_monitor: Callable[[dict[str, np.ndarray], np.ndarray],
                                       None] | None = None
+        # The compiled admission lane (enabled by the pipeline
+        # compiler, never by default): uniform chunks are judged by
+        # one constant-folded scalar evaluation broadcast over the
+        # chunk instead of n redundant identical rows.  Inert until
+        # :meth:`enable_compiled_lane`, and silently demoted back to
+        # the batch kernel whenever the fold cannot prove exactness
+        # (fault injected, monitor attached, device cells, DACs).
+        self._compiled_lane = False
+        self._folded = None
 
         self._base_specs = (dict(stage_programs)
                             if stage_programs is not None
@@ -350,6 +360,69 @@ class PCAMAQM(AQMAlgorithm):
             pdps = pdps * weights
         return pdps
 
+    def enable_compiled_lane(self) -> bool:
+        """Opt in to folded uniform admission (the compiler's hook).
+
+        Returns whether the pipeline folds *right now*; the lane
+        re-checks validity on every chunk regardless, so a later
+        reprogramming or fault injection demotes that chunk to the
+        batch kernel transparently.
+        """
+        self._compiled_lane = True
+        self._folded = None
+        return fold_pipeline(self.pipeline) is not None
+
+    def disable_compiled_lane(self) -> None:
+        """Return to the always-batch admission path."""
+        self._compiled_lane = False
+        self._folded = None
+
+    @property
+    def compiled_lane(self) -> bool:
+        """True when folded uniform admission is enabled."""
+        return self._compiled_lane
+
+    def _folded_drop_probabilities(self, raw: Mapping[str, float],
+                                   n: int,
+                                   priorities: np.ndarray) -> \
+            np.ndarray | None:
+        """PDPs via the constant-folded scalar kernel, or None.
+
+        Bit-identical to ``drop_probabilities`` over ``np.full``
+        columns: one scalar cap/DAC-scale/five-region evaluation per
+        stage, broadcast over the chunk, with identical evaluation
+        counters, ledger charge, ``last_pdp`` and priority weighting.
+        ``None`` demotes the chunk to the batch kernel (fold invalid,
+        monitor attached, or a DAC-routed scaler whose quantisation
+        the fold does not model).
+        """
+        if self.output_monitor is not None:
+            return None
+        folded = self._folded
+        if folded is None or not folded.matches(self.pipeline):
+            folded = fold_pipeline(self.pipeline)
+            self._folded = folded
+            if folded is None:
+                return None
+        values = []
+        for name in folded.stage_names:
+            scaler = self._scalers[name]
+            if scaler.dac is not None:
+                return None
+            capped = min(raw[name], self._input_caps[name])
+            values.append(scaler.to_voltage(capped))
+        pdp = float(folded.evaluate_uniform(values, count=n))
+        self.evaluations += n
+        self.ledger.charge(
+            "pcam_aqm.search",
+            n * len(self.pipeline) * _CELLS_PER_STAGE
+            * self.energy_per_cell_j)
+        self.last_pdp = pdp
+        pdps = np.full(n, pdp)
+        weights = np.array([self.priority_weights.get(int(p), 1.0)
+                            for p in priorities])
+        return pdps * weights
+
     def pdp(self, queue: QueueView, now: float) -> float:
         """Evaluate the pipeline: the raw Packet Drop Probability."""
         raw = self._raw_features(queue, now)
@@ -454,10 +527,15 @@ class PCAMAQM(AQMAlgorithm):
         if queue.backlog_packets <= 2:
             return np.zeros(n, dtype=bool)
         raw = self._raw_features(queue, now)
-        features = {name: np.full(n, raw[name])
-                    for name in self.pipeline.stage_names}
         priorities = np.array([packet.priority for packet in packets])
-        pdps = self.drop_probabilities(features, priorities=priorities)
+        pdps = None
+        if self._compiled_lane:
+            pdps = self._folded_drop_probabilities(raw, n, priorities)
+        if pdps is None:
+            features = {name: np.full(n, raw[name])
+                        for name in self.pipeline.stage_names}
+            pdps = self.drop_probabilities(features,
+                                           priorities=priorities)
         self._maybe_adapt(now)
         congested = self.drop_decisions(pdps)
         drops = np.array(congested, dtype=bool)

@@ -25,14 +25,23 @@ from repro.runtime.stage import Stage, StageContext
 __all__ = ["PipelineRuntime"]
 
 
-def _drained(batch: Any) -> bool:
-    """True when no rows survive for the next stage."""
+def _drained(batch: Any, producer: str) -> bool:
+    """True when no rows survive for the next stage.
+
+    ``None`` is an explicit drain; anything else must be sized.  An
+    unsized batch used to be silently treated as non-empty and walked
+    through the remaining stages — now it raises immediately, naming
+    the stage (or entry point) that produced it.
+    """
     if batch is None:
         return True
     try:
         return len(batch) == 0
     except TypeError:
-        return False
+        raise TypeError(
+            f"{producer} produced an unsized batch of type "
+            f"{type(batch).__name__}; stages must return a sized "
+            f"sequence (or None to drain the chunk)") from None
 
 
 class PipelineRuntime:
@@ -99,9 +108,11 @@ class PipelineRuntime:
         with ExitStack() as chunk_scope:
             for mw in middleware:
                 chunk_scope.enter_context(mw.around_chunk(ctx))
+            producer = "the pipeline input"
             for stage in active:
-                if _drained(batch):
+                if _drained(batch, producer):
                     break
+                producer = f"stage {stage.name!r}"
                 runs[stage.name] = runs.get(stage.name, 0) + 1
                 with ExitStack() as stage_scope:
                     for mw in middleware:

@@ -62,6 +62,46 @@ class TestFlowCacheUnit:
         with pytest.raises(ValueError):
             FlowCache(capacity=0)
 
+    def test_put_counts_generation_invalidation(self):
+        # Regression: a generation mismatch on ``put`` used to clear
+        # the cache without counting the invalidation (``get``
+        # counted it), so write-first workloads under-reported.
+        cache = FlowCache()
+        cache.put("a", (0, 0), 1)
+        cache.put("b", (1, 0), 2)               # firewall moved
+        assert cache.invalidations == 1
+        assert cache.get("a", (1, 0)) is None   # flushed, not stale
+        assert cache.get("b", (1, 0)) == 2
+        assert cache.invalidations == 1         # counted once per flush
+
+    def test_first_generation_put_is_not_an_invalidation(self):
+        # Filling a fresh cache establishes the generation; there is
+        # nothing to invalidate (mirrors ``get`` on a fresh cache).
+        cache = FlowCache()
+        cache.put("a", (3, 7), 1)
+        cache.get("zzz", (3, 7))
+        assert cache.invalidations == 0
+
+    def test_eviction_order_under_interleaved_get_put(self):
+        # Recency is shared between probes and installs: a ``get``
+        # refresh must save an entry from eviction exactly like a
+        # re-``put`` does, and eviction always takes the stalest.
+        cache = FlowCache(capacity=3)
+        generation = (0, 0)
+        cache.put("a", generation, 1)
+        cache.put("b", generation, 2)
+        cache.put("c", generation, 3)
+        assert cache.get("a", generation) == 1  # order now b, c, a
+        cache.put("b", generation, 22)          # order now c, a, b
+        cache.put("d", generation, 4)           # evicts "c"
+        assert cache.get("c", generation) is None
+        assert cache.get("a", generation) == 1
+        assert cache.get("b", generation) == 22
+        assert cache.get("d", generation) == 4
+        cache.put("e", generation, 5)           # evicts stalest: "a"
+        assert cache.get("a", generation) is None
+        assert len(cache) == 3
+
 
 class TestMidStreamTableMutation:
     def test_new_firewall_rule_applies_to_next_chunk(self):

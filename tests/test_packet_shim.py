@@ -1,0 +1,64 @@
+"""The ``repro.dataplane.packet`` deprecation shim, pinned precisely.
+
+The Packet implementation lives in :mod:`repro.packet`; the old
+dataplane path is a warn-on-import re-export kept for external
+callers.  These tests pin the full shim contract: the warning fires
+at import time (once per interpreter — repeat imports are served from
+``sys.modules`` silently), and every re-exported name stays the
+canonical object, not a copy.
+"""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+import repro.packet as canonical
+
+SHIM = "repro.dataplane.packet"
+
+
+def fresh_import():
+    """Force the shim's module body to re-execute."""
+    sys.modules.pop(SHIM, None)
+    return importlib.import_module(SHIM)
+
+
+def test_import_warns_deprecation_with_redirect():
+    with pytest.warns(DeprecationWarning,
+                      match="import Packet and FIVE_TUPLE_FIELDS "
+                            "from repro.packet instead"):
+        fresh_import()
+
+
+def test_warning_fires_once_per_interpreter():
+    # First import executes the module body (and warns); any further
+    # import is a sys.modules hit and must stay silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shim = fresh_import()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        again = importlib.import_module(SHIM)
+    assert again is shim
+
+
+def test_reexports_are_the_canonical_objects():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shim = fresh_import()
+    assert shim.Packet is canonical.Packet
+    assert shim.FIVE_TUPLE_FIELDS is canonical.FIVE_TUPLE_FIELDS
+    assert set(shim.__all__) == {"Packet", "FIVE_TUPLE_FIELDS"}
+
+
+def test_shimmed_packet_constructs_and_roundtrips():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shim = fresh_import()
+    packet = shim.Packet(size_bytes=128,
+                         fields={"src_ip": "1.2.3.4",
+                                 "dst_ip": "10.0.0.1"})
+    assert isinstance(packet, canonical.Packet)
+    assert packet.fields["dst_ip"] == "10.0.0.1"

@@ -114,6 +114,43 @@ class TestEngine:
         with pytest.raises(ValueError, match="duplicate stage names"):
             PipelineRuntime([SinkStage(), SinkStage()])
 
+    def test_unsized_stage_output_raises_naming_the_stage(self):
+        # An unsized batch used to be silently treated as non-empty
+        # and walked through the remaining stages; now the drain
+        # check raises immediately, naming the producer.
+        class Unsized:
+            name = "unsized"
+
+            def process_batch(self, batch, ctx):
+                return 42  # not a sized sequence, not None
+
+        runtime = PipelineRuntime([Unsized(), SinkStage()])
+        with pytest.raises(TypeError,
+                           match=r"stage 'unsized' produced an "
+                                 r"unsized batch of type int"):
+            run(runtime, [2])
+        # The bad stage ran; the sink never saw the garbage batch.
+        assert runtime.stage_runs == {"unsized": 1}
+
+    def test_unsized_pipeline_input_raises_naming_the_entry(self):
+        runtime = PipelineRuntime([SinkStage()])
+        ctx = StageContext(0.0, lambda *a, **k: None, indices=[0])
+        with pytest.raises(TypeError,
+                           match="the pipeline input produced an "
+                                 "unsized batch of type object"):
+            runtime.run_chunk(object(), ctx)
+
+    def test_none_batch_still_drains_quietly(self):
+        class Drainer:
+            name = "drainer"
+
+            def process_batch(self, batch, ctx):
+                return None
+
+        runtime = PipelineRuntime([Drainer(), SinkStage()])
+        run(runtime, [2])
+        assert runtime.stage_runs == {"drainer": 1}
+
     def test_stage_lookup(self):
         stage = SinkStage()
         runtime = PipelineRuntime([stage])

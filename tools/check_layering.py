@@ -18,6 +18,10 @@ the architectural layering the staged-runtime refactor established:
 4. ``repro.acam`` is a device-level subsystem like ``repro.core``:
    the dataplane's classification stage composes it, so it must
    never import ``repro.dataplane`` or ``repro.simnet`` back.
+5. One sanctioned exception: ``repro.runtime.compile`` (the pipeline
+   compiler) must see the dataplane stage shapes it compiles, so it
+   may import ``repro.dataplane`` — but still never ``repro.netfunc``
+   (table sentinels are recovered from live objects instead).
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -38,6 +42,13 @@ FORBIDDEN = {
     "repro.netfunc": ("repro.dataplane",),
     "repro.acam": ("repro.dataplane", "repro.simnet"),
     "repro.packet": ("repro.",),
+}
+
+#: exact module -> prefixes its FORBIDDEN rules waive.  The waiver is
+#: per-module and per-prefix: ``repro.runtime.compile`` may see the
+#: dataplane it compiles, yet ``repro.netfunc`` stays banned for it.
+EXCEPTIONS = {
+    "repro.runtime.compile": ("repro.dataplane",),
 }
 
 
@@ -80,6 +91,10 @@ def violations() -> list[str]:
                  if module == prefix or module.startswith(prefix + ".")]
         if not rules:
             continue
+        waived = EXCEPTIONS.get(module, ())
+        rules = [tuple(banned for banned in banned_set
+                       if banned not in waived)
+                 for banned_set in rules]
         for lineno, target in imported_modules(path, module):
             for banned_set in rules:
                 for banned in banned_set:
