@@ -7,6 +7,7 @@ from repro.energy.ledger import (
     ACCOUNT_STORAGE,
     EnergyLedger,
     EnergyReport,
+    ExactJoules,
 )
 from repro.energy.projections import (
     SwitchProfile,
@@ -33,6 +34,7 @@ __all__ = [
     "ACCOUNT_STORAGE",
     "EnergyLedger",
     "EnergyReport",
+    "ExactJoules",
     "SwitchProfile",
     "TOFINO2_CLASS",
     "power_comparison",

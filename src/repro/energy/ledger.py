@@ -7,12 +7,24 @@ with colocalized compute and storage.  The :class:`EnergyLedger` lets
 every simulated component charge energy to named accounts so that the
 breakdown (movement vs computation vs storage) can be reported for any
 experiment.
+
+Accumulation is *exact*: every charge is decomposed into its dyadic
+rational value (an IEEE-754 double is ``mantissa * 2**exponent``) and
+summed with integer arithmetic, so a ledger total is a pure function
+of the multiset of charges — independent of charge order, chunk size,
+or how the work was partitioned across shard pipelines.  Reading any
+account converts the exact sum back to the nearest double once.  The
+sharded fabric relies on this: N per-shard ledgers merged together
+report byte-identical joules to the single serial pipeline.
+:meth:`EnergyLedger.charge_quanta` is the partition-friendly charging
+API — ``count`` identical quanta booked in one call cost the same as
+``count`` scalar charges, exactly.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
+from math import isfinite
 from typing import Iterable, Iterator, Mapping
 
 from repro.energy.units import format_energy
@@ -24,6 +36,69 @@ ACCOUNT_MOVEMENT = "data_movement"
 ACCOUNT_CONVERSION = "conversion"  # DAC/ADC boundary crossings
 
 
+class ExactJoules:
+    """An exact accumulator over dyadic rationals (float sums).
+
+    Holds ``mantissa * 2**exponent`` with arbitrary-precision integer
+    mantissa: adding a float (optionally ``count`` times) is exact, so
+    the sum is associative and commutative — partition-invariant.
+    ``float()`` performs one correctly-rounded conversion.
+    """
+
+    __slots__ = ("_mant", "_exp")
+
+    def __init__(self, mant: int = 0, exp: int = 0) -> None:
+        self._mant = mant
+        self._exp = exp
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Add ``count`` copies of ``value``, exactly."""
+        if count == 0 or value == 0.0:
+            return
+        numerator, denominator = float(value).as_integer_ratio()
+        exp = 1 - denominator.bit_length()  # denominator is 2**k
+        self._add_scaled(numerator * count, exp)
+
+    def add_exact(self, other: "ExactJoules") -> None:
+        """Fold another exact accumulator in (still exact)."""
+        self._add_scaled(other._mant, other._exp)
+
+    def _add_scaled(self, mant: int, exp: int) -> None:
+        if self._mant == 0:
+            self._mant, self._exp = mant, exp
+        elif exp >= self._exp:
+            self._mant += mant << (exp - self._exp)
+        else:
+            self._mant = (self._mant << (self._exp - exp)) + mant
+            self._exp = exp
+
+    def __float__(self) -> float:
+        if self._exp >= 0:
+            return float(self._mant << self._exp)
+        # Correctly-rounded big-int division: the nearest double to
+        # the exact dyadic value, however many bits accumulated.
+        return self._mant / (1 << -self._exp)
+
+    def __bool__(self) -> bool:
+        return self._mant != 0
+
+    def __reduce__(self):
+        return (ExactJoules, (self._mant, self._exp))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExactJoules):
+            return NotImplemented
+        if self._mant == 0 or other._mant == 0:
+            return self._mant == other._mant
+        shift = self._exp - other._exp
+        if shift >= 0:
+            return self._mant << shift == other._mant
+        return self._mant == other._mant << -shift
+
+    def __repr__(self) -> str:
+        return f"ExactJoules({float(self):.6e})"
+
+
 class EnergyLedger:
     """Accumulates energy (joules) charged to named accounts.
 
@@ -32,8 +107,14 @@ class EnergyLedger:
     """
 
     def __init__(self) -> None:
-        self._accounts: Counter[str] = Counter()
+        self._accounts: dict[str, ExactJoules] = {}
         self._events = 0
+
+    def _account(self, name: str) -> ExactJoules:
+        accumulator = self._accounts.get(name)
+        if accumulator is None:
+            accumulator = self._accounts[name] = ExactJoules()
+        return accumulator
 
     def charge(self, account: str, energy_j: float) -> None:
         """Charge ``energy_j`` joules to ``account``.
@@ -41,28 +122,51 @@ class EnergyLedger:
         Raises :class:`ValueError` for negative energies: components
         never *recover* energy in this model.
         """
-        if energy_j < 0:
-            raise ValueError(f"negative energy charge: {energy_j!r}")
-        self._accounts[account] += energy_j
+        self.charge_quanta(account, energy_j, 1)
+
+    def charge_quanta(self, account: str, quantum_j: float,
+                      count: int) -> None:
+        """Charge ``count`` identical quanta of ``quantum_j`` joules.
+
+        Exactly equivalent to ``count`` scalar :meth:`charge` calls of
+        the same quantum (integer-scaled, not float-multiplied), so a
+        batched component and its scalar reference — or one pipeline
+        and N shards splitting the same packets — book identical
+        energy regardless of how the work was partitioned.  Counts as
+        one charge event.
+        """
+        if not isfinite(quantum_j) or quantum_j < 0:
+            raise ValueError(f"bad energy charge: {quantum_j!r}")
+        if count < 0:
+            raise ValueError(f"negative quanta count: {count!r}")
+        self._account(account).add(quantum_j, count)
         self._events += 1
 
     def merge(self, other: "EnergyLedger") -> None:
-        """Fold another ledger's accounts into this one.
+        """Fold another ledger's accounts into this one (exactly).
 
         Merging a ledger into itself is a guarded no-op: campaign code
         that folds per-layer ledgers into a grand total can hit the
-        aliased case, and ``Counter.update(self)`` would silently
-        double every account and event.
+        aliased case, which would silently double every account.
         """
         if other is self:
             return
-        self._accounts.update(other._accounts)
+        for name, accumulator in other._accounts.items():
+            self._account(name).add_exact(accumulator)
         self._events += other._events
 
     @property
     def total(self) -> float:
-        """Total energy across all accounts, in joules."""
-        return float(sum(self._accounts.values()))
+        """Total energy across all accounts, in joules.
+
+        The exact cross-account sum, converted to float once — so the
+        total of a merged shard set equals the serial total bit for
+        bit, not merely approximately.
+        """
+        exact = ExactJoules()
+        for accumulator in self._accounts.values():
+            exact.add_exact(accumulator)
+        return float(exact)
 
     @property
     def events(self) -> int:
@@ -71,17 +175,22 @@ class EnergyLedger:
 
     def account(self, name: str) -> float:
         """Energy charged to one account (0.0 if never charged)."""
-        return float(self._accounts.get(name, 0.0))
+        accumulator = self._accounts.get(name)
+        return float(accumulator) if accumulator is not None else 0.0
 
     def by_prefix(self, prefix: str) -> float:
         """Sum energy over all accounts starting with ``prefix``."""
-        return float(sum(v for k, v in self._accounts.items()
-                         if k.startswith(prefix)))
+        exact = ExactJoules()
+        for name, accumulator in self._accounts.items():
+            if name.startswith(prefix):
+                exact.add_exact(accumulator)
+        return float(exact)
 
     def breakdown(self) -> dict[str, float]:
         """Mapping of account name to joules, sorted by descending energy."""
-        return dict(sorted(self._accounts.items(),
-                           key=lambda item: item[1], reverse=True))
+        return dict(sorted(
+            ((name, float(acc)) for name, acc in self._accounts.items()),
+            key=lambda item: item[1], reverse=True))
 
     def fractions(self) -> dict[str, float]:
         """Mapping of account name to its fraction of the total energy."""
@@ -97,7 +206,8 @@ class EnergyLedger:
         self._events = 0
 
     def __iter__(self) -> Iterator[tuple[str, float]]:
-        return iter(self._accounts.items())
+        return iter((name, float(acc))
+                    for name, acc in self._accounts.items())
 
     def __len__(self) -> int:
         return len(self._accounts)

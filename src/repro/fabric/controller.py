@@ -1,0 +1,102 @@
+"""Transactional programming of all fabric shards.
+
+An NMS reprogramming a sharded switch must never let traffic observe
+half a rule update: a chunk classified while shard 0 has the new
+route and shard 1 still has the old one could split a flow's verdicts
+across configurations.  :class:`FabricController` closes that window
+with a two-phase protocol:
+
+1. **stage** — every pending op is buffered on every shard.  Staged
+   ops are invisible to classification: buffering changes no table,
+   no cache, no AQM.
+2. **flip** — under the fabric's chunk-dispatch lock, every shard
+   applies its buffer and the fabric generation increments once.
+
+Because chunk dispatch holds the same lock from first ``begin`` to
+last ``finish``, a chunk sees either the pre-flip configuration on
+*all* shards or the post-flip configuration on *all* shards — never a
+mix.  The generation number names the configuration a chunk ran
+under.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FabricController"]
+
+
+class FabricController:
+    """Stages programming ops and commits them atomically."""
+
+    def __init__(self, fabric) -> None:
+        self._fabric = fabric
+        self._pending: list[tuple[str, tuple]] = []
+
+    # ------------------------------------------------------------------
+    # Staging (buffered; invisible until commit)
+    # ------------------------------------------------------------------
+    def stage(self, name: str, *args) -> "FabricController":
+        """Queue one op for the next commit (chainable)."""
+        self._pending.append((name, args))
+        return self
+
+    def add_route(self, prefix: str, port: int) -> "FabricController":
+        return self.stage("add_route", prefix, port)
+
+    def add_firewall_rule(self, rule) -> "FabricController":
+        return self.stage("add_firewall_rule", rule)
+
+    def invalidate_flow_caches(self) -> "FabricController":
+        return self.stage("invalidate_flow_cache")
+
+    def retarget(self, target_delay_s: float,
+                 max_deviation_s: float | None = None
+                 ) -> "FabricController":
+        """Re-aim every shard's AQM pipelines at a new delay target."""
+        if max_deviation_s is None:
+            return self.stage("retarget", target_delay_s)
+        return self.stage("retarget", target_delay_s, max_deviation_s)
+
+    def reprogram_intended(self) -> "FabricController":
+        """Write every AQM's intended conductances back (drift repair)."""
+        return self.stage("reprogram_intended")
+
+    @property
+    def staged(self) -> tuple[tuple[str, tuple], ...]:
+        """Ops queued locally, not yet pushed to any shard."""
+        return tuple(self._pending)
+
+    # ------------------------------------------------------------------
+    # Two-phase commit
+    # ------------------------------------------------------------------
+    def commit(self) -> int:
+        """Push staged ops to all shards, then flip atomically.
+
+        Returns the new fabric generation.  A commit with nothing
+        staged still flips (generation advances) — useful as a
+        barrier.
+        """
+        ops, self._pending = self._pending, []
+        # Phase 1: replicate to every shard's buffer.  Chunks
+        # dispatched between the phases still classify under the old
+        # configuration on every shard.
+        self._fabric._stage_on_all(ops)
+        # Phase 2: apply everywhere under the chunk-dispatch lock.
+        return self._fabric._flip_all()
+
+    def abort(self) -> int:
+        """Discard locally staged ops (nothing was pushed yet)."""
+        dropped, self._pending = len(self._pending), []
+        return dropped
+
+    @property
+    def generation(self) -> int:
+        return self._fabric.generation
+
+    # ------------------------------------------------------------------
+    # Observability pass-throughs
+    # ------------------------------------------------------------------
+    def poll_metrics(self) -> dict:
+        return self._fabric.poll_metrics()
+
+    def degraded_tables(self) -> list[str]:
+        return self._fabric.robustness_stats()["degraded_tables"]

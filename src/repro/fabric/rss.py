@@ -1,0 +1,151 @@
+"""RSS-style steering: a symmetric Toeplitz hash over 5-tuples.
+
+Real line-rate dataplanes replicate their match engines and spread
+flows across the replicas with receive-side scaling: a Toeplitz hash
+of the packet's 5-tuple indexed into an indirection table.  This
+module reproduces that front end for the sharded fabric:
+
+* the hash is the classic Toeplitz construction — every set bit of
+  the 96-bit input (src, dst, sport, dport) XORs in a 32-bit sliding
+  window of the secret key;
+* the default key is the *symmetric* ``0x6d5a`` repetition (Woo &
+  Park): its 16-bit period makes the hash invariant under swapping
+  ``(src, sport)`` with ``(dst, dport)``, so both directions of a
+  connection land on the same shard;
+* evaluation is chunk-vectorised: the per-bit definition is folded
+  into twelve 256-entry per-byte lookup tables at construction, so a
+  whole column chunk hashes in twelve NumPy gathers and XORs.
+
+Determinism is the point: the shard of a flow is a pure function of
+``(key, indirection table, 5-tuple)``, so replaying a trace through
+any shard count steers every packet identically on every run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SYMMETRIC_RSS_KEY", "ToeplitzRSS"]
+
+#: The symmetric default key: 0x6d5a repeated to the conventional 40
+#: bytes.  The 16-bit period is what buys src/dst symmetry — every
+#: field offset in the hash input is a multiple of 16 bits.
+SYMMETRIC_RSS_KEY = bytes([0x6D, 0x5A] * 20)
+
+#: Hash input layout: src_ip(4) | dst_ip(4) | src_port(2) | dst_port(2).
+_INPUT_BYTES = 12
+_U8 = np.uint64(8)
+_U16 = np.uint64(16)
+_U24 = np.uint64(24)
+_MASK8 = np.uint64(0xFF)
+
+
+class ToeplitzRSS:
+    """Deterministic 5-tuple steering across ``n_shards`` pipelines.
+
+    The indirection table (128 entries by default, round-robin over
+    the shards) decouples the hash space from the shard count exactly
+    as hardware RSS does: remapping a table entry migrates a slice of
+    the flow space without touching the hash.
+    """
+
+    def __init__(self, n_shards: int, *,
+                 key: bytes = SYMMETRIC_RSS_KEY,
+                 indirection_size: int = 128) -> None:
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard: {n_shards!r}")
+        if len(key) < _INPUT_BYTES + 4:
+            raise ValueError(
+                f"key too short: need >= {_INPUT_BYTES + 4} bytes for "
+                f"a {_INPUT_BYTES}-byte input, got {len(key)}")
+        if indirection_size < n_shards:
+            raise ValueError(
+                f"indirection table ({indirection_size}) smaller than "
+                f"the shard count ({n_shards})")
+        self.n_shards = n_shards
+        self.key = bytes(key)
+        self._tables = _byte_tables(self.key)
+        self.indirection = (np.arange(indirection_size, dtype=np.int64)
+                            % n_shards)
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def hash_columns(self, src_ip, dst_ip, src_port,
+                     dst_port) -> np.ndarray:
+        """One Toeplitz hash per row of the given 5-tuple columns.
+
+        Columns may be any integer dtype (the dataplane's uint64
+        batch view, the scenario engine's uint32/int64 columns);
+        values are truncated to their wire widths exactly as the byte
+        serialisation would truncate them.
+        """
+        src = np.asarray(src_ip).astype(np.uint64)
+        dst = np.asarray(dst_ip).astype(np.uint64)
+        sport = np.asarray(src_port).astype(np.uint64)
+        dport = np.asarray(dst_port).astype(np.uint64)
+        t = self._tables
+        h = t[0][((src >> _U24) & _MASK8).astype(np.intp)]
+        h = h ^ t[1][((src >> _U16) & _MASK8).astype(np.intp)]
+        h = h ^ t[2][((src >> _U8) & _MASK8).astype(np.intp)]
+        h = h ^ t[3][(src & _MASK8).astype(np.intp)]
+        h = h ^ t[4][((dst >> _U24) & _MASK8).astype(np.intp)]
+        h = h ^ t[5][((dst >> _U16) & _MASK8).astype(np.intp)]
+        h = h ^ t[6][((dst >> _U8) & _MASK8).astype(np.intp)]
+        h = h ^ t[7][(dst & _MASK8).astype(np.intp)]
+        h = h ^ t[8][((sport >> _U8) & _MASK8).astype(np.intp)]
+        h = h ^ t[9][(sport & _MASK8).astype(np.intp)]
+        h = h ^ t[10][((dport >> _U8) & _MASK8).astype(np.intp)]
+        h = h ^ t[11][(dport & _MASK8).astype(np.intp)]
+        return h
+
+    def hash_tuple(self, src_ip: int, dst_ip: int, src_port: int,
+                   dst_port: int) -> int:
+        """The hash of one 5-tuple (scalar convenience)."""
+        return int(self.hash_columns(
+            np.array([src_ip], dtype=np.uint64),
+            np.array([dst_ip], dtype=np.uint64),
+            np.array([src_port], dtype=np.uint64),
+            np.array([dst_port], dtype=np.uint64))[0])
+
+    # ------------------------------------------------------------------
+    # Steering
+    # ------------------------------------------------------------------
+    def shard_of_columns(self, src_ip, dst_ip, src_port,
+                         dst_port) -> np.ndarray:
+        """Shard index per row: ``indirection[hash % table_size]``."""
+        h = self.hash_columns(src_ip, dst_ip, src_port, dst_port)
+        return self.indirection[
+            (h % np.uint32(len(self.indirection))).astype(np.intp)]
+
+    def shard_of_tuple(self, src_ip: int, dst_ip: int, src_port: int,
+                       dst_port: int) -> int:
+        """Shard index of one 5-tuple."""
+        return int(self.shard_of_columns(
+            np.array([src_ip], dtype=np.uint64),
+            np.array([dst_ip], dtype=np.uint64),
+            np.array([src_port], dtype=np.uint64),
+            np.array([dst_port], dtype=np.uint64))[0])
+
+
+def _byte_tables(key: bytes) -> np.ndarray:
+    """Fold the Toeplitz definition into per-byte lookup tables.
+
+    ``tables[b][v]`` is the XOR of the key windows of every bit set
+    in byte value ``v`` at byte position ``b`` — so the hash of an
+    input is the XOR of twelve table gathers, bit-exactly equal to
+    the per-bit sliding-window definition.
+    """
+    key_int = int.from_bytes(key, "big")
+    key_bits = len(key) * 8
+    tables = np.zeros((_INPUT_BYTES, 256), dtype=np.uint32)
+    values = np.arange(256, dtype=np.uint32)
+    for byte_pos in range(_INPUT_BYTES):
+        for bit in range(8):
+            pos = byte_pos * 8 + bit
+            window = np.uint32(
+                (key_int >> (key_bits - 32 - pos)) & 0xFFFFFFFF)
+            has_bit = (values >> np.uint32(7 - bit)) & np.uint32(1)
+            tables[byte_pos] ^= np.where(has_bit == 1, window,
+                                         np.uint32(0))
+    return tables

@@ -323,6 +323,20 @@ class PCAMAQM(AQMAlgorithm):
             features[name] = self._scalers[name].to_voltage(capped)
         return features
 
+    def _charge_searches(self, n: int) -> None:
+        """Book ``n`` per-packet pipeline searches.
+
+        One quantum per packet (all stages' cells), identical in the
+        batch kernel and the folded lane, booked via
+        :meth:`~repro.energy.ledger.EnergyLedger.charge_quanta` so the
+        joules are bit-identical however the same packets are chunked
+        or sharded.
+        """
+        self.ledger.charge_quanta(
+            "pcam_aqm.search",
+            len(self.pipeline) * _CELLS_PER_STAGE * self.energy_per_cell_j,
+            n)
+
     def drop_probabilities(self, features: "Mapping[str, np.ndarray]",
                            priorities: np.ndarray | None = None
                            ) -> np.ndarray:
@@ -347,10 +361,7 @@ class PCAMAQM(AQMAlgorithm):
         pdps = self.pipeline.evaluate_batch(batch)
         n = int(pdps.shape[0])
         self.evaluations += n
-        self.ledger.charge(
-            "pcam_aqm.search",
-            n * len(self.pipeline) * _CELLS_PER_STAGE
-            * self.energy_per_cell_j)
+        self._charge_searches(n)
         self.last_pdp = float(pdps[-1])
         if self.output_monitor is not None:
             self.output_monitor(batch, pdps)
@@ -413,10 +424,7 @@ class PCAMAQM(AQMAlgorithm):
             values.append(scaler.to_voltage(capped))
         pdp = float(folded.evaluate_uniform(values, count=n))
         self.evaluations += n
-        self.ledger.charge(
-            "pcam_aqm.search",
-            n * len(self.pipeline) * _CELLS_PER_STAGE
-            * self.energy_per_cell_j)
+        self._charge_searches(n)
         self.last_pdp = pdp
         pdps = np.full(n, pdp)
         weights = np.array([self.priority_weights.get(int(p), 1.0)
@@ -459,9 +467,9 @@ class PCAMAQM(AQMAlgorithm):
             intended = getattr(stage, "intended_params", stage.params)
             stage.program(intended)
             count += 1
-        self.ledger.charge(
+        self.ledger.charge_quanta(
             "pcam_aqm.reprogram",
-            count * _CELLS_PER_STAGE * write_energy_per_cell_j)
+            _CELLS_PER_STAGE * write_energy_per_cell_j, count)
         return count
 
     # ------------------------------------------------------------------

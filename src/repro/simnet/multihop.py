@@ -6,10 +6,23 @@ congestion can form at *several* hops, and per-hop AQM must keep the
 end-to-end delay bounded.  This module chains
 :class:`~repro.simnet.queue_sim.BottleneckQueue` instances through
 propagation-delay links and records end-to-end statistics.
+
+Two path flavours live here:
+
+* :func:`build_path` / :class:`MultiBottleneckExperiment` — abstract
+  bottleneck queues inside the event simulator (AQM research rig);
+* :func:`run_switch_path` — a chain of *full cognitive switches*
+  (``build_switch`` products or whole
+  :class:`~repro.fabric.fabric.SwitchFabric` instances), admission
+  slices riding hop to hop through line-rate drains and link delays,
+  so a topology of sharded switches is one scenario call.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -22,7 +35,8 @@ from repro.simnet.flows import PoissonFlowGenerator
 from repro.simnet.metrics import DelayRecorder
 from repro.simnet.queue_sim import BottleneckQueue
 
-__all__ = ["MultiBottleneckExperiment", "PathResult", "build_path"]
+__all__ = ["MultiBottleneckExperiment", "PathResult", "SwitchHopStats",
+           "SwitchPathResult", "build_path", "run_switch_path"]
 
 
 @dataclass(frozen=True)
@@ -158,3 +172,170 @@ class MultiBottleneckExperiment:
             dropped=dropped,
             per_hop_recorders=tuple(queue.recorder for queue in queues),
             queues=tuple(queues))
+
+
+# ----------------------------------------------------------------------
+# Cognitive-switch paths (single switches or whole fabrics per hop)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SwitchHopStats:
+    """What one hop of a switch path did to the traffic."""
+
+    admitted: int
+    verdict_counts: dict[str, int]
+    energy_total_j: float
+
+
+@dataclass(frozen=True)
+class SwitchPathResult:
+    """End-to-end outcome of one cognitive-switch path run."""
+
+    delivered: int
+    end_to_end_delays_s: np.ndarray
+    hops: tuple[SwitchHopStats, ...]
+
+    @property
+    def mean_delay_s(self) -> float:
+        """Mean end-to-end delay [s]."""
+        if self.end_to_end_delays_s.size == 0:
+            return 0.0
+        return float(self.end_to_end_delays_s.mean())
+
+    @property
+    def p95_delay_s(self) -> float:
+        """95th-percentile end-to-end delay [s]."""
+        if self.end_to_end_delays_s.size == 0:
+            return 0.0
+        return float(np.percentile(self.end_to_end_delays_s, 95))
+
+    @property
+    def energy_total_j(self) -> float:
+        """Total energy across every hop (all shards of all hops) [J]."""
+        return sum(hop.energy_total_j for hop in self.hops)
+
+
+def _manager_of(processor):
+    """A processor's egress surface: itself, or its traffic manager.
+
+    A :class:`~repro.fabric.fabric.SwitchFabric` serves ``n_ports`` /
+    ``dequeue`` directly; a single ``build_switch`` product exposes
+    them through its traffic manager.  Duck-typing here is what lets
+    one path mix single switches and whole fabrics hop by hop.
+    """
+    return getattr(processor, "traffic_manager", processor)
+
+
+def run_switch_path(processors: Sequence, stream, *,
+                    link_delays_s: Sequence[float],
+                    port_rate_bps: float = 200e6,
+                    admission_chunk: int = 256,
+                    drain_step_s: float = 0.01,
+                    max_drain_steps: int = 10_000) -> SwitchPathResult:
+    """Drive a traffic stream through a chain of cognitive switches.
+
+    ``processors`` are duck-typed hops — single switches or whole
+    fabrics.  ``stream`` yields
+    :class:`~repro.simnet.workloads.ChunkColumns` (a scenario stream)
+    or plain packet sequences.  ``link_delays_s`` has one entry per
+    hop: the propagation latency of the link *after* that hop (the
+    last entry leads to the receiver).
+
+    Time advances at admission-slice granularity exactly like
+    :func:`~repro.simnet.scenarios.run_scenario`: before each slice,
+    every hop's egress drains at line rate up to the slice time and
+    the drained packets ride their links to the next hop's ingress;
+    then each hop admits whatever has arrived.  After the stream
+    ends, drains continue in ``drain_step_s`` steps until the path is
+    empty.
+    """
+    if len(processors) != len(link_delays_s):
+        raise ValueError("need one link delay per hop")
+    if not processors:
+        raise ValueError("path needs at least one hop")
+    if admission_chunk < 1:
+        raise ValueError(
+            f"admission chunk must be >= 1: {admission_chunk!r}")
+
+    n_hops = len(processors)
+    delays = [float(d) for d in link_delays_s]
+    # Per-hop ingress: (ready_time, seq, packet) min-heaps; the seq
+    # breaks ties so heapq never compares packets.
+    ingress: list[list] = [[] for _ in range(n_hops)]
+    seq = itertools.count()
+    admitted = [0] * n_hops
+    verdicts: list[Counter] = [Counter() for _ in range(n_hops)]
+    credits = [[0.0] * _manager_of(p).n_ports for p in processors]
+    delivered: list[float] = []
+
+    def drain_hop(hop: int, t_from: float, t_until: float) -> None:
+        if t_until <= t_from:
+            return
+        manager = _manager_of(processors[hop])
+        budget = (t_until - t_from) * port_rate_bps / 8.0
+        for port in range(manager.n_ports):
+            credits[hop][port] += budget
+            while credits[hop][port] > 0.0:
+                packet = manager.dequeue(port, now=t_until)
+                if packet is None:
+                    credits[hop][port] = 0.0
+                    break
+                credits[hop][port] -= packet.size_bytes
+                ready = t_until + delays[hop]
+                if hop + 1 < n_hops:
+                    heapq.heappush(ingress[hop + 1],
+                                   (ready, next(seq), packet))
+                else:
+                    delivered.append(ready - packet.created_at)
+
+    def admit_hop(hop: int, t_now: float) -> None:
+        batch = []
+        heap = ingress[hop]
+        while heap and heap[0][0] <= t_now:
+            batch.append(heapq.heappop(heap)[2])
+        if not batch:
+            return
+        results = processors[hop].process_batch(
+            batch, now=t_now, chunk_size=len(batch))
+        admitted[hop] += len(batch)
+        verdicts[hop].update(r.verdict.value for r in results)
+
+    def step(t_from: float, t_until: float) -> None:
+        for hop in range(n_hops):
+            drain_hop(hop, t_from, t_until)
+        for hop in range(1, n_hops):
+            admit_hop(hop, t_until)
+
+    t_prev = 0.0
+    t_last = 0.0
+    for chunk in stream:
+        packets = chunk.to_packets() if hasattr(chunk, "to_packets") \
+            else list(chunk)
+        for start in range(0, len(packets), admission_chunk):
+            piece = packets[start:start + admission_chunk]
+            t_now = max(t_prev, float(piece[0].created_at))
+            step(t_prev, t_now)
+            results = processors[0].process_batch(
+                piece, now=t_now, chunk_size=len(piece))
+            admitted[0] += len(piece)
+            verdicts[0].update(r.verdict.value for r in results)
+            t_prev = t_now
+            t_last = max(t_last, float(piece[-1].created_at))
+
+    # Tail: keep draining until the whole path is empty.
+    t_now = max(t_prev, t_last)
+    for _ in range(max_drain_steps):
+        before = len(delivered)
+        t_next = t_now + drain_step_s
+        step(t_now, t_next)
+        t_now = t_next
+        if len(delivered) == before and not any(ingress):
+            break
+
+    return SwitchPathResult(
+        delivered=len(delivered),
+        end_to_end_delays_s=np.asarray(delivered),
+        hops=tuple(SwitchHopStats(
+            admitted=admitted[hop],
+            verdict_counts=dict(verdicts[hop]),
+            energy_total_j=float(processors[hop].energy_total_j()))
+            for hop in range(n_hops)))

@@ -834,7 +834,7 @@ def _drain(processor, credits: list[float], t_from: float,
     """
     if t_until <= t_from:
         return
-    manager = processor.traffic_manager
+    manager = getattr(processor, "traffic_manager", processor)
     budget = (t_until - t_from) * port_rate_bps / 8.0
     for port in range(manager.n_ports):
         credits[port] += budget
@@ -850,7 +850,8 @@ def run_scenario(scenario_or_name: "Scenario | str", *, seed: int = 0,
                  n_packets: int | None = None, chunk_size: int = 8192,
                  admission_chunk: int = 256, spec=None,
                  observe: bool = False, n_windows: int = 20,
-                 collect_results: bool = False) -> ScenarioReport:
+                 collect_results: bool = False,
+                 processor_factory=None) -> ScenarioReport:
     """Run one scenario through a freshly built switch, end to end.
 
     The stream is generated in ``chunk_size`` column chunks (bounded
@@ -867,6 +868,16 @@ def run_scenario(scenario_or_name: "Scenario | str", *, seed: int = 0,
     final snapshot into the report (the per-scenario telemetry
     artifact).  ``collect_results=True`` additionally keeps the
     per-packet verdict/port sequences — the golden tests digest them.
+
+    ``processor_factory(spec, seed)``, when given, replaces the
+    default ``build_switch`` product with any processor exposing the
+    duck-typed surface — e.g. a
+    :class:`~repro.fabric.fabric.SwitchFabric` via
+    :func:`~repro.fabric.scenario.fabric_scenario_factory`.  A
+    processor without a ``traffic_manager`` must itself provide
+    ``n_ports``/``dequeue`` (egress), ``slice_extremes()`` (windowed
+    maxima) and ``robustness_stats()`` (fallbacks, retries, degraded
+    tables); one with a ``close()`` is closed before returning.
     """
     from repro.dataplane.results import Verdict
     from repro.dataplane.switch import build_switch
@@ -887,28 +898,44 @@ def run_scenario(scenario_or_name: "Scenario | str", *, seed: int = 0,
         spec = default_switch_spec()
 
     observability = None
-    if observe:
+    if observe and processor_factory is None:
         from repro.observability import Observability
         observability = Observability()
 
-    built_ports = iter(range(spec.n_ports))
+    if processor_factory is not None:
+        processor = processor_factory(spec, seed)
+    else:
+        built_ports = iter(range(spec.n_ports))
 
-    def aqm_factory():
-        port = next(built_ports)
-        analog = PCAMAQM(
-            rng=np.random.default_rng((seed, port, 0xA11A)))
-        if spec.graceful_degradation:
-            return DegradingAQM(analog)
-        return analog
+        def aqm_factory():
+            port = next(built_ports)
+            analog = PCAMAQM(
+                rng=np.random.default_rng((seed, port, 0xA11A)))
+            if spec.graceful_degradation:
+                return DegradingAQM(analog)
+            return analog
 
-    processor = build_switch(spec, observability=observability,
-                             aqm_factory=aqm_factory)
-    manager = processor.traffic_manager
-    for port in range(spec.n_ports):
-        # One energy account for the whole switch: fold the analog
-        # AQM searches into the pipeline ledger the spec's default
-        # factory would have used.
-        _analog(manager.aqm(port)).ledger = processor.ledger
+        processor = build_switch(spec, observability=observability,
+                                 aqm_factory=aqm_factory)
+        for port in range(spec.n_ports):
+            # One energy account for the whole switch: fold the
+            # analog AQM searches into the pipeline ledger the spec's
+            # default factory would have used.
+            _analog(processor.traffic_manager.aqm(port)).ledger = \
+                processor.ledger
+
+    # A fabric (or any sharded processor) serves egress itself and
+    # summarises its ports; a single switch exposes them through its
+    # traffic manager.
+    manager = getattr(processor, "traffic_manager", None)
+
+    def slice_extremes() -> tuple[float, float, int]:
+        if manager is None:
+            return processor.slice_extremes()
+        ports = range(spec.n_ports)
+        return (max(_analog(manager.aqm(p)).delay_ewma_s for p in ports),
+                max(_analog(manager.aqm(p)).last_pdp for p in ports),
+                max(manager.backlog(p) for p in ports))
 
     boundaries = np.unique(
         np.round(np.linspace(1, n, n_windows) * 1.0).astype(int))
@@ -979,17 +1006,12 @@ def run_scenario(scenario_or_name: "Scenario | str", *, seed: int = 0,
             t_last = float(times[min(start + len(chunk),
                                      len(times)) - 1])
             processed += len(chunk)
+            delay_max, pdp_max, backlog_max = slice_extremes()
             current.max_delay_ewma_s = max(
-                current.max_delay_ewma_s,
-                max(_analog(manager.aqm(p)).delay_ewma_s
-                    for p in range(spec.n_ports)))
-            current.max_pdp = max(
-                current.max_pdp,
-                max(_analog(manager.aqm(p)).last_pdp
-                    for p in range(spec.n_ports)))
+                current.max_delay_ewma_s, delay_max)
+            current.max_pdp = max(current.max_pdp, pdp_max)
             current.max_backlog_pkts = max(
-                current.max_backlog_pkts,
-                max(manager.backlog(p) for p in range(spec.n_ports)))
+                current.max_backlog_pkts, backlog_max)
             while next_boundary < len(boundaries) \
                     and processed >= boundaries[next_boundary]:
                 close_window(t_last)
@@ -1003,12 +1025,25 @@ def run_scenario(scenario_or_name: "Scenario | str", *, seed: int = 0,
 
     wall = time.perf_counter() - started
     totals = cumulative()
-    fallback_events = sum(
-        getattr(manager.aqm(port), "fallback_events", 0)
-        for port in range(spec.n_ports))
-    retries = sum(getattr(manager.aqm(port), "retries", 0)
-                  for port in range(spec.n_ports))
-    return ScenarioReport(
+    if manager is not None:
+        fallback_events = sum(
+            getattr(manager.aqm(port), "fallback_events", 0)
+            for port in range(spec.n_ports))
+        retries = sum(getattr(manager.aqm(port), "retries", 0)
+                      for port in range(spec.n_ports))
+        degraded = tuple(processor.controller.degraded_tables())
+    else:
+        stats = processor.robustness_stats()
+        fallback_events = stats["fallback_events"]
+        retries = stats["retries"]
+        degraded = tuple(stats["degraded_tables"])
+    if observability is not None:
+        metrics = observability.snapshot()
+    elif observe and hasattr(processor, "poll_metrics"):
+        metrics = processor.poll_metrics()
+    else:
+        metrics = None
+    report = ScenarioReport(
         scenario=entry.name,
         seed=seed,
         n_packets=n,
@@ -1022,14 +1057,19 @@ def run_scenario(scenario_or_name: "Scenario | str", *, seed: int = 0,
         windows=windows,
         cache_hits=totals["hits"],
         cache_misses=totals["misses"],
-        degraded_tables=tuple(processor.controller.degraded_tables()),
+        degraded_tables=degraded,
         fallback_events=fallback_events,
         retries=retries,
         energy_total_j=processor.energy_total_j(),
         energy_breakdown=processor.energy_breakdown(),
         verdicts=verdicts,
         ports=out_ports,
-        metrics=observability.snapshot() if observability else None)
+        metrics=metrics)
+    if processor_factory is not None:
+        closer = getattr(processor, "close", None)
+        if closer is not None:
+            closer()
+    return report
 
 
 def publish_reports(reports: Sequence[ScenarioReport],

@@ -107,10 +107,7 @@ class MemristorTCAM(TCAM):
         energy = (mismatching * self._cell_energy(mismatch=True)
                   + (total_cells - mismatching)
                   * self._cell_energy(mismatch=False))
-        # Colocalized compute/storage: everything is computation; there
-        # is no storage-to-ALU shuttling to charge.
-        self.ledger.charge(ACCOUNT_COMPUTE, energy)
-        self.ledger.charge(ACCOUNT_MOVEMENT, 0.0)
+        self._charge_cells(mismatching, total_cells)
         self._searches += 1
         return SearchResult(matched_indices=tuple(int(i) for i in matched),
                             best_index=best,
@@ -130,10 +127,29 @@ class MemristorTCAM(TCAM):
                 + (total_cells - mismatching)
                 * self._cell_energy(mismatch=False))
 
-    def _charge_batch(self, energy: float) -> None:
-        """Colocalized compute/storage: no data-movement account."""
-        self.ledger.charge(ACCOUNT_COMPUTE, energy)
-        self.ledger.charge(ACCOUNT_MOVEMENT, 0.0)
+    def _charge_agree(self, agree: np.ndarray, n_keys: int) -> None:
+        """Book one slice's searches from its agreement tensor."""
+        total_cells = agree.size
+        mismatching = int(total_cells - np.count_nonzero(agree))
+        self._charge_cells(mismatching, total_cells)
+
+    def _charge_cells(self, mismatching: int, total_cells: int) -> None:
+        """Charge per-cell quanta for one burst of searches.
+
+        Colocalized compute/storage: everything is computation; there
+        is no storage-to-ALU shuttling to charge.  Cell counts are
+        integers and partition linearly across keys, so booking
+        ``mismatching`` discharge quanta plus ``total - mismatching``
+        leakage quanta yields bit-identical joules however the same
+        keys are batched or sharded.
+        """
+        self.ledger.charge_quanta(ACCOUNT_COMPUTE,
+                                  self._cell_energy(mismatch=True),
+                                  mismatching)
+        self.ledger.charge_quanta(ACCOUNT_COMPUTE,
+                                  self._cell_energy(mismatch=False),
+                                  total_cells - mismatching)
+        self.ledger.charge_quanta(ACCOUNT_MOVEMENT, 0.0, total_cells)
 
     def energy_per_bit_for(self, mismatch_fraction: float = 0.5) -> float:
         """Expected per-bit search energy at a given mismatch rate [J].

@@ -281,12 +281,8 @@ class TCAM:
             priorities = np.array([self._priorities[i] for i in matched])
             best = int(matched[int(np.argmin(priorities))])
 
-        energy = self.energy_per_bit_j * self.width_bits * max(
-            len(self._patterns), 1)
-        self.ledger.charge(ACCOUNT_MOVEMENT,
-                           energy * self.movement_fraction)
-        self.ledger.charge(ACCOUNT_COMPUTE,
-                           energy * (1.0 - self.movement_fraction))
+        energy = self._search_energy_quantum_j()
+        self._charge_searches(1)
         self._searches += 1
         return SearchResult(matched_indices=tuple(int(i) for i in matched),
                             best_index=best,
@@ -325,6 +321,7 @@ class TCAM:
             agree = ~care[None, :, :] | (bits[None, :, :]
                                          == chunk[:, None, :])
             energy += self._batch_energy_j(agree, chunk.shape[0])
+            self._charge_agree(agree, chunk.shape[0])
             if n_entries:
                 matched = agree.all(axis=2)
                 masked = np.where(matched,
@@ -332,7 +329,6 @@ class TCAM:
                 winners = np.argmin(masked, axis=1)
                 best[start:start + step] = np.where(
                     matched.any(axis=1), winners, -1)
-        self._charge_batch(energy)
         self._searches += n_keys
         return BatchSearchResult(best_indices=best, energy_j=energy,
                                  latency_s=self.search_latency_s)
@@ -342,9 +338,28 @@ class TCAM:
         return (self.energy_per_bit_j * self.width_bits
                 * max(len(self._patterns), 1) * n_keys)
 
-    def _charge_batch(self, energy: float) -> None:
-        """Book a burst's energy with the scalar movement split."""
-        self.ledger.charge(ACCOUNT_MOVEMENT,
-                           energy * self.movement_fraction)
-        self.ledger.charge(ACCOUNT_COMPUTE,
-                           energy * (1.0 - self.movement_fraction))
+    def _search_energy_quantum_j(self) -> float:
+        """The per-key search energy [J] — the ledger charging unit."""
+        return (self.energy_per_bit_j * self.width_bits
+                * max(len(self._patterns), 1))
+
+    def _charge_searches(self, n_keys: int) -> None:
+        """Book ``n_keys`` searches with the per-key movement split.
+
+        Charged as ``n_keys`` identical quanta
+        (:meth:`~repro.energy.ledger.EnergyLedger.charge_quanta`), so
+        the booked joules are an exact function of the key count —
+        identical whether the keys arrive one by one, in one burst, or
+        split across shard pipelines.
+        """
+        quantum = self._search_energy_quantum_j()
+        self.ledger.charge_quanta(ACCOUNT_MOVEMENT,
+                                  quantum * self.movement_fraction,
+                                  n_keys)
+        self.ledger.charge_quanta(ACCOUNT_COMPUTE,
+                                  quantum * (1.0 - self.movement_fraction),
+                                  n_keys)
+
+    def _charge_agree(self, agree: np.ndarray, n_keys: int) -> None:
+        """Book one batch slice's searches (agreement-independent)."""
+        self._charge_searches(n_keys)

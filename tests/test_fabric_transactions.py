@@ -1,0 +1,142 @@
+"""Transactional fabric programming: no chunk spans two generations.
+
+The controller's two-phase commit promises that a chunk classified
+concurrently with a reprogramming observes the old configuration on
+every shard or the new configuration on every shard — never a mix.
+These tests drive probe flows whose verdict differs across the
+generations (a route that only exists after the commit) and assert
+chunk-level purity under a concurrent commit storm.
+"""
+
+import threading
+
+import pytest
+
+from repro.dataplane.results import Verdict
+from repro.dataplane.switch import SwitchSpec, build_switch
+from repro.fabric import SwitchFabric
+from repro.packet import Packet
+
+#: Probe destinations chosen to spread across shards (distinct
+#: 5-tuples) while all riding the same route prefix.
+PROBE_DSTS = [f"198.51.100.{host}" for host in range(1, 33)]
+
+
+def build_shard():
+    spec = SwitchSpec(n_ports=2, routes=(("10.0.0.0/8", 0),),
+                      flow_cache_size=0)
+    return build_switch(spec)
+
+
+def probe_chunk(now: float) -> list[Packet]:
+    return [Packet(size_bytes=200, created_at=now,
+                   fields={"src_ip": f"10.9.{i}.1", "src_port": 1000 + i,
+                           "dst_ip": dst, "dst_port": 80,
+                           "protocol": 6})
+            for i, dst in enumerate(PROBE_DSTS)]
+
+
+def chunk_verdicts(results) -> set:
+    return {r.verdict for r in results}
+
+
+def test_staged_ops_are_invisible_until_commit():
+    with SwitchFabric(build_shard, 2) as fabric:
+        fabric.controller.add_route("198.51.100.0/24", 1)
+        # Staged locally: nothing pushed, nothing visible.
+        results = fabric.process_batch(probe_chunk(0.0), now=0.0)
+        assert chunk_verdicts(results) == {Verdict.DROPPED_NO_ROUTE}
+        assert fabric.generation == 0
+
+        generation = fabric.controller.commit()
+        assert generation == 1
+        results = fabric.process_batch(probe_chunk(0.0), now=0.0)
+        assert chunk_verdicts(results) == {Verdict.QUEUED}
+
+
+def test_abort_discards_staged_ops():
+    with SwitchFabric(build_shard, 2) as fabric:
+        fabric.controller.add_route("198.51.100.0/24", 1)
+        assert fabric.controller.abort() == 1
+        assert fabric.controller.commit() == 1  # empty barrier commit
+        results = fabric.process_batch(probe_chunk(0.0), now=0.0)
+        assert chunk_verdicts(results) == {Verdict.DROPPED_NO_ROUTE}
+
+
+def test_empty_commit_is_a_generation_barrier():
+    with SwitchFabric(build_shard, 2) as fabric:
+        assert fabric.controller.commit() == 1
+        assert fabric.controller.commit() == 2
+        assert fabric.generation == 2
+
+
+@pytest.mark.parametrize("mode", ["in_process", "multiprocessing"])
+def test_no_chunk_observes_mixed_generations(mode):
+    """Commit storm against a chunk stream: every chunk is pure.
+
+    Before the commit the probe flows all drop (no route); after it
+    they all queue.  A chunk that mixes QUEUED with DROPPED_NO_ROUTE
+    would prove one shard flipped mid-chunk.
+    """
+    with SwitchFabric(build_shard, 4, mode=mode) as fabric:
+        stop = threading.Event()
+        impure = []
+        chunks_seen = [0]
+
+        def traffic():
+            while not stop.is_set():
+                results = fabric.process_batch(probe_chunk(0.0),
+                                               now=0.0)
+                verdicts = chunk_verdicts(results)
+                chunks_seen[0] += 1
+                if len(verdicts) != 1:
+                    impure.append(verdicts)
+
+        worker = threading.Thread(target=traffic)
+        worker.start()
+        try:
+            # Several commits while the chunk stream is running: the
+            # route flip changes every probe's verdict.
+            for _ in range(3):
+                fabric.controller.add_route("198.51.100.0/24", 1)
+                fabric.controller.commit()
+                fabric.controller.invalidate_flow_caches()
+                fabric.controller.commit()
+        finally:
+            stop.set()
+            worker.join(timeout=30.0)
+        assert not worker.is_alive()
+        assert chunks_seen[0] > 0
+        assert impure == [], \
+            f"chunks spanned two generations: {impure[:3]}"
+        assert fabric.generation == 6
+
+
+def test_commit_applies_to_every_shard():
+    with SwitchFabric(build_shard, 4) as fabric:
+        fabric.controller.add_route("198.51.100.0/24", 1)
+        fabric.controller.commit()
+        # Every probe queues regardless of which shard it steered to.
+        results = fabric.process_batch(probe_chunk(0.0), now=0.0)
+        assert chunk_verdicts(results) == {Verdict.QUEUED}
+        ports = {r.port for r in results}
+        assert ports == {1}
+
+
+def test_retarget_reaches_all_shard_aqms():
+    with SwitchFabric(build_shard, 2) as fabric:
+        fabric.controller.retarget(0.004)
+        fabric.controller.commit()
+        for shard in fabric.shards:
+            manager = shard.processor.traffic_manager
+            for port in range(manager.n_ports):
+                aqm = manager.aqm(port)
+                analog = getattr(aqm, "analog", aqm)
+                assert analog.target_delay_s == pytest.approx(0.004)
+
+
+def test_unknown_op_rejected_at_stage_time():
+    with SwitchFabric(build_shard, 2) as fabric:
+        fabric.controller.stage("format_tables")
+        with pytest.raises(ValueError):
+            fabric.controller.commit()

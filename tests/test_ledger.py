@@ -1,5 +1,8 @@
 """Energy ledger accounting."""
 
+import pickle
+import random
+
 import pytest
 
 from repro.energy import (
@@ -7,6 +10,7 @@ from repro.energy import (
     ACCOUNT_MOVEMENT,
     EnergyLedger,
     EnergyReport,
+    ExactJoules,
 )
 
 
@@ -117,3 +121,87 @@ def test_merge_with_distinct_empty_ledger_unchanged():
     ledger.merge(EnergyLedger())
     assert ledger.total == pytest.approx(2.0)
     assert ledger.events == 1
+
+
+# ----------------------------------------------------------------------
+# Exact (partition-invariant) accumulation — the fabric contract
+# ----------------------------------------------------------------------
+
+def _quanta(seed=7, n=200):
+    rng = random.Random(seed)
+    return [rng.random() * 10.0 ** rng.randint(-18, -9) for _ in range(n)]
+
+
+def test_accumulation_is_order_invariant():
+    quanta = _quanta()
+    forward, backward = EnergyLedger(), EnergyLedger()
+    for q in quanta:
+        forward.charge("a", q)
+    for q in reversed(quanta):
+        backward.charge("a", q)
+    # Bit-identical, not approx: the sum is exact until the one final
+    # rounding, so ordering cannot perturb the last ulp.
+    assert forward.account("a") == backward.account("a")
+    assert forward.total == backward.total
+
+
+def test_merge_is_partition_invariant():
+    quanta = _quanta(seed=11)
+    serial = EnergyLedger()
+    for q in quanta:
+        serial.charge("a", q)
+    for n_shards in (2, 3, 4, 7):
+        shards = [EnergyLedger() for _ in range(n_shards)]
+        for i, q in enumerate(quanta):
+            shards[i % n_shards].charge("a", q)
+        merged = EnergyLedger()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.account("a") == serial.account("a")
+        assert merged.total == serial.total
+        assert merged.events == serial.events
+
+
+def test_charge_quanta_equals_repeated_scalar_charges():
+    quantum = 1.3e-15
+    scalar, batched = EnergyLedger(), EnergyLedger()
+    for _ in range(1000):
+        scalar.charge("a", quantum)
+    batched.charge_quanta("a", quantum, 1000)
+    assert batched.account("a") == scalar.account("a")
+    # A quanta burst is one ledger event, however many quanta it books.
+    assert batched.events == 1
+
+
+def test_charge_quanta_zero_count_is_free():
+    ledger = EnergyLedger()
+    ledger.charge_quanta("a", 1e-12, 0)
+    assert ledger.account("a") == 0.0
+    assert ledger.events == 1
+
+
+def test_charge_quanta_rejects_bad_inputs():
+    ledger = EnergyLedger()
+    with pytest.raises(ValueError):
+        ledger.charge_quanta("a", -1e-12, 3)
+    with pytest.raises(ValueError):
+        ledger.charge_quanta("a", float("nan"), 3)
+    with pytest.raises(ValueError):
+        ledger.charge_quanta("a", 1e-12, -1)
+
+
+def test_exact_joules_round_trips_through_pickle():
+    exact = ExactJoules()
+    exact.add(3.7e-13, count=41)
+    clone = pickle.loads(pickle.dumps(exact))
+    assert clone == exact
+    assert float(clone) == float(exact)
+
+
+def test_ledger_round_trips_through_pickle():
+    ledger = EnergyLedger()
+    for q in _quanta(seed=3, n=50):
+        ledger.charge("tcam.search", q)
+    clone = pickle.loads(pickle.dumps(ledger))
+    assert clone.account("tcam.search") == ledger.account("tcam.search")
+    assert clone.events == ledger.events

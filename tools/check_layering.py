@@ -22,6 +22,11 @@ the architectural layering the staged-runtime refactor established:
    compiler) must see the dataplane stage shapes it compiles, so it
    may import ``repro.dataplane`` — but still never ``repro.netfunc``
    (table sentinels are recovered from live objects instead).
+6. ``repro.fabric`` is the *topmost* composition layer (it shards
+   whole switches): it may import anything, but nothing below it —
+   dataplane, simnet, netfunc, runtime — may import it back.  The
+   scenario engine reaches fabrics only through its duck-typed
+   ``processor_factory`` hook.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -38,10 +43,13 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 #: over the textual import graph is overkill here: direct imports are
 #: what the contract constrains).
 FORBIDDEN = {
-    "repro.runtime": ("repro.dataplane", "repro.netfunc"),
-    "repro.netfunc": ("repro.dataplane",),
-    "repro.acam": ("repro.dataplane", "repro.simnet"),
+    "repro.runtime": ("repro.dataplane", "repro.netfunc",
+                      "repro.fabric"),
+    "repro.netfunc": ("repro.dataplane", "repro.fabric"),
+    "repro.acam": ("repro.dataplane", "repro.simnet", "repro.fabric"),
     "repro.packet": ("repro.",),
+    "repro.dataplane": ("repro.fabric",),
+    "repro.simnet": ("repro.fabric",),
 }
 
 #: exact module -> prefixes its FORBIDDEN rules waive.  The waiver is
@@ -119,7 +127,7 @@ def main() -> int:
         return 1
     print("layering contract clean: runtime |> dataplane, "
           "netfunc |> dataplane, acam |> dataplane/simnet, "
-          "repro.packet is a leaf")
+          "repro.packet is a leaf, repro.fabric is a top")
     return 0
 
 
