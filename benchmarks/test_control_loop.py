@@ -1,0 +1,89 @@
+"""The learned-vs-static control-loop gate (closing the paper's loop).
+
+The paper frames pCAM programmability as the lever a *cognitive*
+network function uses to hold an operator objective — here the
+20ms +/- 10ms mean queueing delay of the Figure 8 experiments.  This
+bench runs :func:`repro.control.gate.run_gate` on the two scenarios
+whose traffic actually moves (diurnal ramp, flash crowd): the same
+switch mis-programmed at 120ms is run once static and once with the
+SPSA learning loop attached through the cognitive controller's
+supervision tick, every candidate programming clearing the
+degradation oracle's envelope gate before it lands in the tables.
+
+Gated claims, per scenario:
+
+* the static run's settled congested windows sit far outside the
+  envelope (the misprogramming is real and unrecovered);
+* the learned run's settled mean is inside 20ms +/- 10ms;
+* zero envelope violations and zero degraded tables — no candidate
+  ever reached a table past the oracle's objection;
+* the sweep actually ran (episodes, commits) and its final
+  programming is inside the learnable box.
+
+The full comparison documents land in ``BENCH_control.json`` for the
+``control-loop`` CI job to archive.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.control.gate import MISPROGRAMMED_TARGET_S, run_gate
+from repro.control.learning import DelayEnvelope, ProgramBounds
+
+SCENARIOS = ("diurnal", "flash_crowd")
+SEED = 0
+RESULT_PATH = Path(__file__).parent / "BENCH_control.json"
+
+
+@pytest.fixture(scope="module")
+def gate_documents() -> dict[str, dict]:
+    documents = {name: run_gate(name, seed=SEED) for name in SCENARIOS}
+    report = {"seed": SEED, "scenarios": documents}
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return documents
+
+
+@pytest.mark.parametrize("scenario_name", SCENARIOS)
+def test_learned_loop_holds_the_envelope(gate_documents, scenario_name):
+    doc = gate_documents[scenario_name]
+    envelope = DelayEnvelope(**doc["envelope"])
+    lower = envelope.target_s - envelope.halfwidth_s
+    upper = envelope.target_s + envelope.halfwidth_s
+
+    assert doc["settled_congested_windows"], \
+        "scenario never congested after the settle point — no exam"
+
+    static = doc["static"]["mean_congested_delay_s"]
+    learned = doc["learned"]["mean_congested_delay_s"]
+    print(f"\n[{scenario_name}] static {static * 1e3:.1f}ms -> "
+          f"learned {learned * 1e3:.1f}ms "
+          f"(envelope {lower * 1e3:.0f}-{upper * 1e3:.0f}ms)")
+
+    # The misprogramming is real: static drifts far out of band,
+    # toward the stale 120ms objective or the buffer cap.
+    assert static > 2 * upper
+    # The learned loop pulls the same plant inside the envelope.
+    assert lower <= learned <= upper
+
+
+@pytest.mark.parametrize("scenario_name", SCENARIOS)
+def test_every_candidate_cleared_the_oracle(gate_documents,
+                                            scenario_name):
+    learned = gate_documents[scenario_name]["learned"]
+    assert learned["episodes"] > 0
+    assert learned["applied"] > 0
+    assert learned["gate_checks"] >= learned["applied"]
+    assert learned["gate_violations"] == 0
+    assert learned["gate_rejections"] == 0
+    assert learned["degraded_tables"] == []
+    assert gate_documents[scenario_name]["static"][
+        "degraded_tables"] == []
+
+    bounds = ProgramBounds()
+    target, deviation = learned["final_programming"]
+    assert bounds.min_target_s <= target <= bounds.max_target_s
+    assert 0.0 < deviation < target
+    # The sweep moved off the misprogramming it started from.
+    assert target < MISPROGRAMMED_TARGET_S / 2

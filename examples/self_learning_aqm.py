@@ -11,7 +11,12 @@ functions".  This demo runs three of them:
 2. **AIMD senders with ECN** — the pCAM-AQM marks instead of drops,
    and the responsive flows keep the delay in band with zero loss;
 3. a **spiking burst detector** — a LIF neuron with a memristive
-   synapse spiking on traffic anomalies.
+   synapse spiking on traffic anomalies;
+4. the **closed control loop** from :mod:`repro.control` — a
+   gradient-free SPSA sweep, attached through the cognitive
+   controller's supervision tick, repairs a mis-programmed pCAM AQM
+   live: every candidate programming must clear the degradation
+   oracle's envelope gate before ``update_pCAM`` lands it.
 
 Run:  python examples/self_learning_aqm.py
 """
@@ -96,10 +101,35 @@ def spiking_demo() -> None:
           f"{detector.synaptic_weight:.3f}")
 
 
+def control_loop_demo() -> None:
+    print("\n=== 4. Closed-loop SPSA repair of a mis-programmed switch ===")
+    from repro.control.gate import MISPROGRAMMED_TARGET_S, run_gate
+
+    doc = run_gate("diurnal", seed=0)
+    static = doc["static"]["mean_congested_delay_s"]
+    learned = doc["learned"]["mean_congested_delay_s"]
+    sweep = doc["learned"]
+    target, deviation = sweep["final_programming"]
+    print(f"  plant: every AQM mis-programmed at "
+          f"{MISPROGRAMMED_TARGET_S * 1e3:.0f} ms target")
+    print(f"  static  settled delay : {static * 1e3:7.1f} ms "
+          f"(stuck out of band)")
+    print(f"  learned settled delay : {learned * 1e3:7.1f} ms "
+          f"(envelope 10-30 ms)")
+    print(f"  SPSA episodes         : {sweep['episodes']} "
+          f"({sweep['applied']} gated deployments)")
+    print(f"  oracle gate           : {sweep['gate_checks']} checks, "
+          f"{sweep['gate_rejections']} rejections, "
+          f"{sweep['gate_violations']} violations")
+    print(f"  learned programming   : target {target * 1e3:.1f} ms, "
+          f"deviation {deviation * 1e3:.1f} ms")
+
+
 def main() -> None:
     neuromorphic_demo()
     ecn_demo()
     spiking_demo()
+    control_loop_demo()
 
 
 if __name__ == "__main__":

@@ -11,11 +11,13 @@ from repro.dataplane.classify import (
     ClassifierSpec,
     classifier_spec_from_tree,
 )
-from repro.dataplane.control_loop import Intent, IntentController
-from repro.dataplane.controller import (
+# Control-plane classes moved up to repro.control; the facade keeps
+# re-exporting them (silently, like Packet) for compatibility.
+from repro.control.cognitive import (
     CognitiveNetworkController,
     RegisteredFunction,
 )
+from repro.control.intent import Intent, IntentController
 from repro.packet import FIVE_TUPLE_FIELDS, Packet
 from repro.dataplane.parser import (
     HeaderParser,

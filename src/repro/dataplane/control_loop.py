@@ -1,129 +1,21 @@
-"""Intent-driven closed-loop control of the analog AQM.
+"""Deprecated re-export: the intent loop lives in :mod:`repro.control`.
 
-The cognitive network controller's run-time half: an operator states
-an *intent* — a latency bound and an acceptable loss budget — and the
-loop keeps retargeting the pCAM-AQM to satisfy both.  When losses
-exceed the budget while latency has slack, the loop trades latency
-for loss by raising the AQM's delay target (within the intent bound);
-when latency approaches the bound it tightens back.
-
-This closes the Figure 5 loop end to end: telemetry up to the
-controller, ``update_pCAM`` back down to the analog tables.
+The control plane was unified into the top-level ``repro.control``
+package (sense -> decide -> actuate on one shared
+:class:`~repro.control.loop.ControlLoop`); ``Intent`` and
+``IntentController`` moved to :mod:`repro.control.intent`.  Every
+internal import now uses ``repro.control`` directly, and this path
+is kept only so old external imports keep resolving — with a
+:class:`DeprecationWarning` telling them where to go.
 """
 
-from __future__ import annotations
+import warnings
 
-from dataclasses import dataclass
-
-from repro.netfunc.aqm.pcam_aqm import PCAMAQM
+from repro.control.intent import Intent, IntentController
 
 __all__ = ["Intent", "IntentController"]
 
-
-@dataclass(frozen=True)
-class Intent:
-    """An operator-level objective for one managed queue."""
-
-    #: Hard upper bound on the delay target the loop may set [s].
-    max_delay_s: float
-    #: Acceptable AQM loss rate before latency is traded away.
-    max_drop_rate: float
-    #: Lowest delay target worth pursuing [s].
-    min_delay_s: float = 0.005
-
-    def __post_init__(self) -> None:
-        if not 0.0 < self.min_delay_s < self.max_delay_s:
-            raise ValueError(
-                f"need 0 < min_delay < max_delay: "
-                f"{self.min_delay_s}, {self.max_delay_s}")
-        if not 0.0 < self.max_drop_rate < 1.0:
-            raise ValueError(
-                f"drop-rate budget must be in (0, 1): "
-                f"{self.max_drop_rate!r}")
-
-
-class IntentController:
-    """Periodic retargeting of one PCAMAQM against an intent.
-
-    Feed it observations with :meth:`observe` (typically once per
-    telemetry poll); it retargets the AQM when the intent is violated
-    in either direction.
-    """
-
-    #: Multiplicative step applied to the delay target per decision.
-    STEP = 1.3
-
-    def __init__(self, aqm: PCAMAQM, intent: Intent,
-                 min_interval_s: float = 1.0) -> None:
-        if min_interval_s <= 0:
-            raise ValueError(
-                f"interval must be positive: {min_interval_s!r}")
-        self.aqm = aqm
-        self.intent = intent
-        self.min_interval_s = min_interval_s
-        self._last_decision_s: float | None = None
-        self._drops_seen = 0
-        self._packets_seen = 0
-        self.retargets = 0
-
-    @classmethod
-    def for_port(cls, processor, port: int, intent: Intent,
-                 min_interval_s: float = 1.0) -> "IntentController":
-        """Manage one egress port of an assembled switch.
-
-        ``processor`` is an
-        :class:`~repro.dataplane.pipeline.AnalogPacketProcessor`
-        (e.g. from :func:`~repro.dataplane.switch.build_switch`); a
-        degradation wrapper around the port's AQM is unwrapped so the
-        loop retargets the analog table itself.
-        """
-        aqm = processor.traffic_manager.aqm(port)
-        analog = getattr(aqm, "analog", aqm)
-        return cls(analog, intent, min_interval_s)
-
-    @property
-    def observed_drop_rate(self) -> float:
-        """Drop fraction over the current observation window."""
-        if self._packets_seen == 0:
-            return 0.0
-        return self._drops_seen / self._packets_seen
-
-    def observe(self, now: float, packets: int, drops: int) -> None:
-        """Feed cumulative-interval counters and maybe retarget.
-
-        ``packets``/``drops`` are the counts since the previous call
-        (the caller diffs its counters).
-        """
-        if packets < 0 or drops < 0 or drops > packets:
-            raise ValueError(
-                f"inconsistent counters: packets={packets}, "
-                f"drops={drops}")
-        self._packets_seen += packets
-        self._drops_seen += drops
-        if self._last_decision_s is not None and \
-                now - self._last_decision_s < self.min_interval_s:
-            return
-        self._decide(now)
-
-    def _decide(self, now: float) -> None:
-        self._last_decision_s = now
-        drop_rate = self.observed_drop_rate
-        target = self.aqm.target_delay_s
-        if (drop_rate > self.intent.max_drop_rate
-                and target < self.intent.max_delay_s):
-            # Too lossy, latency has slack: relax the delay target.
-            new_target = min(self.intent.max_delay_s,
-                             target * self.STEP)
-        elif (drop_rate < 0.5 * self.intent.max_drop_rate
-                and target > self.intent.min_delay_s):
-            # Loss budget underused: chase lower latency.
-            new_target = max(self.intent.min_delay_s,
-                             target / self.STEP)
-        else:
-            new_target = target
-        if new_target != target:
-            self.aqm.retarget(new_target)
-            self.retargets += 1
-        # Window the statistics so the loop tracks recent behaviour.
-        self._drops_seen = 0
-        self._packets_seen = 0
+warnings.warn(
+    "repro.dataplane.control_loop is deprecated; import Intent and "
+    "IntentController from repro.control instead",
+    DeprecationWarning, stacklevel=2)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.dataplane.controller import CognitiveNetworkController
+from repro.control.cognitive import CognitiveNetworkController
 from repro.dataplane.fastpath import FlowCache, TelemetryTally
 from repro.dataplane.results import ProcessResult, Verdict
 from repro.dataplane.stages import (
@@ -89,6 +89,7 @@ class AnalogPacketProcessor:
                  port_rate_bps: float = 10e9,
                  queue_capacity: int = 4096,
                  flow_cache_size: int = 4096,
+                 n_priorities: int = 2,
                  graceful_degradation: bool = False,
                  controller: CognitiveNetworkController | None = None,
                  observability: Observability | None = None
@@ -119,6 +120,7 @@ class AnalogPacketProcessor:
         tracer = observability.tracer if observability else None
         self.traffic_manager = CognitiveTrafficManager(
             n_ports, aqm_factory=factory,
+            n_priorities=n_priorities,
             queue_capacity=queue_capacity,
             port_rate_bps=port_rate_bps,
             tracer=tracer)

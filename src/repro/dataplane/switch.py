@@ -36,8 +36,11 @@ class SwitchSpec:
         ACL rules appended in order (first match wins).
     use_memristor_tcam:
         Memristor TCAMs (the paper) vs transistor TCAMs (baseline).
-    port_rate_bps / queue_capacity / flow_cache_size:
-        Forwarded to the processor unchanged.
+    port_rate_bps / queue_capacity / flow_cache_size / n_priorities:
+        Forwarded to the processor unchanged (``n_priorities=1``
+        makes every egress port one FIFO queue — the paper's
+        Figure 8 plant, where the AQM alone governs packet delay
+        with no strict-priority starvation in the measurement).
     graceful_degradation:
         Wrap each port's AQM in the shadow-monitored
         :class:`~repro.robustness.degradation.DegradingAQM`.
@@ -64,6 +67,7 @@ class SwitchSpec:
     port_rate_bps: float = 10e9
     queue_capacity: int = 4096
     flow_cache_size: int = 4096
+    n_priorities: int = 2
     graceful_degradation: bool = False
     supervised: bool = False
     classifier: ClassifierSpec | None = None
@@ -127,6 +131,7 @@ def build_switch(spec: SwitchSpec, *,
         port_rate_bps=spec.port_rate_bps,
         queue_capacity=spec.queue_capacity,
         flow_cache_size=spec.flow_cache_size,
+        n_priorities=spec.n_priorities,
         graceful_degradation=spec.graceful_degradation,
         controller=controller,
         observability=observability)

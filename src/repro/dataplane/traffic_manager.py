@@ -15,7 +15,7 @@ from typing import Sequence
 from repro.packet import Packet
 from repro.dataplane.queues import PacketQueue
 from repro.dataplane.telemetry import TelemetryCollector
-from repro.netfunc.aqm.base import AQMAlgorithm
+from repro.netfunc.aqm.base import AQMAlgorithm, QueueView
 from repro.observability.tracing import Tracer, maybe_span
 
 __all__ = ["Admission", "CognitiveTrafficManager", "PortStats",
@@ -194,6 +194,12 @@ class CognitiveTrafficManager(TrafficManager):
         if not 0 <= port < self.n_ports:
             raise IndexError(f"port {port} out of range")
         return self._aqms[port]
+
+    def queue_view(self, port: int) -> QueueView:
+        """The queue-state view an AQM (or a sensor) consults."""
+        if not 0 <= port < self.n_ports:
+            raise IndexError(f"port {port} out of range")
+        return self._views[port]
 
     def last_sojourn_s(self, port: int) -> float:
         """Sojourn time of the port's most recently served packet [s]."""

@@ -321,7 +321,14 @@ class SwitchFabric:
             "shards": [{"processed": s["processed"],
                         "cache_hits": s["cache_hits"],
                         "cache_misses": s["cache_misses"],
-                        "degraded_tables": list(s["degraded_tables"])}
+                        "degraded_tables": list(s["degraded_tables"]),
+                        # Per-shard AQM extremes and drop counts: the
+                        # sensing surface of the fleet learning loop.
+                        "aqm_drops": s["verdict_counts"].get(
+                            "dropped_aqm", 0),
+                        "delay_ewma_s": s["extremes"][0],
+                        "last_pdp": s["extremes"][1],
+                        "backlog": s["extremes"][2]}
                        for s in snaps],
             "steering": {
                 "hashed_packets": self._hashed_packets,

@@ -143,6 +143,7 @@ def snapshot_of(processor) -> dict:
         "cache_entries": len(cache) if cache is not None else 0,
         "degraded_tables": tuple(
             processor.controller.degraded_tables()),
+        "extremes": extremes_of(processor),
         "fallback_events": sum(
             getattr(manager.aqm(p), "fallback_events", 0)
             for p in ports),

@@ -13,7 +13,7 @@ with the safety net Figure 5's cognitive controller implies:
 * the retry path reprograms the analog pipeline (a refresh scrub that
   clears transient faults) under exponential backoff, driven either
   internally at enqueue time or externally by
-  :meth:`repro.dataplane.controller.CognitiveNetworkController.tick`.
+  :meth:`repro.control.cognitive.CognitiveNetworkController.tick`.
 
 The wrapper is itself an :class:`~repro.netfunc.aqm.base.AQMAlgorithm`,
 so it drops into :class:`~repro.dataplane.traffic_manager.CognitiveTrafficManager`

@@ -190,7 +190,7 @@ class SupervisionMiddleware(BaseMiddleware):
 
     ``supervise`` is called with the chunk timestamp after the chunk
     completes — typically
-    :meth:`repro.dataplane.controller.CognitiveNetworkController.tick`,
+    :meth:`repro.control.cognitive.CognitiveNetworkController.tick`,
     so reprogram-retry backoff advances with traffic instead of
     needing an external clock loop.
     """

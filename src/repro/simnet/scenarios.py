@@ -685,6 +685,10 @@ class ScenarioWindow:
     cache_hits: int = 0
     cache_misses: int = 0
     max_delay_ewma_s: float = 0.0
+    #: Chunk-tick average of the worst-port delay EWMA — the window's
+    #: *sustained* delay, where the max above also catches one-tick
+    #: overshoots at congestion onsets.
+    mean_delay_ewma_s: float = 0.0
     max_backlog_pkts: int = 0
     max_pdp: float = 0.0
 
@@ -720,6 +724,7 @@ class ScenarioWindow:
             "aqm_drop_rate": round(self.aqm_drop_rate, 6),
             "drop_rate": round(self.drop_rate, 6),
             "max_delay_ewma_s": self.max_delay_ewma_s,
+            "mean_delay_ewma_s": self.mean_delay_ewma_s,
             "max_backlog_pkts": self.max_backlog_pkts,
             "max_pdp": self.max_pdp,
         }
@@ -963,8 +968,12 @@ def run_scenario(scenario_or_name: "Scenario | str", *, seed: int = 0,
         }
 
     def close_window(t_now: float) -> None:
-        nonlocal current, previous
+        nonlocal current, previous, delay_sum, delay_ticks
         totals = cumulative()
+        if delay_ticks:
+            current.mean_delay_ewma_s = delay_sum / delay_ticks
+        delay_sum = 0.0
+        delay_ticks = 0
         current.offered = totals["offered"] - previous["offered"]
         current.queued = totals["queued"] - previous["queued"]
         current.aqm_drops = totals["aqm"] - previous["aqm"]
@@ -987,6 +996,8 @@ def run_scenario(scenario_or_name: "Scenario | str", *, seed: int = 0,
     t_last = 0.0
     processed = 0
     next_boundary = 0
+    delay_sum = 0.0
+    delay_ticks = 0
 
     for columns in entry.stream(seed=seed, n_packets=n,
                                 chunk_size=chunk_size):
@@ -1007,6 +1018,8 @@ def run_scenario(scenario_or_name: "Scenario | str", *, seed: int = 0,
                                      len(times)) - 1])
             processed += len(chunk)
             delay_max, pdp_max, backlog_max = slice_extremes()
+            delay_sum += delay_max
+            delay_ticks += 1
             current.max_delay_ewma_s = max(
                 current.max_delay_ewma_s, delay_max)
             current.max_pdp = max(current.max_pdp, pdp_max)

@@ -1,0 +1,328 @@
+"""Unit coverage for the learned control policies and their interlock.
+
+The closed-loop behaviour (SPSA pulling a misprogrammed switch back
+into the paper's delay envelope under live scenarios) is exercised by
+``benchmarks/test_control_loop.py``; these tests pin the mechanics —
+episode accounting, the trend-cancelling schedule, blocking, gain
+adaptation, bounds projection, gating — against small synthetic
+plants that run in milliseconds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.control.learning import (
+    CEMPolicy,
+    DelayEnvelope,
+    EnvelopeGate,
+    ProgramBounds,
+    SPSAPolicy,
+)
+from repro.control.loop import Action, AQMActuator, ControlLoop, SwitchSensor
+from repro.netfunc.aqm.pcam_aqm import PCAMAQM
+
+
+def congested(delay_s: float, drop_rate: float = 0.0) -> dict:
+    return {"packets": 1000, "drops": int(1000 * drop_rate),
+            "drop_rate": drop_rate, "delay_s": delay_s}
+
+
+def make_policy(cls=SPSAPolicy, target=0.120, rel=0.5, seed=0, **kw):
+    return cls(seed, np.log([target, rel]), **kw)
+
+
+class TestDelayEnvelope:
+    def test_defaults_are_the_paper_objective(self):
+        env = DelayEnvelope()
+        assert env.target_s == pytest.approx(0.020)
+        assert env.halfwidth_s == pytest.approx(0.010)
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError):
+            DelayEnvelope(target_s=0.010, halfwidth_s=0.020)
+
+    def test_within(self):
+        env = DelayEnvelope()
+        assert env.within(0.020) and env.within(0.0295)
+        assert not env.within(0.031) and not env.within(0.009)
+
+    def test_signal_requires_real_congestion(self):
+        env = DelayEnvelope()
+        assert not env.has_signal({"packets": 0, "delay_s": 1.0})
+        # Inside (and hovering just above) the envelope: noise.
+        assert not env.has_signal(congested(0.021))
+        assert not env.has_signal(congested(0.029))
+        # Beyond the upper edge, or drop activity: signal.
+        assert env.has_signal(congested(0.031))
+        assert env.has_signal(congested(0.005, drop_rate=0.05))
+
+    def test_score_is_scale_free_with_drop_penalty(self):
+        env = DelayEnvelope()
+        assert env.score(congested(0.020)) == pytest.approx(0.0)
+        assert env.score(congested(0.040)) == \
+            pytest.approx(env.score(congested(0.010)))
+        assert env.score(congested(0.020, drop_rate=0.1)) == \
+            pytest.approx(env.drop_weight * 0.1)
+
+    def test_edge_score(self):
+        env = DelayEnvelope()
+        assert env.edge_score == pytest.approx(math.log(0.030 / 0.020))
+
+
+class TestProgramBounds:
+    def test_clamp_log_projects_into_the_box(self):
+        bounds = ProgramBounds()
+        wild = np.log([5.0, 3.0])
+        target, rel = np.exp(bounds.clamp_log(wild))
+        assert target == pytest.approx(bounds.max_target_s)
+        assert rel == pytest.approx(bounds.max_rel_deviation)
+        low = np.log([1e-6, 1e-3])
+        target, rel = np.exp(bounds.clamp_log(low))
+        assert target == pytest.approx(bounds.min_target_s)
+        assert rel == pytest.approx(bounds.min_rel_deviation)
+
+    def test_rejects_bad_boxes(self):
+        with pytest.raises(ValueError):
+            ProgramBounds(min_target_s=0.1, max_target_s=0.01)
+        with pytest.raises(ValueError):
+            ProgramBounds(min_rel_deviation=0.9, max_rel_deviation=0.2)
+
+
+class TestSPSAPolicy:
+    def test_windows_without_signal_advance_nothing(self):
+        policy = make_policy()
+        before = policy.programming
+        assert policy.decide(0.0, congested(0.021)) == ()
+        assert policy.episodes == 0
+        assert policy.programming == before
+
+    def test_schedule_is_trend_cancelling(self):
+        policy = make_policy()
+        signs = []
+        for tick in range(8):
+            actions = policy.decide(float(tick), congested(0.100))
+            (action,) = actions
+            target, _ = action.args
+            centre, _ = policy.programming
+            signs.append("plus" if target > centre else "minus")
+        # Two full iterations of the +,-,-,+ deployment order.
+        assert signs[:4] == ["plus", "minus", "minus", "plus"]
+        assert policy.iteration >= 1
+
+    def test_deployments_stay_inside_bounds(self):
+        bounds = ProgramBounds()
+        policy = make_policy(target=0.199, rel=0.89)
+        for tick in range(12):
+            for action in policy.decide(float(tick), congested(0.150)):
+                target, deviation = action.args
+                assert bounds.min_target_s <= target \
+                    <= bounds.max_target_s * (1 + 1e-9)
+                assert 0.0 < deviation < target
+
+    def test_converges_on_a_synthetic_plant(self):
+        """Measured delay == deployed target.
+
+        The loop must pull the plant inside the envelope and then go
+        quiet: windows inside the band carry no signal, so a
+        converged sweep stops dithering the live programming.
+        """
+        policy = make_policy(target=0.120)
+        deployed = policy.programming[0]
+        for tick in range(200):
+            actions = policy.decide(float(tick), congested(deployed))
+            if actions:
+                deployed = actions[-1].args[0]
+        envelope = policy.envelope
+        assert deployed <= envelope.target_s + envelope.halfwidth_s
+        episodes = policy.episodes
+        policy.decide(999.0, congested(deployed))
+        assert policy.episodes == episodes  # quiescent once in band
+
+    def test_blocking_reverts_a_flung_step(self):
+        policy = make_policy(target=0.050)
+        # Iteration 1: plus candidates measure worse than minus, so
+        # closing it takes a real step away from the start centre.
+        delays = [0.080, 0.080, 0.050, 0.050, 0.080,
+                  0.450, 0.450, 0.450, 0.450]
+        baseline = policy.theta.copy()
+        for tick, delay in enumerate(delays[:5]):
+            policy.decide(float(tick), congested(delay))
+        assert policy._prev is not None
+        centre_after_step = policy.theta.copy()
+        assert not np.allclose(centre_after_step, baseline)
+        # Iteration 2: the stepped-into centre measures far worse
+        # than the baseline — the step must be reverted.
+        for tick, delay in enumerate(delays[5:], start=5):
+            policy.decide(float(tick), congested(delay))
+        assert policy.blocked == 1
+        assert np.allclose(policy.theta, baseline)
+        # Baseline cleared: the next bad iteration steps, not blocks.
+        assert policy._prev is None
+
+    def test_gain_shrinks_when_converged_and_expands_when_stale(self):
+        policy = make_policy()
+        for tick in range(4):
+            policy.decide(float(tick), congested(0.100))
+        policy.decide(4.0, congested(0.100))
+        assert policy.gain == pytest.approx(1.0)  # stale: stays open
+        converged = make_policy()
+        # Signalful but cheap windows (drop activity, near-target
+        # delay) score below the envelope edge: the gain shrinks.
+        for tick in range(5):
+            converged.decide(float(tick), congested(0.021, 0.05))
+        assert converged.gain < 1.0
+        assert converged.gain >= converged.gain_floor
+
+    def test_sweep_is_deterministic_in_the_seed(self):
+        runs = []
+        for _ in range(2):
+            policy = make_policy(seed=7)
+            trail = []
+            for tick in range(40):
+                for action in policy.decide(float(tick),
+                                            congested(0.080)):
+                    trail.append(action.args)
+            runs.append(trail)
+        assert runs[0] == runs[1]
+        other = make_policy(seed=8)
+        trail = []
+        for tick in range(40):
+            for action in other.decide(float(tick), congested(0.080)):
+                trail.append(action.args)
+        assert trail != runs[0]
+
+    def test_skipped_windows_do_not_shift_the_draw_sequence(self):
+        noisy = make_policy(seed=3)
+        clean = make_policy(seed=3)
+        noisy_trail, clean_trail = [], []
+        for tick in range(30):
+            for action in clean.decide(float(tick), congested(0.080)):
+                clean_trail.append(action.args)
+            # The noisy twin sees a benign window between every
+            # congested one; its learned trajectory is identical.
+            noisy.decide(float(tick) - 0.5, congested(0.0005))
+            for action in noisy.decide(float(tick), congested(0.080)):
+                noisy_trail.append(action.args)
+        assert noisy_trail == clean_trail
+
+
+class TestCEMPolicy:
+    def test_generation_refits_toward_the_elite(self):
+        policy = make_policy(CEMPolicy, target=0.120)
+        # Plant: measured delay == deployed target.
+        deployed = policy.programming[0]
+        for tick in range(120):
+            actions = policy.decide(float(tick), congested(deployed))
+            if actions:
+                deployed = actions[-1].args[0]
+        assert policy.generation >= 2
+        assert policy.best_programming[0] < 0.120
+
+    def test_sigma_never_collapses(self):
+        policy = make_policy(CEMPolicy)
+        for tick in range(120):
+            policy.decide(float(tick), congested(0.020, 0.01))
+        assert (policy.sigma >= policy.min_spread - 1e-12).all()
+
+    def test_rejects_bad_elite_fraction(self):
+        with pytest.raises(ValueError):
+            make_policy(CEMPolicy, population=4, elite=5)
+
+
+class TestEnvelopeGate:
+    def make_gate(self, **kwargs):
+        aqm = PCAMAQM(rng=np.random.default_rng(0))
+        gate = EnvelopeGate(AQMActuator(aqm), [aqm], **kwargs)
+        return aqm, gate
+
+    def test_healthy_retarget_commits(self):
+        aqm, gate = self.make_gate()
+        assert gate.apply(Action("retarget", (0.010, 0.004)))
+        assert aqm.target_delay_s == pytest.approx(0.010)
+        assert gate.checks == 1
+        assert gate.rejections == 0 and gate.violations == 0
+
+    def test_degraded_table_refuses_candidates(self):
+        aqm, _ = self.make_gate()
+
+        class Wrapped:
+            degraded = True
+            analog = aqm
+
+        gate = EnvelopeGate(AQMActuator(aqm), [Wrapped()])
+        assert not gate.apply(Action("retarget", (0.010, 0.004)))
+        assert gate.rejections == 1
+        assert aqm.target_delay_s == pytest.approx(0.020)
+
+    def test_out_of_envelope_write_rolls_back(self, monkeypatch):
+        aqm, gate = self.make_gate()
+        deviations = iter([0.0, 0.5])  # pre-check passes, probe fails
+
+        def fake_deviation(analog):
+            return next(deviations)
+
+        monkeypatch.setattr(gate, "deviation", fake_deviation)
+        assert not gate.apply(Action("retarget", (0.010, 0.004)))
+        assert gate.violations == 1
+        # Rolled back to the pre-apply programming.
+        assert aqm.target_delay_s == pytest.approx(0.020)
+        assert aqm.max_deviation_s == pytest.approx(0.010)
+
+    def test_repairs_pass_through_ungated(self):
+        aqm, gate = self.make_gate()
+        checks = gate.checks
+        assert gate.apply(Action("reprogram_intended"))
+        assert gate.checks == checks  # no health check consumed
+
+
+class TestSensingAndActuation:
+    def test_actuator_keeps_the_switch_uniform(self):
+        aqms = [PCAMAQM(rng=np.random.default_rng(i)) for i in range(3)]
+        actuator = AQMActuator(*aqms)
+        assert actuator.apply(Action("retarget", (0.008, 0.003)))
+        for aqm in aqms:
+            assert aqm.target_delay_s == pytest.approx(0.008)
+        with pytest.raises(ValueError):
+            actuator.apply(Action("format_tables"))
+
+    def test_switch_sensor_counts_every_queue_loss(self):
+        class FakeVerdict:
+            def __init__(self, value):
+                self.value = value
+
+        counts = {FakeVerdict("queued"): 90,
+                  FakeVerdict("dropped_aqm"): 6,
+                  FakeVerdict("dropped_overflow"): 3,
+                  FakeVerdict("dropped_acl"): 1}
+        assert SwitchSensor._queue_drops(counts) == 9
+
+    def test_switch_sensor_rejects_unknown_source(self):
+        with pytest.raises(ValueError):
+            SwitchSensor(object(), delay_source="oracle")
+
+    def test_loop_paces_on_the_sim_clock(self):
+        sensed, decided = [], []
+
+        class Sensor:
+            def sense(self, now):
+                sensed.append(now)
+                return congested(0.100)
+
+        class Policy:
+            def decide(self, now, observation):
+                decided.append(now)
+                return ()
+
+        class Sink:
+            def apply(self, action):
+                return True
+
+        loop = ControlLoop(Sensor(), Policy(), Sink(),
+                           min_interval_s=1.0)
+        for now in (0.0, 0.2, 0.9, 1.05, 1.5, 2.2):
+            loop.step(now)
+        assert sensed == [0.0, 1.05, 2.2]
+        assert decided == sensed
+        assert loop.decisions == 3

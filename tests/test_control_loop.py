@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dataplane.control_loop import Intent, IntentController
+from repro.control import Intent, IntentController
 from repro.netfunc.aqm.pcam_aqm import PCAMAQM
 
 

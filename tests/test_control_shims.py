@@ -1,0 +1,90 @@
+"""The control-plane deprecation shims, pinned precisely.
+
+``IntentController`` and ``CognitiveNetworkController`` moved up into
+the unified :mod:`repro.control` package; the old dataplane paths
+(``repro.dataplane.control_loop``, ``repro.dataplane.controller``)
+are warn-on-import re-exports kept for external callers, mirroring
+the ``repro.dataplane.packet`` shim.  These tests pin the full shim
+contract: the warning fires at import time (once per interpreter —
+repeat imports are served from ``sys.modules`` silently), every
+re-exported name stays the canonical object, and the silent facade
+re-export on ``repro.dataplane`` itself keeps resolving.
+"""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+import repro.control as canonical
+
+SHIMS = {
+    "repro.dataplane.control_loop": {
+        "names": ("Intent", "IntentController"),
+        "redirect": "import Intent and IntentController from "
+                    "repro.control instead",
+    },
+    "repro.dataplane.controller": {
+        "names": ("CognitiveNetworkController", "RegisteredFunction"),
+        "redirect": "import CognitiveNetworkController and "
+                    "RegisteredFunction from repro.control instead",
+    },
+}
+
+
+def fresh_import(shim: str):
+    """Force the shim's module body to re-execute."""
+    sys.modules.pop(shim, None)
+    return importlib.import_module(shim)
+
+
+@pytest.mark.parametrize("shim", sorted(SHIMS))
+def test_import_warns_deprecation_with_redirect(shim):
+    with pytest.warns(DeprecationWarning,
+                      match=SHIMS[shim]["redirect"]):
+        fresh_import(shim)
+
+
+@pytest.mark.parametrize("shim", sorted(SHIMS))
+def test_warning_fires_once_per_interpreter(shim):
+    # First import executes the module body (and warns); any further
+    # import is a sys.modules hit and must stay silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        module = fresh_import(shim)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        again = importlib.import_module(shim)
+    assert again is module
+
+
+@pytest.mark.parametrize("shim", sorted(SHIMS))
+def test_reexports_are_the_canonical_objects(shim):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        module = fresh_import(shim)
+    for name in SHIMS[shim]["names"]:
+        assert getattr(module, name) is getattr(canonical, name), name
+    assert set(module.__all__) == set(SHIMS[shim]["names"])
+
+
+def test_dataplane_facade_reexports_silently():
+    # The package facade (like Packet's) must not warn: deprecation
+    # is scoped to the old *module* paths only.
+    import repro.dataplane as dataplane
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        importlib.reload(dataplane)
+    assert dataplane.IntentController is canonical.IntentController
+    assert dataplane.CognitiveNetworkController \
+        is canonical.CognitiveNetworkController
+
+
+def test_shimmed_controller_still_constructs():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        module = fresh_import("repro.dataplane.controller")
+    controller = module.CognitiveNetworkController()
+    assert isinstance(controller, canonical.CognitiveNetworkController)
+    assert controller.reprogram_events == 0

@@ -11,7 +11,7 @@ from repro.core.compiler import (
 )
 from repro.core.pcam_cell import prog_pcam
 from repro.core.programming import PipelineProgram
-from repro.dataplane.controller import CognitiveNetworkController
+from repro.control import CognitiveNetworkController
 
 
 def spec(name, precision=PrecisionClass.LOW,

@@ -140,3 +140,83 @@ def test_unknown_op_rejected_at_stage_time():
         fabric.controller.stage("format_tables")
         with pytest.raises(ValueError):
             fabric.controller.commit()
+
+
+# ----------------------------------------------------------------------
+# Learned commits (the fleet learning loop drives the same primitive)
+# ----------------------------------------------------------------------
+def shard_programmings(fabric) -> set:
+    programmings = set()
+    for shard in fabric.shards:
+        manager = shard.processor.traffic_manager
+        for port in range(manager.n_ports):
+            analog = getattr(manager.aqm(port), "analog",
+                             manager.aqm(port))
+            programmings.add((analog.target_delay_s,
+                              analog.max_deviation_s))
+    return programmings
+
+
+def test_learned_commit_storm_keeps_chunks_and_programmings_pure():
+    """A learning sweep's retargets ride the same two-phase commit.
+
+    While a traffic thread streams probe chunks, the main thread runs
+    a :class:`FleetLearningController` sweep: every candidate the
+    SPSA policy deploys is one staged+committed fleet op.  No chunk
+    may mix verdicts across a commit, and after every single step the
+    fleet must be programming-uniform — a shard still running the
+    previous candidate would be a torn commit.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.control.fleet import FleetLearningController
+    from repro.control.learning import SPSAPolicy
+
+    with SwitchFabric(build_shard, 4) as fabric:
+        fabric.controller.add_route("198.51.100.0/24", 1)
+        fabric.controller.commit()
+
+        stop = threading.Event()
+        impure = []
+        chunks_sent = [0]
+
+        def traffic():
+            # Bounded stream: backlog must stay below any learnable
+            # AQM band, so admission verdicts remain deterministic
+            # (probabilistic AQM drops would fake impurity).
+            while not stop.is_set() and chunks_sent[0] < 150:
+                results = fabric.process_batch(probe_chunk(0.0)[:16],
+                                               now=0.0)
+                chunks_sent[0] += 1
+                verdicts = chunk_verdicts(results)
+                if len(verdicts) != 1:
+                    impure.append(verdicts)
+                time.sleep(0.001)
+
+        policy = SPSAPolicy(0, np.log([0.120, 0.5]))
+        fleet = FleetLearningController(fabric.controller, policy,
+                                        min_interval_s=0.05,
+                                        drain_pps=100.0)
+        worker = threading.Thread(target=traffic)
+        worker.start()
+        try:
+            for tick in range(20):
+                fleet.step(0.05 * tick)
+                # After each step every shard runs one programming.
+                assert len(shard_programmings(fabric)) == 1
+                time.sleep(0.002)
+            fleet.finalise()
+        finally:
+            stop.set()
+            worker.join(timeout=30.0)
+        assert not worker.is_alive()
+        assert chunks_sent[0] > 0
+        assert impure == [], \
+            f"chunks spanned two generations: {impure[:3]}"
+        assert fleet.commits >= 5
+        # One generation per commit, plus the route commit up front.
+        assert fabric.generation == 1 + fleet.commits
+        assert shard_programmings(fabric) == \
+            {fleet.policy.best_programming}

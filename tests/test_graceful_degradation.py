@@ -10,7 +10,7 @@ cognitive controller's tick.
 import numpy as np
 import pytest
 
-from repro.dataplane.controller import CognitiveNetworkController
+from repro.control import CognitiveNetworkController
 from repro.dataplane.telemetry import TelemetryCollector
 from repro.dataplane.traffic_manager import CognitiveTrafficManager
 from repro.netfunc.aqm.codel import CoDelAqm

@@ -11,7 +11,7 @@ from repro.core.compiler import (
     NetworkFunctionSpec,
     PrecisionClass,
 )
-from repro.dataplane.controller import CognitiveNetworkController
+from repro.control import CognitiveNetworkController
 from repro.energy.ledger import EnergyLedger
 from repro.netfunc.aqm.pcam_aqm import PCAMAQM
 from repro.netfunc.aqm.base import TailDropAQM

@@ -3,8 +3,11 @@
 ``tools/check_layering.py`` walks ``src/repro`` with ``ast`` and
 rejects imports that would invert the layering the staged-runtime
 refactor established: runtime must stay generic (no dataplane or
-netfunc imports), netfunc must not reach up into the dataplane, and
-``repro.packet`` stays a leaf.
+netfunc imports), netfunc must not reach up into the dataplane,
+``repro.packet`` stays a leaf, and ``repro.control`` sits above
+dataplane/fabric/robustness/observability — nothing imports it from
+below except the sanctioned deprecation shims and the dataplane
+facade's re-export.
 """
 
 import importlib.util
@@ -40,10 +43,29 @@ def test_checker_catches_a_planted_violation(tmp_path, monkeypatch):
         "repro/runtime/bad_b.py": "import repro.netfunc.firewall\n",
         "repro/netfunc/bad_c.py": "from repro.dataplane import Packet\n",
         "repro/packet.py": "from repro.observability import Observability\n",
+        # Rule 7: nothing below the control plane may import it back.
+        "repro/fabric/bad_d.py": "import repro.control\n",
+        "repro/robustness/bad_e.py":
+            "from repro.control.learning import SPSAPolicy\n",
+        "repro/observability/bad_f.py":
+            "from repro.control import ControlLoop\n",
+        "repro/dataplane/bad_g.py": "import repro.control.loop\n",
         # Legal imports planted alongside must NOT be flagged.
         "repro/runtime/good.py": "from repro.observability.tracing "
                                  "import maybe_span\n",
         "repro/dataplane/good.py": "import repro.netfunc.firewall\n",
+        # The control plane itself may import everything below it...
+        "repro/control/good.py": "import repro.fabric\n"
+                                 "from repro.dataplane import switch\n",
+        # ...and the sanctioned shim back-edges stay waived.
+        "repro/dataplane/control_loop.py":
+            "from repro.control.intent import Intent\n",
+        "repro/dataplane/controller.py":
+            "from repro.control.cognitive import "
+            "CognitiveNetworkController\n",
+        "repro/dataplane/pipeline.py":
+            "from repro.control.cognitive import "
+            "CognitiveNetworkController\n",
     }
     for relative, body in cases.items():
         path = src / relative
@@ -55,7 +77,11 @@ def test_checker_catches_a_planted_violation(tmp_path, monkeypatch):
     assert flagged == {"src/repro/runtime/bad_a.py",
                        "src/repro/runtime/bad_b.py",
                        "src/repro/netfunc/bad_c.py",
-                       "src/repro/packet.py"}
+                       "src/repro/packet.py",
+                       "src/repro/fabric/bad_d.py",
+                       "src/repro/robustness/bad_e.py",
+                       "src/repro/observability/bad_f.py",
+                       "src/repro/dataplane/bad_g.py"}
 
 
 def test_relative_imports_resolved(tmp_path, monkeypatch):

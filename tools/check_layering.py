@@ -22,11 +22,18 @@ the architectural layering the staged-runtime refactor established:
    compiler) must see the dataplane stage shapes it compiles, so it
    may import ``repro.dataplane`` — but still never ``repro.netfunc``
    (table sentinels are recovered from live objects instead).
-6. ``repro.fabric`` is the *topmost* composition layer (it shards
-   whole switches): it may import anything, but nothing below it —
-   dataplane, simnet, netfunc, runtime — may import it back.  The
-   scenario engine reaches fabrics only through its duck-typed
-   ``processor_factory`` hook.
+6. ``repro.fabric`` is the top *composition* layer (it shards whole
+   switches): nothing below it — dataplane, simnet, netfunc,
+   runtime — may import it back.  The scenario engine reaches
+   fabrics only through its duck-typed ``processor_factory`` hook.
+7. ``repro.control`` is the *control plane* and sits above
+   everything it closes the loop over: dataplane, fabric,
+   robustness and observability may not import it back.  The only
+   sanctioned back-edges are the two deprecation shims left at the
+   old dataplane paths (``repro.dataplane.control_loop``,
+   ``repro.dataplane.controller``), the package facade's silent
+   re-export (``repro.dataplane.__init__``), and the pipeline's
+   default-controller convenience — all re-export/instantiate only.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -44,12 +51,17 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 #: what the contract constrains).
 FORBIDDEN = {
     "repro.runtime": ("repro.dataplane", "repro.netfunc",
-                      "repro.fabric"),
-    "repro.netfunc": ("repro.dataplane", "repro.fabric"),
-    "repro.acam": ("repro.dataplane", "repro.simnet", "repro.fabric"),
+                      "repro.fabric", "repro.control"),
+    "repro.netfunc": ("repro.dataplane", "repro.fabric",
+                      "repro.control"),
+    "repro.acam": ("repro.dataplane", "repro.simnet", "repro.fabric",
+                   "repro.control"),
     "repro.packet": ("repro.",),
-    "repro.dataplane": ("repro.fabric",),
-    "repro.simnet": ("repro.fabric",),
+    "repro.dataplane": ("repro.fabric", "repro.control"),
+    "repro.simnet": ("repro.fabric", "repro.control"),
+    "repro.fabric": ("repro.control",),
+    "repro.robustness": ("repro.control",),
+    "repro.observability": ("repro.control",),
 }
 
 #: exact module -> prefixes its FORBIDDEN rules waive.  The waiver is
@@ -57,6 +69,13 @@ FORBIDDEN = {
 #: dataplane it compiles, yet ``repro.netfunc`` stays banned for it.
 EXCEPTIONS = {
     "repro.runtime.compile": ("repro.dataplane",),
+    # Sanctioned control-plane back-edges (rule 7): warn-on-import
+    # deprecation shims, the facade's silent re-export, and the
+    # pipeline's default-controller construction.
+    "repro.dataplane": ("repro.control",),
+    "repro.dataplane.control_loop": ("repro.control",),
+    "repro.dataplane.controller": ("repro.control",),
+    "repro.dataplane.pipeline": ("repro.control",),
 }
 
 
@@ -127,7 +146,8 @@ def main() -> int:
         return 1
     print("layering contract clean: runtime |> dataplane, "
           "netfunc |> dataplane, acam |> dataplane/simnet, "
-          "repro.packet is a leaf, repro.fabric is a top")
+          "repro.packet is a leaf, repro.fabric composes, "
+          "repro.control is the top")
     return 0
 
 
